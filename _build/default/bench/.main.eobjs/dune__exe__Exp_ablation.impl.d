@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Approx Array Characterize Circuit Clifford Float List Morphcore Program Qstate Stats Tomography Util

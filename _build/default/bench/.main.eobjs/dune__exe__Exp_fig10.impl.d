@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Approx Array Assertion Baselines Benchmarks Characterize Cmat Cvec Cx Linalg List Morphcore Predicate Program Stats Util Verify

@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Approx Benchmarks Characterize Clifford List Morphcore Printf Program Sim Stats String Tomography Util

@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Approx Characterize Confidence List Morphcore Program Stats Util Verify

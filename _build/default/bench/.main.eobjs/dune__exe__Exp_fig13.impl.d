@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Approx Array Benchmarks Characterize Float List Morphcore Program Prune Qstate Sim Stats Util

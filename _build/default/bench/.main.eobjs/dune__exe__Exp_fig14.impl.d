@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Approx Array Characterize Circuit Clifford Linalg List Morphcore Program Sim Stats Util

@@ -1,0 +1,1 @@
+bench/exp_fig15.ml: Approx Assertion Benchmarks Characterize Clifford List Morphcore Predicate Program Stats Util Verify

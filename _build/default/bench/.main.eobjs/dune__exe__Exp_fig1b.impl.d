@@ -1,0 +1,1 @@
+bench/exp_fig1b.ml: Confidence List Morphcore Util

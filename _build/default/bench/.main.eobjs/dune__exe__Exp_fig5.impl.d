@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Approx Array Benchmarks Characterize Clifford List Morphcore Program Stats Util

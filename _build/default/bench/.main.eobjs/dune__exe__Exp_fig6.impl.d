@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Approx Array Benchmarks Characterize Clifford Format Morphcore Program Stats Util Verify

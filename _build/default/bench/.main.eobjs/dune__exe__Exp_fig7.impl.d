@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Approx Array Assertion Baselines Benchmarks Characterize List Morphcore Predicate Program Stats Util Verify

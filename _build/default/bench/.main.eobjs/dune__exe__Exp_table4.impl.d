@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Approx Baselines Circuit Clifford Hashtbl List Morphcore Printf Program Stats Tomography Util

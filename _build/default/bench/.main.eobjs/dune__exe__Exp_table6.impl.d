@@ -1,0 +1,1 @@
+bench/exp_table6.ml: Baselines Clifford Hashtbl List Morphcore Printf Stats Util

@@ -1,0 +1,1 @@
+bench/exp_tables_expr.ml: List Util

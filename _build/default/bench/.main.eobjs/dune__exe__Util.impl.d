@@ -1,0 +1,1 @@
+bench/util.ml: Approx Array Benchmarks Characterize Circuit Clifford Linalg List Morphcore Printf Program Prune Qstate Stats Unix Verify

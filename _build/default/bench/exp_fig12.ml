@@ -1,0 +1,53 @@
+(* Figure 12: estimated confidence (Theorem 3) vs the real success rate of
+   verification, swept over the sampling budget. For each budget we
+   (a) estimate confidence from the Beta fit of probe accuracies, and
+   (b) measure the fraction of phase-gate mutants whose bug the
+   approximation-based check actually detects. Theorem 3 is a lower bound,
+   so measured success should sit above the estimate. *)
+
+open Morphcore
+
+let success_rate rng program ~tracepoint ~count ~mutants =
+  let detect =
+    Util.deviation_detector ~probes:8 ~tracepoints:[ tracepoint ] rng
+      ~reference:program ~count
+  in
+  let detected = ref 0 and total = ref 0 in
+  for m = 1 to mutants do
+    ignore m;
+    match Util.nonequivalent_mutant rng program with
+    | None -> ()
+    | Some candidate ->
+        incr total;
+        if detect candidate > 0.05 then incr detected
+  done;
+  float_of_int !detected /. float_of_int (max 1 !total)
+
+let run () =
+  Util.header "Figure 12: estimated confidence vs measured success rate (5-qubit programs)";
+  let n = 5 in
+  let rng = Stats.Rng.make 121 in
+  List.iter
+    (fun name ->
+      let program =
+        Util.cap_input_qubits (Util.benchmark_program rng name n) ~max_inputs:4
+      in
+      let n_in = Program.num_input_qubits program in
+      let _, last = Util.first_last_tracepoints program in
+      Util.row "";
+      Util.row "%s (%d input qubits):" name n_in;
+      Util.row "%-10s %-22s %-20s" "N_sample" "estimated confidence" "measured success";
+      List.iter
+        (fun count ->
+          let ch = Characterize.run ~rng program ~count in
+          let approx = Approx.of_characterization ch in
+          let accs =
+            Verify.probe_accuracies ~rng ~count:12 approx program ~tracepoint:last
+          in
+          let est = Confidence.estimate ~n_in ~n_sample:count accs in
+          let success =
+            success_rate rng program ~tracepoint:last ~count ~mutants:8
+          in
+          Util.row "%-10d %-22.3f %-20.3f" count est.Confidence.confidence success)
+        [ 4; 8; 16; 32 ])
+    [ "QEC"; "Shor" ]

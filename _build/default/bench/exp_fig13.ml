@@ -1,0 +1,108 @@
+(* Figure 13: pruning strategies of the characterization (Section 5.4).
+
+   (a) sampled-input reduction: Strategy-adapt prunes the QNN's input space
+       to the dominant eigenvectors of the training set; Strategy-const
+       holds half of the Shor counting register constant.
+   (b) shot reduction: Strategy-prop measures only the asserted property
+       (basis probabilities) instead of full tomography. *)
+
+open Morphcore
+
+let fig13a () =
+  Util.header "Figure 13(a): sampled inputs with and without pruning";
+  let rng = Stats.Rng.make 131 in
+  (* QNN + Strategy-adapt *)
+  let n = 4 in
+  let qnn = Benchmarks.Qnn.init rng ~num_qubits:n ~layers:2 in
+  let flowers = Benchmarks.Iris.generate rng ~count:40 in
+  let dataset =
+    Array.to_list
+      (Array.map
+         (fun f ->
+           let c = Benchmarks.Qnn.circuit qnn ~features:f.Benchmarks.Iris.features in
+           let traces = Sim.Engine.tracepoint_states c in
+           List.assoc 1 traces)
+         flowers)
+  in
+  let baseline = Approx.samples_for_full_accuracy ~n_in:n in
+  let adapt95 = Prune.strategy_adapt ~energy:0.95 dataset in
+  let adapt99 = Prune.strategy_adapt ~energy:0.99 dataset in
+  Util.row "QNN (%d qubits): baseline %d samples; Strategy-adapt: %d (95%% energy, %.1fx), %d (99%% energy, %.1fx)"
+    n baseline
+    (List.length adapt95)
+    (float_of_int baseline /. float_of_int (List.length adapt95))
+    (List.length adapt99)
+    (float_of_int baseline /. float_of_int (List.length adapt99));
+  (* verify the pruned characterization still predicts dataset inputs well *)
+  let program = Program.make (Benchmarks.Qnn.body qnn) in
+  let ch = Characterize.run ~rng ~inputs:adapt95 program ~count:0 in
+  let approx = Approx.of_characterization ch in
+  let accs =
+    Array.map
+      (fun f ->
+        let traces =
+          Sim.Engine.tracepoint_states
+            (Benchmarks.Qnn.circuit qnn ~features:f.Benchmarks.Iris.features)
+        in
+        let rho_in = List.assoc 1 traces in
+        let truth = List.assoc 4 traces in
+        Approx.accuracy (Approx.state_at approx ~tracepoint:4 rho_in) truth)
+      flowers
+  in
+  Util.row "  accuracy on dataset inputs with pruned samples: mean fidelity %.3f" (Util.mean accs);
+  (* what the QNN assertion actually checks is the Z expectation of qubit 0:
+     property-level accuracy is much higher than full-state fidelity *)
+  let z0 = Qstate.Pauli.single n 0 Qstate.Pauli.Z in
+  let z_errs =
+    Array.map
+      (fun f ->
+        let traces =
+          Sim.Engine.tracepoint_states
+            (Benchmarks.Qnn.circuit qnn ~features:f.Benchmarks.Iris.features)
+        in
+        let rho_in = List.assoc 1 traces in
+        let truth = List.assoc 4 traces in
+        Float.abs
+          (Qstate.Pauli.expectation_dm z0 (Approx.state_at approx ~tracepoint:4 rho_in)
+          -. Qstate.Pauli.expectation_dm z0 truth))
+      flowers
+  in
+  Util.row "  prediction-expectation error with pruned samples: mean %.3f (range of E_Z is [-1,1])"
+    (Util.mean z_errs);
+  (* Shor + Strategy-const *)
+  let counting = 6 in
+  let shor = Program.make (Benchmarks.Shor_period.circuit ~counting ~phase:0.25) in
+  let baseline = Approx.samples_for_full_accuracy ~n_in:(counting + 1) in
+  let const_prog =
+    Prune.strategy_const shor ~variable_qubits:(List.init (counting / 2) (fun q -> q))
+  in
+  let pruned = Approx.samples_for_full_accuracy ~n_in:(Program.num_input_qubits const_prog) in
+  Util.row "Shor (%d qubits): baseline %d samples; Strategy-const (half register fixed): %d (%.1fx)"
+    (counting + 1) baseline pruned
+    (float_of_int baseline /. float_of_int pruned)
+
+let fig13b () =
+  Util.header "Figure 13(b): shots with and without Strategy-prop";
+  let rng = Stats.Rng.make 132 in
+  Util.row "%-8s %-18s %-18s %-10s" "qubits" "full tomo shots" "probs-only shots" "reduction";
+  List.iter
+    (fun n ->
+      let program = Util.benchmark_program rng "Shor" n in
+      let shots = 1000 in
+      let full =
+        (Characterize.run ~rng
+           ~mode:(Characterize.Tomography { shots; project = true })
+           program ~count:2).Characterize.cost
+      in
+      let probs =
+        (Characterize.run ~rng ~mode:(Characterize.Probs_only { shots }) program
+           ~count:2).Characterize.cost
+      in
+      Util.row "%-8d %-18d %-18d %-10.1fx" n full.Sim.Cost.shots
+        probs.Sim.Cost.shots
+        (float_of_int full.Sim.Cost.shots /. float_of_int probs.Sim.Cost.shots))
+    [ 3; 4; 5; 6 ]
+
+let run () =
+  fig13a ();
+  fig13b ()

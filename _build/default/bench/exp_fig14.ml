@@ -1,0 +1,108 @@
+(* Figure 14: approximation accuracy on the noisy simulator, improved by
+   injecting intermediate tracepoints. With noise, characterizing the whole
+   program end to end accumulates decoherence; characterizing shorter
+   segments and chaining the per-segment approximations (rho_T2 =
+   f2(f1(rho_T1))) recovers accuracy. *)
+
+open Morphcore
+
+(* split a circuit's gate list into [segments] consecutive sub-circuits *)
+let split_circuit circuit segments =
+  let gates =
+    List.filter_map
+      (function Circuit.Instr.Gate g -> Some g | _ -> None)
+      (Circuit.instrs circuit)
+  in
+  let total = List.length gates in
+  let n = Circuit.num_qubits circuit in
+  let per = max 1 ((total + segments - 1) / segments) in
+  let rec chunks acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | g :: rest ->
+        if k = per then chunks (List.rev cur :: acc) [ g ] 1 rest
+        else chunks acc (g :: cur) (k + 1) rest
+  in
+  List.map
+    (fun gs ->
+      let c = ref (Circuit.empty n) in
+      c := Circuit.tracepoint 1 (List.init n (fun q -> q)) !c;
+      List.iter (fun g -> c := Circuit.add (Circuit.Instr.Gate g) !c) gs;
+      Circuit.tracepoint 2 (List.init n (fun q -> q)) !c)
+    (chunks [] [] 0 gates)
+
+(* rank-1 purification: intermediate states of the ideal program are pure,
+   so snapping each chained reconstruction to its dominant eigenvector
+   mitigates the depolarizing noise accumulated in that segment *)
+let purify rho =
+  let d, _ = Linalg.Cmat.dims rho in
+  let w, v = Linalg.Eig.hermitian rho in
+  let top = Linalg.Cvec.normalize (Linalg.Cmat.col v (Array.length w - 1)) in
+  ignore d;
+  Linalg.Cmat.outer top top
+
+let noisy_accuracy rng circuit ~segments ~noise ~probes =
+  let parts = split_circuit circuit segments in
+  (* characterize each segment under noise with a full-span sample set
+     (4^n samples: segment maps must be accurate on mixed inputs too) *)
+  let n = Circuit.num_qubits circuit in
+  let count = 1 lsl (2 * n) in
+  let fs =
+    List.map
+      (fun seg ->
+        let program = Program.make seg in
+        let ch =
+          Characterize.run ~rng ~kind:Clifford.Sampling.Haar ~noise
+            ~trajectories:300 program ~count
+        in
+        let approx = Approx.of_characterization ch in
+        fun rho ->
+          purify (Approx.state_at ~physical:true approx ~tracepoint:2 rho))
+      parts
+  in
+  (* ground truth: the IDEAL (noise-free) program output; the same probe
+     inputs are used for every segment count to cut comparison variance *)
+  let full_program = Program.make (List.hd (split_circuit circuit 1)) in
+  let accs =
+    Array.map
+      (fun input ->
+        let truth = List.assoc 2 (Program.run_traces ~rng full_program ~input) in
+        let predicted = Approx.chain fs (Util.dm_of_state input) in
+        Approx.accuracy predicted truth)
+      probes
+  in
+  Util.mean accs
+
+let run () =
+  Util.header "Figure 14: noisy-simulator accuracy vs number of intermediate tracepoints";
+  let rng = Stats.Rng.make 141 in
+  (* deep circuits: the end-to-end state is close to fully mixed, so a
+     single characterization span cannot recover the ideal state; shorter
+     segments keep per-segment noise moderate and purification effective
+     (we scale the per-gate rates x4 to reach the paper's deep-circuit
+     regime with our shallower 4-qubit programs) *)
+  let noise =
+    Sim.Noise.make
+      ~p1:(4. *. Sim.Noise.ibm_cairo.Sim.Noise.p1)
+      ~p2:(4. *. Sim.Noise.ibm_cairo.Sim.Noise.p2)
+      ()
+  in
+  let n = 4 in
+  Util.row "noise model: 4x IBM-Cairo depolarizing (p1=%.4f p2=%.4f); accuracy vs the IDEAL state"
+    noise.Sim.Noise.p1 noise.Sim.Noise.p2;
+  Util.row "(random-state fidelity floor on 4 qubits is 1/16 = 0.0625)";
+  Util.row "%-8s %-14s %-14s %-14s" "program" "0 intermediate" "1 intermediate" "3 intermediate";
+  List.iter
+    (fun name ->
+      let program = Util.benchmark_program rng name n in
+      (* double the body to reach a deep-circuit regime *)
+      let circuit =
+        let body = List.hd (split_circuit program.Program.circuit 1) in
+        Circuit.append body body
+      in
+      let probes =
+        Array.init 12 (fun _ ->
+            Clifford.Sampling.haar_state rng (Circuit.num_qubits circuit))
+      in
+      let acc segments = noisy_accuracy rng circuit ~segments ~noise ~probes in
+      Util.row "%-8s %-14.4f %-14.4f %-14.4f" name (acc 1) (acc 2) (acc 4))
+    [ "Shor"; "XEB" ]

@@ -1,0 +1,29 @@
+(* Figure 1(b): confidence of exhaustive-testing verification vs the number
+   of tested inputs for the 15-qubit quantum lock (14 key bits, 2^14 inputs,
+   exactly one unexpected key), against MorphQPV's Theorem-3 confidence after
+   one characterization pass. *)
+
+open Morphcore
+
+let run () =
+  Util.header "Figure 1(b): confidence vs number of tested inputs (15-qubit quantum lock)";
+  let key_bits = 14 in
+  let space = float_of_int (1 lsl key_bits) in
+  Util.row "input space: %.0f classical keys, 1 counter-example" space;
+  Util.row "%-12s %-22s" "tests" "testing confidence (%)";
+  List.iter
+    (fun t ->
+      let c = Confidence.exhaustive_confidence ~space ~tested:(float_of_int t) in
+      Util.row "%-12d %-22.4f" t (100. *. c))
+    [ 1; 10; 100; 1000; 5000; 8192; 15000; 16384 ];
+  let half = Confidence.exhaustive_confidence ~space ~tested:1. *. 100. in
+  Util.row "-> a single test yields %.4f%% confidence (paper: 0.006%%)" half;
+  Util.row "-> 50%% confidence needs ~%d tests (paper: ~1.5e4)" (1 lsl (key_bits - 1));
+  (* MorphQPV after characterizing with increasing sample budgets *)
+  Util.row "";
+  Util.row "%-12s %-22s" "N_sample" "MorphQPV confidence (%)  [Theorem 3, eps=0.5]";
+  List.iter
+    (fun n_sample ->
+      let c = Confidence.estimate ~n_in:key_bits ~n_sample [||] in
+      Util.row "%-12d %-22.4f" n_sample (100. *. c.Confidence.confidence))
+    [ 1 lsl 10; 1 lsl 12; 1 lsl 14; 1 lsl 15 ]

@@ -1,0 +1,41 @@
+(* Figure 6: the distribution of approximation accuracies across random
+   inputs follows a Beta distribution. We histogram probe accuracies of a
+   partially-characterized program and overlay the fitted Beta pdf. *)
+
+open Morphcore
+
+let run () =
+  Util.header "Figure 6: distribution of approximation accuracies vs fitted Beta";
+  let rng = Stats.Rng.make 601 in
+  let payload = 3 in
+  let program =
+    Program.make
+      ~input_qubits:(Benchmarks.Teleport.input_qubits payload)
+      (Benchmarks.Teleport.multi payload)
+  in
+  let count = 6 (* deliberately partial: 2^(3+1) = 16 would be exact *) in
+  let ch =
+    Characterize.run ~rng ~kind:Clifford.Sampling.Clifford ~trajectories:12
+      program ~count
+  in
+  let approx = Approx.of_characterization ch in
+  let accs = Verify.probe_accuracies ~rng ~count:120 approx program ~tracepoint:2 in
+  let dist = Stats.Beta_dist.fit accs in
+  Util.row "N_sample = %d, %d probe inputs" count (Array.length accs);
+  Util.row "empirical mean %.4f, fitted %s (mean %.4f)" (Util.mean accs)
+    (Format.asprintf "%a" Stats.Beta_dist.pp dist)
+    (Stats.Beta_dist.mean dist);
+  let bins = 10 in
+  let hist = Stats.Describe.histogram ~bins ~lo:0. ~hi:1. accs in
+  Util.row "%-12s %-10s %-12s %-10s" "acc bin" "count" "empir.dens" "beta pdf";
+  Array.iteri
+    (fun i c ->
+      let lo = float_of_int i /. float_of_int bins in
+      let mid = lo +. (0.5 /. float_of_int bins) in
+      let dens =
+        float_of_int c /. float_of_int (Array.length accs) *. float_of_int bins
+      in
+      Util.row "[%.1f,%.1f)   %-10d %-12.3f %-10.3f" lo
+        (lo +. (1. /. float_of_int bins))
+        c dens (Stats.Beta_dist.pdf dist mid))
+    hist

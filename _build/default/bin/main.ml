@@ -1,0 +1,319 @@
+(* morphqpv — command-line front end.
+
+   Subcommands:
+     info      — static statistics of a mini-QASM program
+     simulate  — run a program; print counts and tracepoint states
+     sample    — characterize a program and report approximation accuracy
+     verify    — validate an assume-guarantee assertion
+
+   Predicate specs for `verify` (tracepoint 0 = the program input):
+     pure:T                 the state at tracepoint T is pure
+     equals:A,B             states at tracepoints A and B are equal
+     equals-basis:T,K       state at T equals |K><K|
+     diag:T,K,LO,HI         diagonal entry K of T's state lies in [LO, HI]
+     expect-ge:T,PAULI,V    Pauli expectation at T is >= V  (e.g. ZII)
+     expect-le:T,PAULI,V    Pauli expectation at T is <= V
+     purity-ge:T,V          purity at T is >= V *)
+
+open Morphcore
+
+let read_circuit path =
+  try Ok (Qasm.parse_file path) with
+  | Qasm.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Sys_error msg -> Error msg
+
+let qubits_of_tracepoint circuit tp =
+  if tp = 0 then None
+  else
+    match List.assoc_opt tp (Circuit.tracepoints circuit) with
+    | Some qs -> Some (List.length qs)
+    | None -> None
+
+let parse_predicate circuit n_in spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let dim_of tp =
+    match qubits_of_tracepoint circuit tp with
+    | Some k -> Ok k
+    | None when tp = 0 -> Ok n_in
+    | None -> fail "unknown tracepoint %d" tp
+  in
+  match String.split_on_char ':' spec with
+  | [ "pure"; t ] -> Ok (Predicate.Is_pure (int_of_string t))
+  | [ "equals"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ a; b ] -> Ok (Predicate.Equals (int_of_string a, int_of_string b))
+      | _ -> fail "equals expects A,B")
+  | [ "equals-basis"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ t; k ] -> (
+          let tp = int_of_string t and k = int_of_string k in
+          match dim_of tp with
+          | Ok nq ->
+              let v = Qstate.Statevec.to_cvec (Qstate.Statevec.basis nq k) in
+              Ok (Predicate.Equals_const (tp, Linalg.Cmat.outer v v))
+          | Error e -> Error e)
+      | _ -> fail "equals-basis expects T,K")
+  | [ "diag"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ t; k; lo; hi ] ->
+          Ok
+            (Predicate.Diag_in_range
+               (int_of_string t, int_of_string k, float_of_string lo, float_of_string hi))
+      | _ -> fail "diag expects T,K,LO,HI")
+  | [ "expect-ge"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ t; p; v ] ->
+          Ok
+            (Predicate.Expect_ge
+               (int_of_string t, Qstate.Pauli.of_string p, float_of_string v))
+      | _ -> fail "expect-ge expects T,PAULI,V")
+  | [ "expect-le"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ t; p; v ] ->
+          Ok
+            (Predicate.Expect_le
+               (int_of_string t, Qstate.Pauli.of_string p, float_of_string v))
+      | _ -> fail "expect-le expects T,PAULI,V")
+  | [ "purity-ge"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ t; v ] ->
+          Ok (Predicate.Purity_ge (int_of_string t, float_of_string v))
+      | _ -> fail "purity-ge expects T,V")
+  | _ -> fail "unknown predicate spec %S" spec
+
+(* ------------------------------- info -------------------------------- *)
+
+let info_cmd file =
+  match read_circuit file with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok c ->
+      Format.printf "qubits:          %d@." (Circuit.num_qubits c);
+      Format.printf "clbits:          %d@." (Circuit.num_clbits c);
+      Format.printf "gates:           %d@." (Circuit.gate_count c);
+      Format.printf "two-qubit gates: %d@." (Circuit.two_qubit_count c);
+      Format.printf "depth:           %d@." (Circuit.depth c);
+      Format.printf "tracepoints:     %s@."
+        (String.concat ", "
+           (List.map
+              (fun (id, qs) ->
+                Printf.sprintf "T%d on q[%s]" id
+                  (String.concat "," (List.map string_of_int qs)))
+              (Circuit.tracepoints c)));
+      Format.printf "@.%s" (Render.Draw.to_string c);
+      0
+
+(* ----------------------------- simulate ------------------------------ *)
+
+let simulate_cmd file shots seed noisy =
+  match read_circuit file with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok c ->
+      let rng = Stats.Rng.make seed in
+      let noise = if noisy then Sim.Noise.ibm_cairo else Sim.Noise.ideal in
+      let counts = Sim.Engine.sample_counts ~rng ~noise ~shots c in
+      Format.printf "counts (%d shots):@." shots;
+      List.iter
+        (fun (k, n) ->
+          Format.printf "  |%s> : %d@."
+            (String.init (Circuit.num_qubits c) (fun j ->
+                 if (k lsr (Circuit.num_qubits c - 1 - j)) land 1 = 1 then '1'
+                 else '0'))
+            n)
+        counts;
+      let traces = Sim.Engine.tracepoint_states ~rng ~noise c in
+      List.iter
+        (fun (id, rho) ->
+          Format.printf "@.tracepoint T%d state:@.%a@." id Linalg.Cmat.pp rho)
+        traces;
+      0
+
+(* ------------------------------ sample ------------------------------- *)
+
+let sample_cmd file count kind seed =
+  match read_circuit file with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok c ->
+      let rng = Stats.Rng.make seed in
+      let kind =
+        match kind with
+        | "basis" -> Clifford.Sampling.Basis
+        | "haar" -> Clifford.Sampling.Haar
+        | _ -> Clifford.Sampling.Clifford
+      in
+      let program = Program.make c in
+      let ch = Characterize.run ~rng ~kind program ~count in
+      let approx = Approx.of_characterization ch in
+      Format.printf "characterized %d tracepoints from %d inputs@."
+        (List.length (Approx.tracepoint_ids approx) - 1)
+        count;
+      Format.printf "cost: %a@." Sim.Cost.pp ch.Characterize.cost;
+      List.iter
+        (fun tp ->
+          if tp <> 0 then begin
+            let accs = Verify.probe_accuracies ~rng ~count:10 approx program ~tracepoint:tp in
+            Format.printf
+              "tracepoint T%d: approximation accuracy mean %.4f (min %.4f) on \
+               10 random probes; Theorem 2 value %.4f@."
+              tp (Stats.Describe.mean accs) (Stats.Describe.min accs)
+              (Approx.theoretical_accuracy
+                 ~n_in:(Program.num_input_qubits program)
+                 ~n_sample:count)
+          end)
+        (Approx.tracepoint_ids approx);
+      0
+
+(* ------------------------------ verify ------------------------------- *)
+
+let verify_cmd file assumes guarantees count solver seed =
+  match read_circuit file with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok c -> (
+      let rng = Stats.Rng.make seed in
+      let program = Program.make c in
+      let n_in = Program.num_input_qubits program in
+      let parse_all specs =
+        List.fold_left
+          (fun acc spec ->
+            match (acc, parse_predicate c n_in spec) with
+            | Error e, _ -> Error e
+            | Ok l, Ok p -> Ok (p :: l)
+            | Ok _, Error e -> Error e)
+          (Ok []) specs
+        |> Result.map List.rev
+      in
+      match (parse_all assumes, parse_all guarantees) with
+      | Error e, _ | _, Error e ->
+          prerr_endline e;
+          1
+      | Ok _, Ok [] ->
+          prerr_endline "verify: at least one --guarantee is required";
+          1
+      | Ok assumes, Ok guarantees ->
+          let assertion = Assertion.make ~name:file ~assumes ~guarantees () in
+          Format.printf "%s@." (Assertion.describe assertion);
+          let count =
+            if count > 0 then count else Approx.samples_for_full_accuracy ~n_in
+          in
+          let ch = Characterize.run ~rng program ~count in
+          let approx = Approx.of_characterization ch in
+          let solver =
+            match solver with
+            | "sgd" -> `Adam
+            | "anneal" -> `Anneal
+            | "genetic" -> `Genetic
+            | _ -> `Qp
+          in
+          let options = { Verify.default_options with solver } in
+          (match Verify.validate ~options ~rng ~confirm:program approx assertion with
+          | Verify.Verified { confidence; max_objective } ->
+              Format.printf
+                "VERIFIED: max guarantee objective %.3g; confidence %.4f \
+                 (%a, threshold %.2f)@."
+                max_objective confidence.Confidence.confidence
+                Stats.Beta_dist.pp confidence.Confidence.dist
+                confidence.Confidence.epsilon
+          | Verify.Violated { counterexample; objective; _ } ->
+              Format.printf "VIOLATED (objective %.4f). Counter-example input:@.%a@."
+                objective Linalg.Cmat.pp counterexample);
+          Format.printf "characterization cost: %a@." Sim.Cost.pp
+            ch.Characterize.cost;
+          0)
+
+(* ----------------------------- optimize ------------------------------ *)
+
+let optimize_cmd file output =
+  match read_circuit file with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok c ->
+      let optimized = Transpile.Passes.optimize c in
+      Format.eprintf "gates: %d -> %d (%.0f%% removed); equivalence check: %b@."
+        (Circuit.gate_count c)
+        (Circuit.gate_count optimized)
+        (100. *. Transpile.Passes.gate_reduction ~before:c ~after:optimized)
+        (if Circuit.num_qubits c <= 8 then
+           Transpile.Equiv.unitaries_equal c optimized
+         else Transpile.Equiv.equivalent c optimized);
+      let qasm = Qasm.to_string optimized in
+      (match output with
+      | None -> print_string qasm
+      | Some path ->
+          let oc = open_out path in
+          output_string oc qasm;
+          close_out oc);
+      0
+
+(* ----------------------------- cmdliner ------------------------------ *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-QASM program")
+
+let seed_arg =
+  Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"random seed")
+
+let info_term = Term.(const info_cmd $ file_arg)
+
+let simulate_term =
+  let shots = Arg.(value & opt int 1000 & info [ "shots" ] ~doc:"number of shots") in
+  let noisy = Arg.(value & flag & info [ "noisy" ] ~doc:"use the IBM-Cairo noise model") in
+  Term.(const simulate_cmd $ file_arg $ shots $ seed_arg $ noisy)
+
+let sample_term =
+  let count = Arg.(value & opt int 8 & info [ "count" ] ~doc:"number of sampled inputs") in
+  let kind =
+    Arg.(value & opt string "clifford" & info [ "kind" ] ~doc:"basis | clifford | haar")
+  in
+  Term.(const sample_cmd $ file_arg $ count $ kind $ seed_arg)
+
+let optimize_term =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"write optimized QASM to a file")
+  in
+  Term.(const optimize_cmd $ file_arg $ output)
+
+let verify_term =
+  let assumes =
+    Arg.(value & opt_all string [] & info [ "assume" ] ~docv:"SPEC" ~doc:"assumption predicate")
+  in
+  let guarantees =
+    Arg.(value & opt_all string [] & info [ "guarantee" ] ~docv:"SPEC" ~doc:"guarantee predicate")
+  in
+  let count =
+    Arg.(value & opt int 0 & info [ "count" ] ~doc:"sampled inputs (0 = Theorem 2 budget)")
+  in
+  let solver =
+    Arg.(value & opt string "qp" & info [ "solver" ] ~doc:"qp | sgd | anneal | genetic")
+  in
+  Term.(const verify_cmd $ file_arg $ assumes $ guarantees $ count $ solver $ seed_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "info" ~doc:"static program statistics") info_term;
+    Cmd.v (Cmd.info "simulate" ~doc:"run a program and print counts/tracepoints") simulate_term;
+    Cmd.v (Cmd.info "sample" ~doc:"characterize a program and report accuracy") sample_term;
+    Cmd.v (Cmd.info "verify" ~doc:"validate an assume-guarantee assertion") verify_term;
+    Cmd.v
+      (Cmd.info "optimize" ~doc:"transpile a program and check equivalence")
+      optimize_term;
+  ]
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default
+          (Cmd.info "morphqpv" ~version:"1.0.0"
+             ~doc:"Confident quantum program verification via isomorphism")
+          cmds))

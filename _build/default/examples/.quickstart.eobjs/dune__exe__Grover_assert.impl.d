@@ -1,0 +1,1 @@
+examples/grover_assert.ml: Array Assertion Benchmarks Characterize Circuit Clifford Float Format List Morphcore Predicate Program Prop_approx Qstate Stats Tomography Util_dm Verify

@@ -1,0 +1,1 @@
+examples/qec_threshold.ml: Benchmarks Float Format List Sim Stats

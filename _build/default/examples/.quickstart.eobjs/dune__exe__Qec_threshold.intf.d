@@ -1,0 +1,1 @@
+examples/qec_threshold.mli:

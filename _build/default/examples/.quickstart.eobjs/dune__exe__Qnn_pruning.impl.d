@@ -1,0 +1,1 @@
+examples/qnn_pruning.ml: Approx Array Benchmarks Characterize Clifford Float Format Linalg List Morphcore Program Qstate Stats String

@@ -1,0 +1,1 @@
+examples/qnn_pruning.mli:

@@ -1,0 +1,1 @@
+examples/qram_debug.ml: Approx Array Benchmarks Characterize Clifford Float Format Linalg List Morphcore Program Qstate Sim Stats String

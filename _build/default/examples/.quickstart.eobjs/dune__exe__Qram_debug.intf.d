@@ -1,0 +1,1 @@
+examples/qram_debug.mli:

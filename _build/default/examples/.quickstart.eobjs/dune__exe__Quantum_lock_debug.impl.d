@@ -1,0 +1,1 @@
+examples/quantum_lock_debug.ml: Approx Array Assertion Baselines Benchmarks Characterize Format Linalg Morphcore Predicate Program Qstate Sim Stats String Verify

@@ -1,0 +1,1 @@
+examples/quantum_lock_debug.mli:

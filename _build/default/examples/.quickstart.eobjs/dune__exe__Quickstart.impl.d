@@ -1,0 +1,1 @@
+examples/quickstart.ml: Approx Assertion Benchmarks Characterize Circuit Clifford Confidence Format List Morphcore Predicate Program Qasm Sim Stats Verify

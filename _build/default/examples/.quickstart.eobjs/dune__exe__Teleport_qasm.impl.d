@@ -1,0 +1,1 @@
+examples/teleport_qasm.ml: Approx Assertion Characterize Circuit Clifford Confidence Format List Morphcore Predicate Program Qasm Stats String Verify

@@ -1,0 +1,1 @@
+examples/transpile_verify.ml: Approx Benchmarks Characterize Circuit Clifford Format Linalg List Morphcore Program Stats Transpile Util_dm

@@ -1,0 +1,1 @@
+examples/transpile_verify.mli:

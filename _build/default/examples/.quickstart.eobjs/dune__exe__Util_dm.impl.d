@@ -1,0 +1,1 @@
+examples/util_dm.ml: Linalg Qstate

@@ -1,0 +1,39 @@
+(* Quantum error correction under noise: the repetition code's feedback
+   decoder (mid-circuit measurement + classically-controlled corrections)
+   exercised end to end. With an injected X error the round recovers
+   perfectly; under circuit-level depolarizing noise, higher distance helps
+   only below a noise threshold — above it, the extra circuitry hurts.
+
+   Run with: dune exec examples/qec_threshold.exe *)
+
+let () =
+  let rng = Stats.Rng.make 41 in
+  Format.printf "Injected single X errors (noise-free): the decoder must fix every one@.";
+  List.iter
+    (fun d ->
+      let fids =
+        List.map
+          (fun q -> Benchmarks.Qec.logical_fidelity ~error:q ~trials:10 rng d)
+          (List.init d (fun q -> q))
+      in
+      Format.printf "  distance %d: min fidelity over error positions = %.3f@." d
+        (List.fold_left Float.min 1. fids))
+    [ 3; 5; 7 ];
+
+  Format.printf "@.Circuit-level depolarizing noise (logical fidelity of |+>, 200 trials):@.";
+  Format.printf "%-12s %-12s %-12s %-12s@." "p1 per gate" "d=3" "d=5" "d=7";
+  List.iter
+    (fun p1 ->
+      let noise = Sim.Noise.make ~p1 ~p2:(2. *. p1) () in
+      let cells =
+        List.map
+          (fun d -> Benchmarks.Qec.logical_fidelity ~noise ~trials:200 rng d)
+          [ 3; 5; 7 ]
+      in
+      match cells with
+      | [ a; b; c ] -> Format.printf "%-12.4f %-12.3f %-12.3f %-12.3f@." p1 a b c
+      | _ -> ())
+    [ 0.0005; 0.002; 0.008; 0.03 ];
+  Format.printf
+    "@.(Below threshold larger distance wins; at high rates the deeper@.\
+     syndrome circuitry accumulates more errors than it corrects.)@."

@@ -1,0 +1,99 @@
+(* Case study 2 (Section 7.2): verifying gate pruning of a quantum neural
+   network, and validating prior knowledge about the model.
+
+   We train a small QNN on an Iris-like dataset, prune near-zero rotation
+   gates (which should not change predictions), then corrupt the pruning by
+   removing a significant gate and show the assertion catches it. Finally we
+   verify the biologists' prior ("sepal length in [4,6] cm => Setosa") over
+   the model's input space.
+
+   Run with: dune exec examples/qnn_pruning.exe *)
+
+open Morphcore
+
+let () =
+  let rng = Stats.Rng.make 11 in
+  let flowers = Benchmarks.Iris.generate rng ~count:24 in
+  let qnn0 = Benchmarks.Qnn.init rng ~num_qubits:4 ~layers:2 in
+  Format.printf "Training a 4-qubit, 2-layer QNN on %d Iris-like flowers...@."
+    (Array.length flowers);
+  let qnn = Benchmarks.Qnn.train rng qnn0 flowers ~epochs:10 ~lr:0.25 in
+  Format.printf "accuracy: %.2f -> %.2f@.@."
+    (Benchmarks.Qnn.accuracy qnn0 flowers)
+    (Benchmarks.Qnn.accuracy qnn flowers);
+
+  (* --- Verification of gate pruning ------------------------------------ *)
+  let pruned, removed = Benchmarks.Qnn.prune qnn ~threshold:0.05 in
+  Format.printf "Pruning removed %d near-zero gates: [%s]@."
+    (List.length removed)
+    (String.concat "; " (List.map string_of_int removed));
+
+  (* compare the two model BODIES over the whole encoded-input space: the
+     output tracepoint (id 4) of the original model vs the pruned model *)
+  let verify_pruning candidate_body =
+    let reference = Program.make (Benchmarks.Qnn.body qnn) in
+    let candidate = Program.make candidate_body in
+    let inputs =
+      List.init 12 (fun i ->
+          ignore i;
+          Clifford.Sampling.haar_state rng 4)
+    in
+    let ref_char = Characterize.run ~rng ~inputs reference ~count:0 in
+    let cand_char = Characterize.run ~rng ~inputs candidate ~count:0 in
+    let ref_approx = Approx.of_characterization ref_char in
+    let cand_approx = Approx.of_characterization cand_char in
+    (* worst-case output deviation over the input space: the guarantee is
+       Distance_le between the two models' output tracepoints; we check it
+       by stitching both models into one approximation environment *)
+    let z0 = Qstate.Pauli.single 4 0 Qstate.Pauli.Z in
+    let worst = ref 0. in
+    for _ = 1 to 30 do
+      let probe = Clifford.Sampling.haar_state rng 4 in
+      let v = Qstate.Statevec.to_cvec probe in
+      let rho = Linalg.Cmat.outer v v in
+      let out_ref = Approx.state_at ref_approx ~tracepoint:4 rho in
+      let out_cand = Approx.state_at cand_approx ~tracepoint:4 rho in
+      let d =
+        Float.abs
+          (Qstate.Pauli.expectation_dm z0 out_ref
+          -. Qstate.Pauli.expectation_dm z0 out_cand)
+      in
+      if d > !worst then worst := d
+    done;
+    !worst
+  in
+  let dev = verify_pruning (Benchmarks.Qnn.body pruned) in
+  Format.printf "worst prediction deviation after correct pruning: %.4f -> %s@.@."
+    dev (if dev < 0.2 then "ACCEPT pruning" else "REJECT pruning");
+
+  (* corrupt the pruning: zero out a significant parameter *)
+  let significant =
+    let best = ref 0 in
+    Array.iteri
+      (fun i p -> if Float.abs p > Float.abs qnn.Benchmarks.Qnn.params.(!best) then best := i)
+      qnn.Benchmarks.Qnn.params;
+    !best
+  in
+  let corrupted = Benchmarks.Qnn.corrupt_prune qnn ~index:significant in
+  let dev_bad = verify_pruning (Benchmarks.Qnn.body corrupted) in
+  Format.printf
+    "worst prediction deviation after corrupt pruning (gate %d removed): %.4f -> %s@.@."
+    significant dev_bad
+    (if dev_bad < 0.2 then "ACCEPT pruning (bug missed)" else "REJECT pruning (bug caught)");
+
+  (* --- Verification of prior knowledge --------------------------------- *)
+  (* "flowers with sepal length in [4,6] cm are Setosa": encoded as qubit 0
+     rotation angle in the low band; verify the model output over that band *)
+  Format.printf "Prior-knowledge check: sepal length in [4,6] cm => predicted Setosa@.";
+  let violations = ref 0 and cases = ref 0 in
+  Array.iter
+    (fun f ->
+      if f.Benchmarks.Iris.features.(0) >= 4. && f.Benchmarks.Iris.features.(0) <= 6. then begin
+        incr cases;
+        let e = Benchmarks.Qnn.predict qnn ~features:f.Benchmarks.Iris.features in
+        if e <= 0. then incr violations
+      end)
+    (Benchmarks.Iris.generate rng ~count:60);
+  Format.printf "checked %d flowers in the band: %d violations -> prior is %s@."
+    !cases !violations
+    (if !violations = 0 then "CONSISTENT with the model" else "INCONSISTENT (counter-example found)")

@@ -1,0 +1,95 @@
+(* The paper's motivating example (Figure 1, Section 7.1): a quantum lock
+   encodes a secret key; a planted bug makes it also accept an unexpected
+   key. Exhaustive testing needs O(2^(N-1)) executions to stumble on the bad
+   key; MorphQPV finds it from one characterization pass plus a classical
+   search.
+
+   Run with: dune exec examples/quantum_lock_debug.exe *)
+
+open Morphcore
+
+let key_bits = 4
+let key = 0b0110
+let unexpected_key = 0b1011
+
+let dm_of_basis n k =
+  let v = Qstate.Statevec.to_cvec (Qstate.Statevec.basis n k) in
+  Linalg.Cmat.outer v v
+
+let () =
+  let rng = Stats.Rng.make 7 in
+  let lock = Benchmarks.Quantum_lock.make ~key ~unexpected_key key_bits in
+  Format.printf "Quantum lock over %d key qubits, secret key %d, planted bug on key %d@."
+    key_bits key unexpected_key;
+  Format.printf "accepts(%d) = %.0f, accepts(%d) = %.0f (the bug), accepts(%d) = %.0f@.@."
+    key
+    (Benchmarks.Quantum_lock.accepts lock key)
+    unexpected_key
+    (Benchmarks.Quantum_lock.accepts lock unexpected_key)
+    (key + 1)
+    (Benchmarks.Quantum_lock.accepts lock (key + 1));
+
+  let program =
+    Program.make ~input_qubits:lock.Benchmarks.Quantum_lock.key_qubits
+      lock.Benchmarks.Quantum_lock.circuit
+  in
+
+  (* Assertion: "if the input carries (almost) no weight on the secret key,
+     the probe must come out |0>" — input-independent, unlike per-input
+     assertions of prior work. *)
+  let zero_out = dm_of_basis 1 0 in
+  let assertion =
+    Assertion.make ~name:"lock rejects every non-key input"
+      ~assumes:[ Predicate.Diag_in_range (1, key, 0., 0.01) ]
+      ~guarantees:[ Predicate.Equals_const (2, zero_out) ]
+      ()
+  in
+  Format.printf "Assertion: %s@.@." (Assertion.describe assertion);
+
+  (* Characterize with 2^(N+1) Clifford-sampled inputs (Theorem 2's budget
+     for full accuracy). *)
+  let count = Approx.samples_for_full_accuracy ~n_in:key_bits in
+  let characterization = Characterize.run ~rng program ~count in
+  let approx = Approx.of_characterization characterization in
+  Format.printf "Characterization: %d sampled inputs (%a)@.@." count
+    Sim.Cost.pp characterization.Characterize.cost;
+
+  (match Verify.validate ~rng ~confirm:program approx assertion with
+  | Verify.Violated { counterexample; objective; _ } ->
+      Format.printf "BUG FOUND (objective %.3f). Counter-example input weight by key:@." objective;
+      let minimized =
+        Verify.minimize_counterexample program assertion ~counterexample
+      in
+      let min_probs = Qstate.Statevec.probs minimized in
+      let best = ref 0 in
+      Array.iteri (fun k p -> if p > min_probs.(!best) then best := k) min_probs;
+      Format.printf "  minimized counter-example: basis key %d (%s)%s@." !best
+        (String.init key_bits (fun j ->
+             if (!best lsr (key_bits - 1 - j)) land 1 = 1 then '1' else '0'))
+        (if !best = unexpected_key then "  <-- exactly the planted key" else "");
+      let d = 1 lsl key_bits in
+      for k = 0 to d - 1 do
+        let w = Linalg.Cx.re (Linalg.Cmat.get counterexample k k) in
+        if w > 0.02 then Format.printf "  key %2d (%s): weight %.3f%s@." k
+            (String.init key_bits (fun j ->
+                 if (k lsr (key_bits - 1 - j)) land 1 = 1 then '1' else '0'))
+            w
+            (if k = unexpected_key then "   <-- the planted unexpected key" else "")
+      done
+  | Verify.Verified _ -> Format.printf "verified (bug missed — try more samples)@.");
+
+  (* Compare against exhaustive grid search (Quito-style). *)
+  let clean = Benchmarks.Quantum_lock.make ~key key_bits in
+  let reference =
+    Program.make ~input_qubits:clean.Benchmarks.Quantum_lock.key_qubits
+      clean.Benchmarks.Quantum_lock.circuit
+  in
+  (match
+     Baselines.Quito.executions_to_find ~rng ~reference ~candidate:program ()
+   with
+  | Some n ->
+      Format.printf
+        "@.Grid search (Quito-style) needed %d program executions to hit the bad key;\n\
+         the input space has %d basis states, so the expected cost is 2^(N-1).@."
+        n (1 lsl key_bits)
+  | None -> Format.printf "@.Grid search never found the bug!?@.")

@@ -1,0 +1,57 @@
+(* Quickstart: verify quantum teleportation with MorphQPV.
+
+   Run with: dune exec examples/quickstart.exe
+
+   The flow mirrors the paper (Figure 2):
+   1. write a program with tracepoints;
+   2. state an assume-guarantee assertion between tracepoint states;
+   3. characterize the program by input sampling (isomorphism-based
+      approximation);
+   4. validate the assertion as a constraint-optimization problem. *)
+
+open Morphcore
+
+let () =
+  let rng = Stats.Rng.make 42 in
+
+  (* 1. The program: 3-qubit teleportation. Qubit 0 carries the payload,
+     tracepoint 1 labels the input, tracepoint 2 labels Bob's output. *)
+  let circuit = Benchmarks.Teleport.single () in
+  Format.printf "Program under verification:@.%a@." Circuit.pp circuit;
+  let program = Program.make ~input_qubits:[ 0 ] circuit in
+
+  (* 2. The assertion: if the input is pure, the output equals the input
+     (tracepoint 0 is the reserved id for the program input). *)
+  let assertion =
+    Assertion.make ~name:"teleportation preserves the payload"
+      ~assumes:[ Predicate.Is_pure 0 ]
+      ~guarantees:[ Predicate.Equals (0, 2) ]
+      ()
+  in
+  Format.printf "Assertion: %s@.@." (Assertion.describe assertion);
+
+  (* 3. Characterization: run the program under a handful of sampled inputs
+     and build the approximation functions rho_T = f(rho_in). *)
+  let characterization =
+    Characterize.run ~rng ~kind:Clifford.Sampling.Clifford program ~count:8
+  in
+  let approx = Approx.of_characterization characterization in
+  Format.printf "Characterized %d tracepoints from %d sampled inputs (%a)@.@."
+    (List.length (Approx.tracepoint_ids approx))
+    (Approx.n_sample approx) Sim.Cost.pp
+    characterization.Characterize.cost;
+
+  (* 4. Validation: maximize the guarantee objective over all inputs. *)
+  (match Verify.validate ~rng approx assertion with
+  | Verify.Verified { confidence; max_objective } ->
+      Format.printf
+        "VERIFIED: worst-case guarantee objective %.2e (<= 0 means the \
+         assertion holds); confidence %.3f@."
+        max_objective confidence.Confidence.confidence
+  | Verify.Violated { objective; _ } ->
+      Format.printf "VIOLATED: objective %.3f — teleportation has a bug?!@."
+        objective);
+
+  (* Bonus: the same program written in QASM with the tracepoint pragma *)
+  Format.printf "@.The same program as mini-QASM:@.%s@."
+    (Qasm.to_string circuit)

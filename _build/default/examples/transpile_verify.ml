@@ -1,0 +1,79 @@
+(* Optimizing a circuit and verifying the optimization: the transpiler
+   shrinks a redundant circuit, the equivalence checker proves the unitary
+   unchanged, and MorphQPV's assertion machinery confirms the tracepoint
+   relation survives — then catches a deliberately broken "optimization".
+
+   Run with: dune exec examples/transpile_verify.exe *)
+
+open Morphcore
+
+let () =
+  let rng = Stats.Rng.make 37 in
+  (* a deliberately redundant circuit: QFT . QFT^-1 wrapped around a core *)
+  let n = 4 in
+  let all = List.init n (fun q -> q) in
+  let core =
+    Circuit.(empty n |> h 0 |> cx 0 1 |> rz 0.8 1 |> rz 0.4 1 |> cx 2 3 |> cx 2 3
+             |> t_gate 2 |> tdg 2)
+  in
+  let padded =
+    Benchmarks.Qft.append_inverse all (Benchmarks.Qft.append all core)
+  in
+  let c = Circuit.tracepoint 2 all (Circuit.tracepoint 1 all (Circuit.empty n) |> Circuit.append padded) in
+  Format.printf "original circuit: %d gates, depth %d@." (Circuit.gate_count c)
+    (Circuit.depth c);
+
+  let optimized = Transpile.Passes.optimize c in
+  Format.printf "optimized:        %d gates, depth %d (%.0f%% gates removed)@.@."
+    (Circuit.gate_count optimized) (Circuit.depth optimized)
+    (100. *. Transpile.Passes.gate_reduction ~before:c ~after:optimized);
+
+  (* 1. exact unitary equivalence *)
+  Format.printf "exact unitary equivalence: %b@."
+    (Transpile.Equiv.unitaries_equal c optimized);
+
+  (* 2. MorphQPV cross-check: characterize both circuits on the same sampled
+     inputs and compare the output-tracepoint approximations *)
+  let reference = Program.make c and candidate = Program.make optimized in
+  let inputs = List.init 12 (fun _ -> Clifford.Sampling.haar_state rng n) in
+  let ap p =
+    Approx.of_characterization (Characterize.run ~rng ~inputs p ~count:0)
+  in
+  let ra = ap reference and ca = ap candidate in
+  let worst = ref 0. in
+  for _ = 1 to 10 do
+    let rho = Util_dm.dm (Clifford.Sampling.haar_state rng n) in
+    let a = Approx.state_at ~physical:false ra ~tracepoint:2 rho in
+    let b = Approx.state_at ~physical:false ca ~tracepoint:2 rho in
+    let d = Linalg.Cmat.frob_norm (Linalg.Cmat.sub a b) in
+    if d > !worst then worst := d
+  done;
+  Format.printf "worst tracepoint deviation across the input space: %.2e@.@."
+    !worst;
+
+  (* 3. a broken optimizer that drops one more gate must be caught *)
+  let broken =
+    let dropped = ref false in
+    Circuit.map_gates
+      (fun g ->
+        if (not !dropped) && g.Circuit.Gate.name = "rz" then begin
+          dropped := true;
+          None
+        end
+        else Some g)
+      optimized
+  in
+  Format.printf "broken optimization (the surviving RZ dropped):@.";
+  Format.printf "  exact equivalence: %b (expected false)@."
+    (Transpile.Equiv.unitaries_equal c broken);
+  let ba = ap (Program.make broken) in
+  let worst_bad = ref 0. in
+  for _ = 1 to 10 do
+    let rho = Util_dm.dm (Clifford.Sampling.haar_state rng n) in
+    let a = Approx.state_at ~physical:false ra ~tracepoint:2 rho in
+    let b = Approx.state_at ~physical:false ba ~tracepoint:2 rho in
+    let d = Linalg.Cmat.frob_norm (Linalg.Cmat.sub a b) in
+    if d > !worst_bad then worst_bad := d
+  done;
+  Format.printf "  worst tracepoint deviation: %.3f (a clear bug signal)@."
+    !worst_bad

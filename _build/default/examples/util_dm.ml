@@ -1,0 +1,4 @@
+(* tiny shared helper for the examples *)
+let dm st =
+  let v = Qstate.Statevec.to_cvec st in
+  Linalg.Cmat.outer v v

@@ -1,0 +1,1 @@
+lib/baselines/automa.ml: Array Circuit List Morphcore Program Sim Sparse_sim Stats Verifier

@@ -1,0 +1,1 @@
+lib/baselines/automa.mli: Circuit Morphcore Stats Verifier

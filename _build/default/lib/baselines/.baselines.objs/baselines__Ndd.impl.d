@@ -1,0 +1,1 @@
+lib/baselines/ndd.ml: Cmat Linalg List Morphcore Program Qstate Sim Stats Verifier

@@ -1,0 +1,1 @@
+lib/baselines/ndd.mli: Morphcore Qstate Stats Verifier

@@ -1,0 +1,1 @@
+lib/baselines/quito.ml: Array Circuit Float List Morphcore Program Qstate Sim Stats Verifier

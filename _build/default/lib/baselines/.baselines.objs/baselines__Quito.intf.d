@@ -1,0 +1,1 @@
+lib/baselines/quito.mli: Morphcore Stats Verifier

@@ -1,0 +1,1 @@
+lib/baselines/sparse_sim.ml: Circuit Cmat Cx Float Hashtbl Linalg List Option Qstate

@@ -1,0 +1,1 @@
+lib/baselines/sparse_sim.mli: Circuit Linalg Qstate

@@ -1,0 +1,1 @@
+lib/baselines/stat_assert.ml: Array Float List Morphcore Program Qstate Sim Stats Verifier

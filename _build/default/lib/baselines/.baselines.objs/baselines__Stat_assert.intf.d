@@ -1,0 +1,1 @@
+lib/baselines/stat_assert.mli: Morphcore Stats Verifier

@@ -1,0 +1,1 @@
+lib/baselines/twist.ml: Array Circuit Cmat Float Linalg List Morphcore Program Qstate Sim Stats Verifier

@@ -1,0 +1,1 @@
+lib/baselines/twist.mli: Morphcore Qstate Stats Verifier

@@ -1,0 +1,1 @@
+lib/baselines/verifier.ml: Array Hashtbl List Sim Stats Unix

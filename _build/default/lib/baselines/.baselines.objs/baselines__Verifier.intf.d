@@ -1,0 +1,1 @@
+lib/baselines/verifier.mli: Sim Stats

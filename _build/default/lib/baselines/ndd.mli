@@ -1,0 +1,47 @@
+(** Non-destructive discrimination assertions (Liu & Zhou, HPCA 2021; paper
+    baseline "NDD").
+
+    For each tested input, an NDD assertion checks whether the runtime state
+    at a tracepoint equals the expected (possibly mixed) state, including
+    phases, by appending a discrimination sub-circuit. We model detection as
+    a fidelity comparison between candidate and reference tracepoint states,
+    and account the hardware overhead of the discrimination circuitry:
+    asserting a classical basis state needs O(1) extra gates, while a
+    general mixed state needs a synthesized projection unitary whose gate
+    count grows as ~18 * 4^n (fit to the paper's Table 4 numbers). *)
+
+type state_kind = Classical | General
+
+(** [discrimination_gates ~kind ~n_t] models the per-shot gate overhead of
+    one NDD assertion over [n_t] qubits. *)
+val discrimination_gates : kind:state_kind -> n_t:int -> int
+
+(** [check ?rng ?shots ?tol ?inputs ~tests ~kind ~tracepoint ~reference
+    ~candidate ()] tests up to [tests] inputs (explicit [inputs] states, or
+    basis states by default — NDD prepares arbitrary test states on
+    hardware), comparing the tracepoint state of the candidate against the
+    reference run (Frobenius distance above [tol] flags the bug). *)
+val check :
+  ?rng:Stats.Rng.t ->
+  ?shots:int ->
+  ?tol:float ->
+  ?inputs:Qstate.Statevec.t list ->
+  tests:int ->
+  kind:state_kind ->
+  tracepoint:int ->
+  reference:Morphcore.Program.t ->
+  candidate:Morphcore.Program.t ->
+  unit ->
+  Verifier.result
+
+(** [executions_to_find ?rng ?limit ~tracepoint ~reference ~candidate ()] —
+    grid-search analogue of {!Quito.executions_to_find} with full state
+    (phase-sensitive) comparison. *)
+val executions_to_find :
+  ?rng:Stats.Rng.t ->
+  ?limit:int ->
+  tracepoint:int ->
+  reference:Morphcore.Program.t ->
+  candidate:Morphcore.Program.t ->
+  unit ->
+  int option

@@ -1,0 +1,79 @@
+open Morphcore
+
+let total_variation pa pb =
+  let acc = ref 0. in
+  Array.iteri (fun i a -> acc := !acc +. Float.abs (a -. pb.(i))) pa;
+  !acc /. 2.
+
+let counts_to_probs d ~shots counts =
+  let p = Array.make d 0. in
+  List.iter (fun (k, c) -> p.(k) <- float_of_int c /. float_of_int shots) counts;
+  p
+
+let run_probs ?rng ~shots ~meter program input =
+  let k = Program.num_input_qubits program in
+  let initial =
+    Program.embed program (Qstate.Statevec.basis k input)
+  in
+  let c = program.Program.circuit in
+  let d = 1 lsl Circuit.num_qubits c in
+  let counts = Sim.Engine.sample_counts ?rng ~initial ~meter ~shots c in
+  counts_to_probs d ~shots counts
+
+let check ?rng ?(shots = 1000) ?threshold ~tests ~reference ~candidate () =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 31 in
+  let threshold =
+    match threshold with
+    | Some t -> t
+    | None -> 3. /. sqrt (float_of_int shots)
+  in
+  let k = Program.num_input_qubits candidate in
+  let meter = Sim.Cost.create () in
+  let inputs = Verifier.basis_inputs rng ~k ~count:tests in
+  let (bug_found, tests_used), seconds =
+    Verifier.timed (fun () ->
+        let rec go used = function
+          | [] -> (false, used)
+          | input :: rest ->
+              let p_ref = run_probs ~rng ~shots ~meter reference input in
+              let p_cand = run_probs ~rng ~shots ~meter candidate input in
+              if total_variation p_ref p_cand > threshold then (true, used + 1)
+              else go (used + 1) rest
+        in
+        go 0 inputs)
+  in
+  { Verifier.bug_found; tests_used; cost = meter; seconds }
+
+let exact_probs program input =
+  let k = Program.num_input_qubits program in
+  let initial = Program.embed program (Qstate.Statevec.basis k input) in
+  let c = program.Program.circuit in
+  if Sim.Engine.is_deterministic c then
+    Qstate.Statevec.probs (Sim.Engine.run ~initial c).Sim.Engine.state
+  else begin
+    (* average over trajectories for programs with measurement *)
+    let rng = Stats.Rng.make (input + 997) in
+    let d = 1 lsl Circuit.num_qubits c in
+    let acc = Array.make d 0. in
+    let trials = 32 in
+    for _ = 1 to trials do
+      let st = (Sim.Engine.run ~rng ~initial c).Sim.Engine.state in
+      Array.iteri (fun i p -> acc.(i) <- acc.(i) +. p) (Qstate.Statevec.probs st)
+    done;
+    Array.map (fun x -> x /. float_of_int trials) acc
+  end
+
+let executions_to_find ?rng ?(limit = max_int) ~reference ~candidate () =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 31 in
+  let k = Program.num_input_qubits candidate in
+  let d = 1 lsl k in
+  let inputs = Verifier.basis_inputs rng ~k ~count:(min limit d) in
+  let rec go used = function
+    | [] -> None
+    | input :: rest ->
+        let p_ref = exact_probs reference input in
+        let p_cand = exact_probs candidate input in
+        if total_variation p_ref p_cand > 0.05 then Some (used + 1)
+        else go (used + 1) rest
+  in
+  go 0 inputs

@@ -1,0 +1,34 @@
+(** Quito-style coverage-guided testing (Wang et al., ASE 2021; paper
+    baseline).
+
+    Grid search over computational-basis inputs: run reference and candidate
+    with a fixed shot budget and flag a bug when the measured output
+    distributions differ by more than the shot-noise threshold. Only
+    probability distributions are compared, so phase-only defects are
+    invisible. *)
+
+(** [check ?rng ?shots ?threshold ~tests ~reference ~candidate ()] tests up
+    to [tests] basis inputs (stopping early on detection). The threshold is
+    total-variation distance; default scales as [3 / sqrt shots]. *)
+val check :
+  ?rng:Stats.Rng.t ->
+  ?shots:int ->
+  ?threshold:float ->
+  tests:int ->
+  reference:Morphcore.Program.t ->
+  candidate:Morphcore.Program.t ->
+  unit ->
+  Verifier.result
+
+(** [executions_to_find ?rng ?limit ~reference ~candidate ()] counts how
+    many basis inputs the grid search needs before the first detection
+    (capped by [limit]; compares exact output distributions, the
+    infinite-shot idealization used in the Figure 7/10 sweeps). Returns
+    [None] if the bug is never detectable this way. *)
+val executions_to_find :
+  ?rng:Stats.Rng.t ->
+  ?limit:int ->
+  reference:Morphcore.Program.t ->
+  candidate:Morphcore.Program.t ->
+  unit ->
+  int option

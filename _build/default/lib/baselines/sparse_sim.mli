@@ -1,0 +1,32 @@
+(** Sparse state-vector simulation: amplitudes kept in a hash table keyed by
+    basis index. Exact, and fast while the support stays small — the
+    substrate for the automata-style equivalence baseline, whose cost
+    profile (cheap on structured circuits, exponential blow-up on dense
+    superpositions) it reproduces. *)
+
+type t
+
+(** [basis n k] starts in [|k>]. *)
+val basis : int -> int -> t
+
+val num_qubits : t -> int
+
+(** [support t] is the number of basis states with non-negligible
+    amplitude. *)
+val support : t -> int
+
+(** [apply_gate g t] applies a circuit gate. *)
+val apply_gate : Circuit.Gate.t -> t -> t
+
+(** [run c ~input] pushes a basis input through all gates of a measurement-
+    free circuit. *)
+val run : Circuit.t -> input:int -> t
+
+(** [amplitude t k] reads one amplitude. *)
+val amplitude : t -> int -> Linalg.Cx.t
+
+(** [equal ?eps a b] compares two sparse states up to global phase. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [to_statevec t] densifies (for tests). *)
+val to_statevec : t -> Qstate.Statevec.t

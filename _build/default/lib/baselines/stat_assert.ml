@@ -1,0 +1,37 @@
+open Morphcore
+
+let chi_square ~expected ~counts ~shots =
+  let observed = Array.make (Array.length expected) 0. in
+  List.iter (fun (k, c) -> observed.(k) <- float_of_int c) counts;
+  let total = float_of_int shots in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i e ->
+      let exp_count = e *. total in
+      if exp_count > 1e-9 then
+        acc := !acc +. (((observed.(i) -. exp_count) ** 2.) /. exp_count)
+      else if observed.(i) > 0. then acc := !acc +. (observed.(i) ** 2.))
+    expected;
+  !acc
+
+let check ?rng ?(shots = 1000) ?(significance = 3.84) ~expected program ~input
+    () =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 41 in
+  let meter = Sim.Cost.create () in
+  let (holds, used), seconds =
+    Verifier.timed (fun () ->
+        let k = Program.num_input_qubits program in
+        let initial = Program.embed program (Qstate.Statevec.basis k input) in
+        let counts =
+          Sim.Engine.sample_counts ~rng ~initial ~meter ~shots
+            program.Program.circuit
+        in
+        let stat = chi_square ~expected ~counts ~shots in
+        (* normalize by degrees of freedom (support size - 1) *)
+        let dof =
+          Float.max 1.
+            (float_of_int (Array.length (Array.of_list counts)) -. 1.)
+        in
+        (stat /. dof <= significance, 1))
+  in
+  (holds, { Verifier.bug_found = not holds; tests_used = used; cost = meter; seconds })

@@ -1,0 +1,20 @@
+(** Statistical assertions (Huang & Martonosi, ISCA 2019; paper baseline
+    "Stat"): chi-square tests on the measured output distribution against an
+    expected distribution. Amplitude-only — phases are invisible. *)
+
+(** [chi_square ~expected ~counts ~shots] is the chi-square statistic of
+    observed counts against an expected distribution. *)
+val chi_square : expected:float array -> counts:(int * int) list -> shots:int -> float
+
+(** [check ?rng ?shots ?significance ~expected program ~input ()] measures
+    the program on one basis input and tests the output distribution.
+    Returns [true] when the assertion HOLDS (distribution consistent). *)
+val check :
+  ?rng:Stats.Rng.t ->
+  ?shots:int ->
+  ?significance:float ->
+  expected:float array ->
+  Morphcore.Program.t ->
+  input:int ->
+  unit ->
+  bool * Verifier.result

@@ -1,0 +1,60 @@
+open Morphcore
+open Linalg
+
+let purity_of_dm m =
+  let f = Cmat.frob_norm m in
+  f *. f
+
+let purity_vector_of_state program ~input =
+  let st = Program.embed program input in
+  let outcome = Sim.Engine.run ~initial:st program.Program.circuit in
+  let final = outcome.Sim.Engine.state in
+  let n = Qstate.Statevec.num_qubits final in
+  Array.init (n + 1) (fun q ->
+      if q < n then purity_of_dm (Qstate.Statevec.reduced_density final [ q ])
+      else 1.0 (* a pure trajectory always has unit global purity *))
+
+let purity_vector program ~input =
+  let k = Program.num_input_qubits program in
+  purity_vector_of_state program ~input:(Qstate.Statevec.basis k input)
+
+let check ?rng ?(tol = 1e-6) ?inputs ~tests ~reference ~candidate () =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 43 in
+  let k = Program.num_input_qubits candidate in
+  let meter = Sim.Cost.create () in
+  let inputs =
+    match inputs with
+    | Some states -> states
+    | None ->
+        List.map (Qstate.Statevec.basis k)
+          (Verifier.basis_inputs rng ~k ~count:tests)
+  in
+  let (bug_found, tests_used), seconds =
+    Verifier.timed (fun () ->
+        let rec go used = function
+          | [] -> (false, used)
+          | input :: rest ->
+              let pr = purity_vector_of_state reference ~input in
+              let pc = purity_vector_of_state candidate ~input in
+              let diff = ref 0. in
+              Array.iteri
+                (fun i a -> diff := Float.max !diff (Float.abs (a -. pc.(i))))
+                pr;
+              if !diff > tol then (true, used + 1) else go (used + 1) rest
+        in
+        go 0 inputs)
+  in
+  { Verifier.bug_found; tests_used; cost = meter; seconds }
+
+(* Models classified by continuous expectations (arbitrary-angle RX/RY/U3
+   rotations everywhere, as in the QNN) are outside Twist's purity logic. *)
+let continuous_rotation (g : Circuit.Gate.t) =
+  List.mem g.Circuit.Gate.name [ "rx"; "ry"; "u3" ]
+
+let supports program =
+  List.for_all
+    (function
+      | Circuit.Instr.Gate g -> not (continuous_rotation g)
+      | Circuit.Instr.If_gate { gate; _ } -> not (continuous_rotation gate)
+      | _ -> true)
+    (Circuit.instrs program.Program.circuit)

@@ -1,0 +1,31 @@
+type result = {
+  bug_found : bool;
+  tests_used : int;
+  cost : Sim.Cost.t;
+  seconds : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let basis_inputs rng ~k ~count =
+  let d = 1 lsl k in
+  if count >= d then begin
+    let all = Array.init d (fun i -> i) in
+    Stats.Rng.shuffle rng all;
+    Array.to_list all
+  end
+  else begin
+    let seen = Hashtbl.create count in
+    let out = ref [] in
+    while Hashtbl.length seen < count do
+      let x = Stats.Rng.int rng d in
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        out := x :: !out
+      end
+    done;
+    List.rev !out
+  end

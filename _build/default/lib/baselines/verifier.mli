@@ -1,0 +1,17 @@
+(** Common result type for the baseline verifiers compared against MorphQPV
+    (Sections 8 and Appendix B of the paper). *)
+
+type result = {
+  bug_found : bool;
+  tests_used : int;  (** inputs actually executed before stopping *)
+  cost : Sim.Cost.t;  (** quantum-operation accounting *)
+  seconds : float;  (** classical wall-clock spent *)
+}
+
+(** [timed f] runs [f] and pairs its result with elapsed seconds. *)
+val timed : (unit -> 'a) -> 'a * float
+
+(** [basis_inputs rng ~k ~count] draws [count] distinct basis states of [k]
+    qubits (all of them when [count >= 2^k]), in random order — the
+    grid-search input schedule shared by Quito/NDD-style testing. *)
+val basis_inputs : Stats.Rng.t -> k:int -> count:int -> int list

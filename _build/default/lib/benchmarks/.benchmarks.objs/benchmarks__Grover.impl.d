@@ -1,0 +1,1 @@
+lib/benchmarks/grover.ml: Array Circuit Float List Qstate Sim

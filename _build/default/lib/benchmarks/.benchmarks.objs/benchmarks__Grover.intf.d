@@ -1,0 +1,1 @@
+lib/benchmarks/grover.mli: Circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/iris.ml: Array Float Stats

@@ -1,0 +1,1 @@
+lib/benchmarks/mutation.ml: Circuit Float List Stats

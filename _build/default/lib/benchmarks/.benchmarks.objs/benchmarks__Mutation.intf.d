@@ -1,0 +1,1 @@
+lib/benchmarks/mutation.mli: Circuit Stats

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.ml: Array Circuit Float List Optimize Qstate Sim

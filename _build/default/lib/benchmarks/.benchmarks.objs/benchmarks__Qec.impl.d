@@ -1,0 +1,1 @@
+lib/benchmarks/qec.ml: Circuit Qstate Sim

@@ -1,0 +1,1 @@
+lib/benchmarks/qec.mli: Circuit Sim Stats

@@ -1,0 +1,1 @@
+lib/benchmarks/qft.ml: Array Circuit Float List

@@ -1,0 +1,1 @@
+lib/benchmarks/qnn.ml: Array Circuit Float Iris List Qstate Sim Stats

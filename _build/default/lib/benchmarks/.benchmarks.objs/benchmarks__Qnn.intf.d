@@ -1,0 +1,1 @@
+lib/benchmarks/qnn.mli: Circuit Iris Stats

@@ -1,0 +1,1 @@
+lib/benchmarks/qram.ml: Array Circuit Float List Qstate Sim Stats

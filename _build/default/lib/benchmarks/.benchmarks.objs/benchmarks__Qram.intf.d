@@ -1,0 +1,1 @@
+lib/benchmarks/qram.mli: Circuit Stats

@@ -1,0 +1,1 @@
+lib/benchmarks/quantum_lock.mli: Circuit

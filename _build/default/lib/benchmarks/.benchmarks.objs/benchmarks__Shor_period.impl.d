@@ -1,0 +1,1 @@
+lib/benchmarks/shor_period.ml: Circuit Float List Qft

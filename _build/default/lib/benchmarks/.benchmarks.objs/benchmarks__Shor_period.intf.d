@@ -1,0 +1,1 @@
+lib/benchmarks/shor_period.mli: Circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/teleport.ml: Circuit List

@@ -1,0 +1,26 @@
+let circuit ~secret n =
+  if n <= 0 then invalid_arg "Bv.circuit: bad size";
+  if secret < 0 || secret >= 1 lsl n then invalid_arg "Bv.circuit: bad secret";
+  let anc = n in
+  let c = ref (Circuit.empty (n + 1)) in
+  c := Circuit.x anc !c;
+  c := Circuit.h anc !c;
+  for q = 0 to n - 1 do
+    c := Circuit.h q !c
+  done;
+  for q = 0 to n - 1 do
+    if (secret lsr q) land 1 = 1 then c := Circuit.cx q anc !c
+  done;
+  for q = 0 to n - 1 do
+    c := Circuit.h q !c
+  done;
+  c := Circuit.tracepoint 1 (List.init n (fun q -> q)) !c;
+  !c
+
+let recover ~secret n =
+  let outcome = Sim.Engine.run (circuit ~secret n) in
+  let probs = Qstate.Statevec.probs outcome.Sim.Engine.state in
+  let best = ref 0 in
+  Array.iteri (fun k p -> if p > probs.(!best) then best := k) probs;
+  (* strip the ancilla bit *)
+  !best land ((1 lsl n) - 1)

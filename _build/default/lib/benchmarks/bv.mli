@@ -1,0 +1,11 @@
+(** Bernstein-Vazirani: recover a hidden bitstring with one oracle query
+    (one of the phase-kickback applications the paper motivates the quantum
+    lock with). Layout: qubits [0..n-1] input, qubit [n] ancilla. *)
+
+(** [circuit ~secret n] builds the algorithm for an [n]-bit secret. The
+    final state of the input register is [|secret>]. *)
+val circuit : secret:int -> int -> Circuit.t
+
+(** [recover ~secret n] runs the circuit and reads the most likely
+    bitstring. *)
+val recover : secret:int -> int -> int

@@ -1,0 +1,11 @@
+let circuit n =
+  if n <= 0 then invalid_arg "Ghz.circuit: need a positive qubit count";
+  let c = ref (Circuit.h 0 (Circuit.empty n)) in
+  for q = 0 to n - 2 do
+    c := Circuit.cx q (q + 1) !c
+  done;
+  Circuit.tracepoint 1 (List.init n (fun q -> q)) !c
+
+let state n =
+  let outcome = Sim.Engine.run (circuit n) in
+  outcome.Sim.Engine.state

@@ -1,0 +1,8 @@
+(** GHZ state preparation (the paper's tracepoint example in Section 4). *)
+
+(** [circuit n] prepares [(|0...0> + |1...1>)/sqrt 2] with tracepoint 1 on
+    the full register at the end. *)
+val circuit : int -> Circuit.t
+
+(** [state n] is the ideal GHZ state. *)
+val state : int -> Qstate.Statevec.t

@@ -1,0 +1,42 @@
+let optimal_iterations n =
+  (* floor(pi / (4 asin(1/sqrt N))): the rotation count that lands closest
+     to the marked state without overshooting *)
+  let theta = asin (1. /. sqrt (float_of_int (1 lsl n))) in
+  max 1 (int_of_float (Float.floor (Float.pi /. (4. *. theta))))
+
+(* phase flip on basis state [value] over all qubits *)
+let phase_flip ~value n c =
+  let flip c =
+    List.fold_left
+      (fun c q -> if (value lsr q) land 1 = 0 then Circuit.x q c else c)
+      c
+      (List.init n (fun q -> q))
+  in
+  c |> flip |> Circuit.mcz (List.init n (fun q -> q)) |> flip
+
+let circuit ?iterations ~marked n =
+  if n < 2 then invalid_arg "Grover.circuit: need at least two qubits";
+  if marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.circuit: marked element out of range";
+  let iterations =
+    match iterations with Some i -> i | None -> optimal_iterations n
+  in
+  let all = List.init n (fun q -> q) in
+  let c = ref (Circuit.empty n) in
+  List.iter (fun q -> c := Circuit.h q !c) all;
+  c := Circuit.tracepoint 1 all !c;
+  for _ = 1 to iterations do
+    (* oracle *)
+    c := phase_flip ~value:marked n !c;
+    (* diffusion: H^n (phase flip on |0...0>) H^n *)
+    List.iter (fun q -> c := Circuit.h q !c) all;
+    c := phase_flip ~value:0 n !c;
+    List.iter (fun q -> c := Circuit.h q !c) all
+  done;
+  c := Circuit.tracepoint 2 all !c;
+  !c
+
+let success_probability ?iterations ~marked n =
+  let c = circuit ?iterations ~marked n in
+  let st = (Sim.Engine.run c).Sim.Engine.state in
+  (Qstate.Statevec.probs st).(marked)

@@ -1,0 +1,17 @@
+(** Grover search over [n] qubits with a single marked basis state. The
+    oracle is a phase flip on the marked element (the same phase-kickback
+    construction as the quantum lock); diffusion inverts about the mean.
+
+    Tracepoints: 1 after the uniform superposition, 2 at the end. *)
+
+(** [circuit ?iterations ~marked n] builds the search circuit; [iterations]
+    defaults to {!optimal_iterations}. *)
+val circuit : ?iterations:int -> marked:int -> int -> Circuit.t
+
+(** [optimal_iterations n] is [floor (pi / (4 asin (2^(-n/2))))], at
+    least 1. *)
+val optimal_iterations : int -> int
+
+(** [success_probability ?iterations ~marked n] runs the circuit and returns
+    the probability of measuring the marked element. *)
+val success_probability : ?iterations:int -> marked:int -> int -> float

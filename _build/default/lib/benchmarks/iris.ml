@@ -1,0 +1,33 @@
+type flower = { features : float array; label : int }
+
+(* (mean, sigma) per attribute per class: Setosa then Virginica, loosely
+   matching the real Iris dataset statistics. *)
+let class_stats =
+  [|
+    [| (5.0, 0.35); (3.4, 0.38); (1.46, 0.17); (0.24, 0.1) |];
+    [| (6.6, 0.63); (2.97, 0.32); (5.55, 0.55); (2.03, 0.27) |];
+  |]
+
+let feature_ranges = [| (4., 8.); (2., 4.5); (1., 7.); (0., 2.6) |]
+
+let generate rng ~count =
+  Array.init count (fun i ->
+      let label = i mod 2 in
+      let stats = class_stats.(label) in
+      let features =
+        Array.map (fun (mu, sigma) -> Stats.Rng.gaussian rng ~mu ~sigma) stats
+      in
+      (* clamp into the declared ranges *)
+      Array.iteri
+        (fun j v ->
+          let lo, hi = feature_ranges.(j) in
+          features.(j) <- Float.min hi (Float.max lo v))
+        features;
+      { features; label })
+
+let normalize_features f =
+  Array.mapi
+    (fun j v ->
+      let lo, hi = feature_ranges.(j) in
+      (v -. lo) /. (hi -. lo) *. 2. *. Float.pi)
+    f

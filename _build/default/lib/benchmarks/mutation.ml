@@ -1,0 +1,45 @@
+type mutant = {
+  circuit : Circuit.t;
+  position : int;
+  qubit : int;
+  gate_name : string;
+  angle : float option;
+}
+
+let insert_at c position instr =
+  let items = Circuit.instrs c in
+  let n = List.length items in
+  let position = max 0 (min n position) in
+  let rebuilt = ref (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c)) in
+  List.iteri
+    (fun i it ->
+      if i = position then rebuilt := Circuit.add instr !rebuilt;
+      rebuilt := Circuit.add it !rebuilt)
+    items;
+  if position >= n then rebuilt := Circuit.add instr !rebuilt;
+  !rebuilt
+
+let inject_gate ?qubits rng c ~phase_family =
+  let n_instr = List.length (Circuit.instrs c) in
+  let position = Stats.Rng.int rng (n_instr + 1) in
+  let qubit =
+    match qubits with
+    | Some qs when qs <> [] -> List.nth qs (Stats.Rng.int rng (List.length qs))
+    | _ -> Stats.Rng.int rng (Circuit.num_qubits c)
+  in
+  let gate_name, angle =
+    if phase_family then
+      match Stats.Rng.int rng 4 with
+      | 0 -> ("z", None)
+      | 1 -> ("s", None)
+      | 2 -> ("t", None)
+      | _ -> ("rz", Some (Stats.Rng.uniform rng 0.2 (2. *. Float.pi -. 0.2)))
+    else ("x", None)
+  in
+  let params = match angle with Some a -> [ a ] | None -> [] in
+  let instr = Circuit.Instr.Gate (Circuit.Gate.make ~params gate_name [ qubit ]) in
+  { circuit = insert_at c position instr; position; qubit; gate_name; angle }
+
+let inject ?qubits rng c = inject_gate ?qubits rng c ~phase_family:true
+let inject_many rng ~count c = List.init count (fun _ -> inject rng c)
+let inject_bitflip rng c = inject_gate rng c ~phase_family:false

@@ -1,0 +1,26 @@
+(** Mutation testing (paper Section 8.2): buggy program variants are
+    produced by injecting random phase gates at random positions, which
+    changes the state's phase structure while often leaving computational-
+    basis probabilities intact — exactly the class of bug that
+    probability-only verifiers miss. *)
+
+type mutant = {
+  circuit : Circuit.t;
+  position : int;  (** instruction index the gate was inserted before *)
+  qubit : int;
+  gate_name : string;
+  angle : float option;
+}
+
+(** [inject ?qubits rng c] inserts one random phase-family gate ([z], [s],
+    [t] or [rz] with a random angle) at a random position, on a random qubit
+    (restricted to [qubits] when given). *)
+val inject : ?qubits:int list -> Stats.Rng.t -> Circuit.t -> mutant
+
+(** [inject_many rng ~count c] produces [count] independent single-gate
+    mutants. *)
+val inject_many : Stats.Rng.t -> count:int -> Circuit.t -> mutant list
+
+(** [inject_bitflip rng c] inserts a random X gate instead — a
+    probability-visible bug used in ablations. *)
+val inject_bitflip : Stats.Rng.t -> Circuit.t -> mutant

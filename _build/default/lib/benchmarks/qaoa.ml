@@ -1,0 +1,80 @@
+type graph = (int * int) list
+
+let ring n = List.init n (fun i -> (i, (i + 1) mod n))
+
+let complete n =
+  List.concat_map (fun u -> List.init (n - 1 - u) (fun k -> (u, u + 1 + k))) (List.init n (fun u -> u))
+
+let check_graph graph n =
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || v < 0 || u >= n || v >= n || u = v then
+        invalid_arg "Qaoa: bad edge")
+    graph
+
+let circuit ~graph ~gammas ~betas n =
+  check_graph graph n;
+  if List.length gammas <> List.length betas then
+    invalid_arg "Qaoa.circuit: layer count mismatch";
+  let all = List.init n (fun q -> q) in
+  let c = ref (Circuit.empty n) in
+  List.iter (fun q -> c := Circuit.h q !c) all;
+  c := Circuit.tracepoint 1 all !c;
+  List.iter2
+    (fun gamma beta ->
+      (* cost layer: exp(-i gamma/2 * (1 - Z_u Z_v)) per edge, up to global
+         phase = CX . RZ(gamma) . CX *)
+      List.iter
+        (fun (u, v) ->
+          c := Circuit.cx u v !c;
+          c := Circuit.rz gamma v !c;
+          c := Circuit.cx u v !c)
+        graph;
+      (* mixer *)
+      List.iter (fun q -> c := Circuit.rx (2. *. beta) q !c) all)
+    gammas betas;
+  c := Circuit.tracepoint 2 all !c;
+  !c
+
+let cut_value graph bits =
+  List.fold_left
+    (fun acc (u, v) ->
+      if (bits lsr u) land 1 <> (bits lsr v) land 1 then acc +. 1. else acc)
+    0. graph
+
+let expected_cut ~graph n st =
+  if Qstate.Statevec.num_qubits st <> n then invalid_arg "Qaoa.expected_cut";
+  let probs = Qstate.Statevec.probs st in
+  let acc = ref 0. in
+  Array.iteri (fun bits p -> acc := !acc +. (p *. cut_value graph bits)) probs;
+  !acc
+
+let max_cut ~graph n =
+  let best = ref 0. in
+  for bits = 0 to (1 lsl n) - 1 do
+    let v = cut_value graph bits in
+    if v > !best then best := v
+  done;
+  !best
+
+let run ~graph ~gammas ~betas n =
+  let c = circuit ~graph ~gammas ~betas n in
+  let st = (Sim.Engine.run c).Sim.Engine.state in
+  let cut = expected_cut ~graph n st in
+  (cut, cut /. Float.max 1. (max_cut ~graph n))
+
+let optimize ?(iters = 400) rng ~graph ~layers n =
+  let dim = 2 * layers in
+  let obj =
+    Optimize.Objective.make ~dim
+      ~lower:(Array.make dim 0.)
+      ~upper:(Array.make dim Float.pi)
+      (fun x ->
+        let gammas = List.init layers (fun i -> x.(i)) in
+        let betas = List.init layers (fun i -> x.(layers + i)) in
+        fst (run ~graph ~gammas ~betas n))
+  in
+  let sol = Optimize.Solvers.anneal ~iters ~restarts:1 rng obj in
+  let gammas = List.init layers (fun i -> sol.Optimize.Solvers.x.(i)) in
+  let betas = List.init layers (fun i -> sol.Optimize.Solvers.x.(layers + i)) in
+  (gammas, betas, sol.Optimize.Solvers.value /. Float.max 1. (max_cut ~graph n))

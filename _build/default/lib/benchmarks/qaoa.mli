@@ -1,0 +1,41 @@
+(** QAOA for MaxCut — a variational benchmark in the same family as the
+    QNN case study: parameterized layers whose verification needs
+    expectation-value comparisons rather than state equality.
+
+    The cost Hamiltonian of a graph [G = (V, E)] is
+    [C = sum_(u,v) in E (1 - Z_u Z_v) / 2]; one QAOA layer applies
+    [exp(-i gamma C)] (ZZ phase interactions, realized as CX-RZ-CX) followed
+    by the mixer [exp(-i beta X)] on every qubit.
+
+    Tracepoints: 1 after the initial superposition, 2 at the end. *)
+
+type graph = (int * int) list  (** edge list over vertices [0..n-1] *)
+
+(** [ring n] / [complete n] — standard test graphs. *)
+val ring : int -> graph
+
+val complete : int -> graph
+
+(** [circuit ~graph ~gammas ~betas n] builds a [p]-layer QAOA circuit
+    ([p = length gammas = length betas]). *)
+val circuit : graph:graph -> gammas:float list -> betas:float list -> int -> Circuit.t
+
+(** [expected_cut ~graph n st] is the expected cut value [<C>] of a state. *)
+val expected_cut : graph:graph -> int -> Qstate.Statevec.t -> float
+
+(** [max_cut ~graph n] — classical brute force over all bitstrings. *)
+val max_cut : graph:graph -> int -> float
+
+(** [run ~graph ~gammas ~betas n] builds, simulates and returns
+    [(expected cut, approximation ratio)]. *)
+val run : graph:graph -> gammas:float list -> betas:float list -> int -> float * float
+
+(** [optimize ?iters rng ~graph ~layers n] tunes the angles with the
+    annealing solver, returning [(gammas, betas, approximation ratio)]. *)
+val optimize :
+  ?iters:int ->
+  Stats.Rng.t ->
+  graph:graph ->
+  layers:int ->
+  int ->
+  float list * float list * float

@@ -1,0 +1,66 @@
+let check d =
+  if d < 3 || d mod 2 = 0 then
+    invalid_arg "Qec: distance must be odd and at least 3"
+
+let encode d =
+  check d;
+  let c = ref (Circuit.empty ((2 * d) - 1)) in
+  for i = 1 to d - 1 do
+    c := Circuit.cx 0 i !c
+  done;
+  !c
+
+(* Syndrome bit i compares data qubits i and i+1 into ancilla d+i; the
+   correction flips the data qubit identified by the syndrome pattern. For
+   the repetition code a single-X-error syndrome uniquely locates the flip:
+   error on qubit 0 -> (1,0,...), on qubit i (0<i<d-1) -> bits i-1 and i,
+   on qubit d-1 -> (...,0,1). *)
+let round ?error d =
+  check d;
+  let n = (2 * d) - 1 in
+  let c = ref (Circuit.empty ~clbits:(d - 1) n) in
+  c := Circuit.tracepoint 1 [ 0 ] !c;
+  (* encode *)
+  for i = 1 to d - 1 do
+    c := Circuit.cx 0 i !c
+  done;
+  (* optional injected error *)
+  (match error with
+  | Some q when q >= 0 && q < d -> c := Circuit.x q !c
+  | Some _ -> invalid_arg "Qec.round: error qubit out of range"
+  | None -> ());
+  (* syndrome extraction *)
+  for i = 0 to d - 2 do
+    let anc = d + i in
+    c := Circuit.cx i anc !c;
+    c := Circuit.cx (i + 1) anc !c;
+    c := Circuit.measure anc i !c
+  done;
+  (* Weight-1 X error lookup decoder: an error on data qubit j fires
+     syndrome bits j-1 and j (where they exist), so each data qubit is
+     corrected on a unique two-bit syndrome pattern. *)
+  c := Circuit.if_gate [ 0; 1 ] 0b01 (Circuit.Gate.make "x" [ 0 ]) !c;
+  for j = 1 to d - 2 do
+    c := Circuit.if_gate [ j - 1; j ] 0b11 (Circuit.Gate.make "x" [ j ]) !c
+  done;
+  c := Circuit.if_gate [ d - 3; d - 2 ] 0b10 (Circuit.Gate.make "x" [ d - 1 ]) !c;
+  (* decode *)
+  for i = d - 1 downto 1 do
+    c := Circuit.cx 0 i !c
+  done;
+  c := Circuit.tracepoint 2 [ 0 ] !c;
+  !c
+
+let logical_fidelity ?error ?(noise = Sim.Noise.ideal) ~trials rng d =
+  let c0 = round ?error d in
+  let n = (2 * d) - 1 in
+  (* logical |+>: H on qubit 0 before the round, H after, expect |0> *)
+  let pre = Circuit.h 0 (Circuit.empty ~clbits:(d - 1) n) in
+  let c = Circuit.append pre c0 in
+  let c = Circuit.h 0 c in
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    let outcome = Sim.Engine.run ~rng ~noise c in
+    if Qstate.Statevec.prob1 outcome.Sim.Engine.state 0 < 0.5 then incr ok
+  done;
+  float_of_int !ok /. float_of_int trials

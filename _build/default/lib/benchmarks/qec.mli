@@ -1,0 +1,24 @@
+(** Bit-flip repetition code (quantum error correction benchmark).
+
+    A distance-[d] repetition code protects one logical qubit on [d] data
+    qubits with [d - 1] syndrome ancillas. The full round encodes, optionally
+    injects an error, extracts syndromes into classical bits and applies the
+    majority-vote correction as classical feedback.
+
+    Layout: data qubits [0..d-1] (logical input on qubit 0), ancillas
+    [d..2d-2]. Tracepoints: 1 = logical input, 2 = decoded logical output. *)
+
+(** [encode d] is the encoding circuit alone (CX fan-out on [d] data
+    qubits over a register that also reserves the ancillas). *)
+val encode : int -> Circuit.t
+
+(** [round ?error d] is the full protected round for distance [d] (odd,
+    >= 3): encode, optional X error on the given data qubit, syndrome
+    extraction, feedback correction, decode. *)
+val round : ?error:int -> int -> Circuit.t
+
+(** [logical_fidelity ?error ?noise ~trials rng d] estimates the probability
+    that an encoded [|+>] state survives the round (averaged over
+    trajectories). *)
+val logical_fidelity :
+  ?error:int -> ?noise:Sim.Noise.t -> trials:int -> Stats.Rng.t -> int -> float

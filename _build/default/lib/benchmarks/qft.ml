@@ -1,0 +1,39 @@
+(* Standard textbook QFT: on significance-ordered qubits [q0 (lsb) ... q_{m-1}],
+   process from the most significant down, each H followed by controlled
+   phases from the remaining lower qubits, then reverse with swaps. *)
+
+let append qubits c =
+  let qs = Array.of_list qubits in
+  let m = Array.length qs in
+  if m = 0 then invalid_arg "Qft.append: empty qubit list";
+  let c = ref c in
+  for j = m - 1 downto 0 do
+    c := Circuit.h qs.(j) !c;
+    for k = j - 1 downto 0 do
+      let angle = Float.pi /. float_of_int (1 lsl (j - k)) in
+      c := Circuit.cp angle qs.(k) qs.(j) !c
+    done
+  done;
+  for j = 0 to (m / 2) - 1 do
+    c := Circuit.swap qs.(j) qs.(m - 1 - j) !c
+  done;
+  !c
+
+let append_inverse qubits c =
+  let qs = Array.of_list qubits in
+  let m = Array.length qs in
+  if m = 0 then invalid_arg "Qft.append_inverse: empty qubit list";
+  let c = ref c in
+  for j = (m / 2) - 1 downto 0 do
+    c := Circuit.swap qs.(j) qs.(m - 1 - j) !c
+  done;
+  for j = 0 to m - 1 do
+    for k = 0 to j - 1 do
+      let angle = -.Float.pi /. float_of_int (1 lsl (j - k)) in
+      c := Circuit.cp angle qs.(k) qs.(j) !c
+    done;
+    c := Circuit.h qs.(j) !c
+  done;
+  !c
+
+let circuit n = append (List.init n (fun i -> i)) (Circuit.empty n)

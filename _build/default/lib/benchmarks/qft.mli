@@ -1,0 +1,11 @@
+(** The quantum Fourier transform over a contiguous qubit range. *)
+
+(** [append qubits c] appends the QFT on the listed qubits (qubit order =
+    significance order, least significant first). *)
+val append : int list -> Circuit.t -> Circuit.t
+
+(** [append_inverse qubits c] appends the inverse QFT. *)
+val append_inverse : int list -> Circuit.t -> Circuit.t
+
+(** [circuit n] is the QFT on [n] fresh qubits. *)
+val circuit : int -> Circuit.t

@@ -1,0 +1,128 @@
+type t = { num_qubits : int; layers : int; params : float array }
+
+let param_count ~num_qubits ~layers = 2 * layers * num_qubits
+
+let init rng ~num_qubits ~layers =
+  if num_qubits <= 0 || layers <= 0 then invalid_arg "Qnn.init: bad shape";
+  let params =
+    Array.init (param_count ~num_qubits ~layers) (fun _ ->
+        Stats.Rng.uniform rng (-0.5) 0.5)
+  in
+  { num_qubits; layers; params }
+
+(* Parameter index layout: layer-major, [ry q0 .. ry q_{n-1}; rz q0 ..]. *)
+let body ?(traced_gates = []) t =
+  let c = ref (Circuit.empty t.num_qubits) in
+  let idx = ref 0 in
+  let maybe_trace () =
+    match List.find_index (fun g -> g = !idx) traced_gates with
+    | Some pos ->
+        let q = !idx mod t.num_qubits in
+        c := Circuit.tracepoint (10 + pos) [ q ] !c
+    | None -> ()
+  in
+  for _layer = 1 to t.layers do
+    for q = 0 to t.num_qubits - 1 do
+      let theta = t.params.(!idx) in
+      if Float.abs theta > 1e-12 then c := Circuit.ry theta q !c;
+      maybe_trace ();
+      incr idx
+    done;
+    for q = 0 to t.num_qubits - 1 do
+      let theta = t.params.(!idx) in
+      if Float.abs theta > 1e-12 then c := Circuit.rz theta q !c;
+      maybe_trace ();
+      incr idx
+    done;
+    (* CZ entangling ring *)
+    if t.num_qubits >= 2 then
+      for q = 0 to t.num_qubits - 1 do
+        let q' = (q + 1) mod t.num_qubits in
+        if q < q' || t.num_qubits > 2 then c := Circuit.cz q q' !c
+      done
+  done;
+  Circuit.tracepoint 4 (List.init t.num_qubits (fun q -> q)) !c
+
+let encoder t ~features c =
+  let angles = Iris.normalize_features features in
+  let c = ref c in
+  for q = 0 to t.num_qubits - 1 do
+    let a = if q < Array.length angles then angles.(q) else 0. in
+    c := Circuit.ry a q !c
+  done;
+  Circuit.tracepoint 1 (List.init t.num_qubits (fun q -> q)) !c
+
+let circuit ?traced_gates t ~features =
+  let c = encoder t ~features (Circuit.empty t.num_qubits) in
+  Circuit.append c (body ?traced_gates t)
+
+let predict t ~features =
+  let c = circuit t ~features in
+  let outcome = Sim.Engine.run c in
+  Qstate.Statevec.expectation_pauli
+    (Qstate.Pauli.single t.num_qubits 0 Qstate.Pauli.Z)
+    outcome.Sim.Engine.state
+
+let accuracy t flowers =
+  let correct =
+    Array.fold_left
+      (fun acc f ->
+        let e = predict t ~features:f.Iris.features in
+        let predicted = if e > 0. then 0 else 1 in
+        if predicted = f.Iris.label then acc + 1 else acc)
+      0 flowers
+  in
+  float_of_int correct /. float_of_int (Array.length flowers)
+
+let loss t flowers =
+  Array.fold_left
+    (fun acc f ->
+      let e = predict t ~features:f.Iris.features in
+      let target = if f.Iris.label = 0 then 1. else -1. in
+      acc +. ((e -. target) *. (e -. target)))
+    0. flowers
+  /. float_of_int (Array.length flowers)
+
+let train rng t flowers ~epochs ~lr =
+  ignore rng;
+  let model = { t with params = Array.copy t.params } in
+  let shift = Float.pi /. 2. in
+  for _ = 1 to epochs do
+    let grads =
+      Array.mapi
+        (fun i _ ->
+          let orig = model.params.(i) in
+          model.params.(i) <- orig +. shift;
+          let lp = loss model flowers in
+          model.params.(i) <- orig -. shift;
+          let lm = loss model flowers in
+          model.params.(i) <- orig;
+          (lp -. lm) /. 2.)
+        model.params
+    in
+    Array.iteri
+      (fun i g -> model.params.(i) <- model.params.(i) -. (lr *. g))
+      grads
+  done;
+  model
+
+let prune t ~threshold =
+  let removed = ref [] in
+  let params =
+    Array.mapi
+      (fun i p ->
+        if Float.abs p < threshold && Float.abs p > 0. then begin
+          removed := i :: !removed;
+          0.
+        end
+        else p)
+      t.params
+  in
+  ({ t with params }, List.rev !removed)
+
+let corrupt_prune t ~index =
+  if index < 0 || index >= Array.length t.params then
+    invalid_arg "Qnn.corrupt_prune: index out of range";
+  let params = Array.copy t.params in
+  params.(index) <- 0.;
+  { t with params }

@@ -1,0 +1,49 @@
+(** Parameterized quantum neural network (paper Section 7.2 and Figure 8).
+
+    The model is an angle encoder (one RY per qubit) followed by [layers] of
+    parameterized RY/RZ rotations with a CZ entangling ring. The prediction
+    is the Z expectation of qubit 0: positive = Setosa, non-positive =
+    Virginica.
+
+    Tracepoints: 1 after the encoder, 4 before the output; {!make_with_trace}
+    can add tracepoints after specific parameterized gates for the
+    gate-pruning case study. *)
+
+type t = {
+  num_qubits : int;
+  layers : int;
+  params : float array;  (** length [2 * layers * num_qubits] *)
+}
+
+(** [init rng ~num_qubits ~layers] draws random initial parameters. *)
+val init : Stats.Rng.t -> num_qubits:int -> layers:int -> t
+
+(** [circuit ?traced_gates t ~features] builds the full circuit for one
+    input. [traced_gates] lists parameter indices after whose gate a
+    tracepoint (id = 10 + position in list) is inserted. *)
+val circuit : ?traced_gates:int list -> t -> features:float array -> Circuit.t
+
+(** [body ?traced_gates t] is the trainable part only, taking the encoded
+    state as the circuit input (used for input-space verification). *)
+val body : ?traced_gates:int list -> t -> Circuit.t
+
+(** [predict t ~features] is the Z expectation of qubit 0 on the encoded
+    input. *)
+val predict : t -> features:float array -> float
+
+(** [accuracy t flowers] is classification accuracy against labels (label 0
+    expects positive expectation). *)
+val accuracy : t -> Iris.flower array -> float
+
+(** [train rng t flowers ~epochs ~lr] runs parameter-shift-style numeric
+    gradient descent on the squared-error loss; returns the trained model. *)
+val train : Stats.Rng.t -> t -> Iris.flower array -> epochs:int -> lr:float -> t
+
+(** [prune t ~threshold] zeroes parameters with magnitude below [threshold]
+    (the paper's gate pruning); returns the pruned model and the indices of
+    removed gates. *)
+val prune : t -> threshold:float -> t * int list
+
+(** [corrupt_prune t ~index] zeroes one (significant) parameter — an
+    incorrect pruning that the verification should catch. *)
+val corrupt_prune : t -> index:int -> t

@@ -1,0 +1,55 @@
+type t = {
+  circuit : Circuit.t;
+  addr_qubits : int list;
+  data_qubit : int;
+  table : float array;
+  corrupted : (int * float) option;
+}
+
+(* One cell: map the address bits so cell [addr] becomes |1...1>, rotate the
+   data qubit controlled on all address bits, unmap. RY(2 theta) |0> =
+   cos theta |0> + sin theta |1> = |theta>. *)
+let cell ~addr_qubits ~data_qubit ~addr ~theta c =
+  let flip c =
+    List.fold_left
+      (fun c (bit, q) -> if (addr lsr bit) land 1 = 0 then Circuit.x q c else c)
+      c
+      (List.mapi (fun bit q -> (bit, q)) addr_qubits)
+  in
+  c |> flip |> Circuit.mcry (2. *. theta) addr_qubits data_qubit |> flip
+
+let make ?corrupt ?(midpoint_tracepoint = false) ~table a =
+  if a <= 0 then invalid_arg "Qram.make: need at least one address qubit";
+  let cells = 1 lsl a in
+  if Array.length table <> cells then invalid_arg "Qram.make: table size mismatch";
+  (match corrupt with
+  | Some (addr, _) when addr < 0 || addr >= cells ->
+      invalid_arg "Qram.make: corrupt address out of range"
+  | _ -> ());
+  let effective = Array.copy table in
+  (match corrupt with Some (addr, bad) -> effective.(addr) <- bad | None -> ());
+  let addr_qubits = List.init a (fun i -> i) in
+  let data_qubit = a in
+  let c = Circuit.empty (a + 1) in
+  let c = Circuit.tracepoint 1 addr_qubits c in
+  let c = ref c in
+  for addr = 0 to cells - 1 do
+    c := cell ~addr_qubits ~data_qubit ~addr ~theta:effective.(addr) !c;
+    if midpoint_tracepoint && addr = (cells / 2) - 1 then
+      c := Circuit.tracepoint 3 [ data_qubit ] !c
+  done;
+  let c = Circuit.tracepoint 2 [ data_qubit ] !c in
+  { circuit = c; addr_qubits; data_qubit; table; corrupted = corrupt }
+
+let read t addr =
+  let n = Circuit.num_qubits t.circuit in
+  let initial = Qstate.Statevec.basis n addr in
+  let outcome = Sim.Engine.run ~initial t.circuit in
+  Qstate.Statevec.prob1 outcome.Sim.Engine.state t.data_qubit
+
+let expected_p1 t addr =
+  let s = sin t.table.(addr) in
+  s *. s
+
+let uniform_table rng a =
+  Array.init (1 lsl a) (fun _ -> Stats.Rng.uniform rng 0. (2. *. Float.pi))

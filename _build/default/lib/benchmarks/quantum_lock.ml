@@ -1,0 +1,50 @@
+type t = {
+  circuit : Circuit.t;
+  key_qubits : int list;
+  probe : int;
+  key : int;
+  unexpected_key : int option;
+}
+
+(* Phase-kickback acceptance block for one key value: map |key> to |1...1>
+   with X gates, apply a Z on the probe controlled on every key qubit, then
+   unmap. The probe (in |+>) picks up a -1 phase exactly on the key state. *)
+let accept_block ~key_qubits ~probe ~key c =
+  let flip c =
+    List.fold_left
+      (fun c (bit, q) -> if (key lsr bit) land 1 = 0 then Circuit.x q c else c)
+      c
+      (List.mapi (fun bit q -> (bit, q)) key_qubits)
+  in
+  c |> flip |> Circuit.mcz (key_qubits @ [ probe ]) |> flip
+
+let make ?unexpected_key ~key k =
+  if k <= 0 then invalid_arg "Quantum_lock.make: need at least one key qubit";
+  let d = 1 lsl k in
+  if key < 0 || key >= d then invalid_arg "Quantum_lock.make: key out of range";
+  (match unexpected_key with
+  | Some u when u < 0 || u >= d || u = key ->
+      invalid_arg "Quantum_lock.make: bad unexpected key"
+  | _ -> ());
+  let probe = 0 in
+  let key_qubits = List.init k (fun i -> i + 1) in
+  let c = Circuit.empty (k + 1) in
+  let c = Circuit.tracepoint 1 key_qubits c in
+  let c = Circuit.h probe c in
+  let c = accept_block ~key_qubits ~probe ~key c in
+  let c =
+    match unexpected_key with
+    | None -> c
+    | Some u -> accept_block ~key_qubits ~probe ~key:u c
+  in
+  let c = Circuit.h probe c in
+  let c = Circuit.tracepoint 2 [ probe ] c in
+  { circuit = c; key_qubits; probe; key; unexpected_key }
+
+let accepts t input =
+  let n = Circuit.num_qubits t.circuit in
+  let initial = Qstate.Statevec.basis n (input lsl 1) in
+  let outcome = Sim.Engine.run ~initial t.circuit in
+  Qstate.Statevec.prob1 outcome.Sim.Engine.state t.probe
+
+let expected_output t input = if input = t.key then 1 else 0

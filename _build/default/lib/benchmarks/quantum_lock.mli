@@ -1,0 +1,29 @@
+(** The quantum lock program (paper Sections 1 and 7.1).
+
+    A lock over [k] key qubits plus one probe qubit outputs [|1>] on the
+    probe if and only if the key-qubit input equals the secret bitstring.
+    The buggy variant additionally accepts an unexpected key — the defect
+    the paper's motivating example hunts for.
+
+    Layout: qubit 0 is the probe/output, qubits [1..k] carry the key input. *)
+
+type t = {
+  circuit : Circuit.t;
+  key_qubits : int list;  (** input qubits, in bit order *)
+  probe : int;  (** output qubit *)
+  key : int;  (** the intended secret *)
+  unexpected_key : int option;  (** the planted bug, if any *)
+}
+
+(** [make ?unexpected_key ~key k] builds a lock over [k] key qubits. Both
+    keys must be in [[0, 2^k)]. Tracepoint 1 labels the key input, tracepoint
+    2 the probe output. *)
+val make : ?unexpected_key:int -> key:int -> int -> t
+
+(** [accepts t input] runs the lock on basis input [input] and reports the
+    probability that the probe reads 1. *)
+val accepts : t -> int -> float
+
+(** [expected_output t input] is the specified probe value for a basis
+    input: 1 for the true key, 0 otherwise (ignoring the planted bug). *)
+val expected_output : t -> int -> int

@@ -1,0 +1,35 @@
+let circuit ~counting ~phase =
+  if counting <= 0 then invalid_arg "Shor_period.circuit: need counting qubits";
+  let n = counting + 1 in
+  let c = ref (Circuit.empty n) in
+  c := Circuit.tracepoint 1 (List.init counting (fun q -> q)) !c;
+  (* eigenstate qubit: |1> so that controlled phases act *)
+  c := Circuit.x counting !c;
+  for q = 0 to counting - 1 do
+    c := Circuit.h q !c
+  done;
+  (* controlled-U^(2^q): a pure controlled phase in the compiled encoding *)
+  for q = 0 to counting - 1 do
+    let angle = 2. *. Float.pi *. phase *. float_of_int (1 lsl q) in
+    c := Circuit.cp angle q counting !c
+  done;
+  c := Qft.append_inverse (List.init counting (fun q -> q)) !c;
+  c := Circuit.tracepoint 2 (List.init counting (fun q -> q)) !c;
+  !c
+
+let order ~a ~n_mod =
+  if n_mod <= 1 || a <= 1 then invalid_arg "Shor_period.order: bad arguments";
+  let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+  if gcd a n_mod <> 1 then invalid_arg "Shor_period.order: a not coprime to N";
+  let rec go acc k =
+    if acc = 1 && k > 0 then k else go (acc * a mod n_mod) (k + 1)
+  in
+  go (a mod n_mod) 1
+
+let for_order ~counting ~a ~n_mod =
+  let r = order ~a ~n_mod in
+  circuit ~counting ~phase:(1. /. float_of_int r)
+
+let expected_peak ~counting ~phase =
+  let d = 1 lsl counting in
+  int_of_float (Float.round (phase *. float_of_int d)) mod d

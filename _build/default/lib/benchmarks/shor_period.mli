@@ -1,0 +1,29 @@
+(** Order-finding core of Shor's algorithm, in the "compiled" form used by
+    hardware demonstrations: the work register is initialized to an
+    eigenstate of the modular-multiplication unitary, so each controlled
+    modular multiply [x -> a^(2^j) x mod N] acts as a pure phase
+    [exp(2 pi i * 2^j * s / r)] on the counting qubits. The circuit is then
+    quantum phase estimation: Hadamards, controlled phases with doubling
+    angles, inverse QFT — the same gate structure the paper's Shor benchmark
+    exercises, without the (exponentially large) arithmetic sub-circuits.
+
+    Layout: qubits [0..t-1] are the counting register, qubit [t] carries the
+    eigenstate. Tracepoints: 1 on the counting input, 2 on the counting
+    output. *)
+
+(** [circuit ~counting ~phase] builds phase estimation of [exp(2 pi i
+    phase)] with [counting] counting qubits. *)
+val circuit : counting:int -> phase:float -> Circuit.t
+
+(** [for_order ~counting ~a ~n_mod] picks the eigenphase [s/r] with [s = 1]
+    where [r] is the multiplicative order of [a] mod [n_mod], i.e. the value
+    Shor's algorithm estimates. *)
+val for_order : counting:int -> a:int -> n_mod:int -> Circuit.t
+
+(** [order ~a ~n_mod] is the multiplicative order of [a] modulo [n_mod]
+    (classical reference computation). *)
+val order : a:int -> n_mod:int -> int
+
+(** [expected_peak ~counting ~phase] is the counting-register basis state the
+    estimation should peak at (rounded [phase * 2^counting]). *)
+val expected_peak : counting:int -> phase:float -> int

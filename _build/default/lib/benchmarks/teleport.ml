@@ -1,0 +1,29 @@
+let input_qubits k = List.init k (fun i -> i)
+let output_qubits k = List.init k (fun i -> (2 * k) + i)
+
+(* Teleport payload qubit [src] through the EPR pair ([anc], [dst]) using
+   classical bits [cb] and [cb+1]. *)
+let hop ~src ~anc ~dst ~cb c =
+  c
+  |> Circuit.h anc
+  |> Circuit.cx anc dst
+  |> Circuit.cx src anc
+  |> Circuit.h src
+  |> Circuit.measure src cb
+  |> Circuit.measure anc (cb + 1)
+  |> Circuit.if_gate [ cb + 1 ] 1 (Circuit.Gate.make "x" [ dst ])
+  |> Circuit.if_gate [ cb ] 1 (Circuit.Gate.make "z" [ dst ])
+
+let multi k =
+  if k <= 0 then invalid_arg "Teleport.multi: need a positive payload size";
+  let c = Circuit.empty ~clbits:(2 * k) (3 * k) in
+  let c = Circuit.tracepoint 1 (input_qubits k) c in
+  let c =
+    List.fold_left
+      (fun c i -> hop ~src:i ~anc:(k + i) ~dst:((2 * k) + i) ~cb:(2 * i) c)
+      c
+      (List.init k (fun i -> i))
+  in
+  Circuit.tracepoint 2 (output_qubits k) c
+
+let single () = multi 1

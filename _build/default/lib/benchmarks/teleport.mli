@@ -1,0 +1,22 @@
+(** Quantum teleportation (paper Section 4's running example).
+
+    The single-qubit protocol teleports qubit 0 (Alice) to qubit 2 (Bob)
+    through an EPR pair on qubits 1-2, using two mid-circuit measurements
+    and classically-controlled X/Z corrections. The multi-qubit variant
+    teleports a [k]-qubit payload qubit by qubit (3k qubits total), matching
+    the paper's 7- and 15-qubit teleportation benchmarks in shape.
+
+    Tracepoints: 1 = payload input, 2 = Bob's output. *)
+
+(** [single ()] is the canonical 3-qubit protocol. Payload input is qubit 0;
+    output is qubit 2. *)
+val single : unit -> Circuit.t
+
+(** [multi k] teleports a [k]-qubit payload (qubits [0..k-1]) onto qubits
+    [2k..3k-1]. *)
+val multi : int -> Circuit.t
+
+(** [input_qubits k] / [output_qubits k] of the [multi] protocol. *)
+val input_qubits : int -> int list
+
+val output_qubits : int -> int list

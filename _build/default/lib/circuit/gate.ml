@@ -1,0 +1,75 @@
+type t = {
+  name : string;
+  params : float list;
+  controls : int list;
+  targets : int list;
+}
+
+let base_names = "swap" :: Qstate.Gates.known_names
+
+let rec distinct = function
+  | [] -> true
+  | x :: rest -> (not (List.mem x rest)) && distinct rest
+
+let make ?(params = []) ?(controls = []) name targets =
+  if not (List.mem name base_names) then
+    invalid_arg (Printf.sprintf "Gate.make: unknown base gate %S" name);
+  (match (name, targets) with
+  | "swap", [ _; _ ] -> ()
+  | "swap", _ -> invalid_arg "Gate.make: swap needs two targets"
+  | _, [ _ ] -> ()
+  | _ -> invalid_arg (Printf.sprintf "Gate.make: %s needs one target" name));
+  if not (distinct (controls @ targets)) then
+    invalid_arg "Gate.make: duplicate qubit in gate";
+  { name; params; controls; targets }
+
+let qubits g = g.controls @ g.targets
+let is_two_qubit_or_more g = List.length (qubits g) >= 2
+
+let inverse g =
+  let inv_name, inv_params =
+    match (g.name, g.params) with
+    | ("h" | "x" | "y" | "z" | "swap" | "id"), [] -> (g.name, [])
+    | "s", [] -> ("sdg", [])
+    | "sdg", [] -> ("s", [])
+    | "t", [] -> ("tdg", [])
+    | "tdg", [] -> ("t", [])
+    | "sx", [] -> ("rx", [ -.Float.pi /. 2. ])
+    | "sy", [] -> ("ry", [ -.Float.pi /. 2. ])
+    | ("rx" | "ry" | "rz" | "p" | "u1"), [ a ] -> (g.name, [ -.a ])
+    | "u3", [ th; ph; l ] -> ("u3", [ -.th; -.l; -.ph ])
+    | name, _ ->
+        invalid_arg (Printf.sprintf "Gate.inverse: unsupported gate %s" name)
+  in
+  { g with name = inv_name; params = inv_params }
+
+let remap f g =
+  {
+    g with
+    controls = List.map f g.controls;
+    targets = List.map f g.targets;
+  }
+
+let equal a b =
+  a.name = b.name && a.controls = b.controls && a.targets = b.targets
+  && List.length a.params = List.length b.params
+  && List.for_all2 (fun x y -> Float.abs (x -. y) < 1e-12) a.params b.params
+
+let pp ppf g =
+  let pp_ints ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Format.pp_print_int ppf l
+  in
+  (match g.controls with
+  | [] -> Format.fprintf ppf "%s" g.name
+  | cs -> Format.fprintf ppf "c[%a]%s" pp_ints cs g.name);
+  (match g.params with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           (fun ppf x -> Format.fprintf ppf "%g" x))
+        ps);
+  Format.fprintf ppf " q[%a]" pp_ints g.targets

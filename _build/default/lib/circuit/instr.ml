@@ -1,0 +1,39 @@
+type t =
+  | Gate of Gate.t
+  | Tracepoint of { id : int; qubits : int list }
+  | Measure of { qubit : int; clbit : int }
+  | Reset of int
+  | If_gate of { clbits : int list; value : int; gate : Gate.t }
+  | Barrier of int list
+
+let qubits = function
+  | Gate g -> Gate.qubits g
+  | Tracepoint { qubits; _ } -> qubits
+  | Measure { qubit; _ } -> [ qubit ]
+  | Reset q -> [ q ]
+  | If_gate { gate; _ } -> Gate.qubits gate
+  | Barrier qs -> qs
+
+let remap f = function
+  | Gate g -> Gate (Gate.remap f g)
+  | Tracepoint { id; qubits } -> Tracepoint { id; qubits = List.map f qubits }
+  | Measure { qubit; clbit } -> Measure { qubit = f qubit; clbit }
+  | Reset q -> Reset (f q)
+  | If_gate { clbits; value; gate } ->
+      If_gate { clbits; value; gate = Gate.remap f gate }
+  | Barrier qs -> Barrier (List.map f qs)
+
+let pp_ints ppf l =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+    Format.pp_print_int ppf l
+
+let pp ppf = function
+  | Gate g -> Gate.pp ppf g
+  | Tracepoint { id; qubits } -> Format.fprintf ppf "T %d q[%a]" id pp_ints qubits
+  | Measure { qubit; clbit } ->
+      Format.fprintf ppf "measure q[%d] -> c[%d]" qubit clbit
+  | Reset q -> Format.fprintf ppf "reset q[%d]" q
+  | If_gate { clbits; value; gate } ->
+      Format.fprintf ppf "if (c[%a]==%d) %a" pp_ints clbits value Gate.pp gate
+  | Barrier qs -> Format.fprintf ppf "barrier q[%a]" pp_ints qs

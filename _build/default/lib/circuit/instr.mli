@@ -1,0 +1,22 @@
+(** Circuit instructions: gates, tracepoint pragmas, measurement, reset and
+    classically-controlled gates (feedback). *)
+
+type t =
+  | Gate of Gate.t
+  | Tracepoint of { id : int; qubits : int list }
+      (** The paper's [T idx q[..]] pragma: record the reduced state of
+          [qubits] at this point in the program. *)
+  | Measure of { qubit : int; clbit : int }
+  | Reset of int
+  | If_gate of { clbits : int list; value : int; gate : Gate.t }
+      (** Apply [gate] when the classical bits listed in [clbits] (least
+          significant first) spell the integer [value]. *)
+  | Barrier of int list
+
+(** [qubits i] lists the qubits an instruction touches. *)
+val qubits : t -> int list
+
+(** [remap f i] renames qubits through [f] (classical bits unchanged). *)
+val remap : (int -> int) -> t -> t
+
+val pp : Format.formatter -> t -> unit

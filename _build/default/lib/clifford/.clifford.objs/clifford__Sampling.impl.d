@@ -1,0 +1,1 @@
+lib/clifford/sampling.ml: Array Circuit Float Linalg List Qstate Sim Statevec Stats

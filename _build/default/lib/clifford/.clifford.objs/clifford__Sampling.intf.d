@@ -1,0 +1,1 @@
+lib/clifford/sampling.mli: Circuit Linalg Qstate Stats

@@ -1,0 +1,1 @@
+lib/core/approx.ml: Array Characterize Cmat Cx Eig Float Hsvec Lazy Linalg List Program Qstate Rmat

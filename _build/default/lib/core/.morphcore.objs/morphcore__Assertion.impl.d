@@ -1,0 +1,1 @@
+lib/core/assertion.ml: List Predicate Printf String

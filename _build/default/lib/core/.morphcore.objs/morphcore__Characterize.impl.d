@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Array Clifford Cmat Linalg List Program Qstate Sim Stats Tomography

@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Clifford Linalg Program Qstate Sim Stats

@@ -1,0 +1,1 @@
+lib/core/predicate.ml: Cmat Cx Float Linalg Printf Qstate

@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Circuit Linalg List Qstate Sim Statevec

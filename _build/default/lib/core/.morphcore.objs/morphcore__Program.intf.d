@@ -1,0 +1,1 @@
+lib/core/program.mli: Circuit Linalg Qstate Sim Stats

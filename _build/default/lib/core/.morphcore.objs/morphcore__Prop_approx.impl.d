@@ -1,0 +1,1 @@
+lib/core/prop_approx.ml: Approx Array Characterize Float Hashtbl List Program Qstate String

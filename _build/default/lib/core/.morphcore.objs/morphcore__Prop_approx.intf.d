@@ -1,0 +1,1 @@
+lib/core/prop_approx.mli: Approx Characterize Linalg Qstate

@@ -1,0 +1,1 @@
+lib/core/prune.ml: Array Cmat Cvec Eig Float Linalg List Program Qstate

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Approx Array Assertion Clifford Cmat Confidence Cvec Cx Eig Float Hashtbl Lazy Linalg List Optimize Option Predicate Printf Program Qstate Stats

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Approx Assertion Confidence Linalg Optimize Program Qstate Stats

@@ -1,0 +1,102 @@
+open Linalg
+
+type recovery = [ `Least_squares | `Expectation ]
+
+type t = {
+  n_in : int;
+  inputs : Cmat.t array;
+  outputs : (int * Cmat.t array) list;
+  basis : Rmat.t Lazy.t;
+  solver : (float array -> float array) Lazy.t;
+}
+
+let build_basis ~n_in inputs =
+  lazy
+    (let d = 1 lsl n_in in
+     let rows = Hsvec.dim d in
+     let cols = Array.length inputs in
+     let b = Rmat.create rows cols in
+     Array.iteri
+       (fun j input ->
+         let v = Hsvec.encode input in
+         Array.iteri (fun i x -> Rmat.set b i j x) v)
+       inputs;
+     b)
+
+let make ~n_in ~inputs ~outputs =
+  if Array.length inputs = 0 then invalid_arg "Approx.make: no samples";
+  List.iter
+    (fun (_, states) ->
+      if Array.length states <> Array.length inputs then
+        invalid_arg "Approx.make: sample count mismatch")
+    outputs;
+  let basis = build_basis ~n_in inputs in
+  let solver = lazy (Rmat.lstsq_solver ~ridge:1e-9 (Lazy.force basis)) in
+  { n_in; inputs; outputs; basis; solver }
+
+let of_characterization (c : Characterize.t) =
+  let n_in = Program.num_input_qubits c.Characterize.program in
+  let samples = c.Characterize.samples in
+  if Array.length samples = 0 then
+    invalid_arg "Approx.of_characterization: no samples";
+  let inputs = Array.map (fun s -> s.Characterize.input_dm) samples in
+  let ids = List.map fst samples.(0).Characterize.traces in
+  let outputs =
+    List.map
+      (fun id ->
+        ( id,
+          Array.map
+            (fun s -> List.assoc id s.Characterize.traces)
+            samples ))
+      ids
+  in
+  make ~n_in ~inputs ~outputs
+
+let n_sample t = Array.length t.inputs
+let tracepoint_ids t = List.map fst t.outputs
+
+let decompose ?(mode = `Least_squares) t rho =
+  let d = 1 lsl t.n_in in
+  let rd, cd = Cmat.dims rho in
+  if rd <> d || cd <> d then invalid_arg "Approx.decompose: dimension mismatch";
+  match mode with
+  | `Expectation ->
+      Array.map (fun sigma -> Cx.re (Cmat.hs_inner sigma rho)) t.inputs
+  | `Least_squares -> (Lazy.force t.solver) (Hsvec.encode rho)
+
+let combine states alpha =
+  if Array.length states <> Array.length alpha then
+    invalid_arg "Approx: coefficient count mismatch";
+  let d, _ = Cmat.dims states.(0) in
+  let acc = ref (Cmat.create d d) in
+  Array.iteri
+    (fun i a -> if a <> 0. then acc := Cmat.add !acc (Cmat.rscale a states.(i)))
+    alpha;
+  !acc
+
+let input_of_alpha t alpha = combine t.inputs alpha
+
+let tracepoint_of_alpha t ~tracepoint alpha =
+  match List.assoc_opt tracepoint t.outputs with
+  | Some states -> combine states alpha
+  | None -> raise Not_found
+
+let state_at ?mode ?(physical = true) t ~tracepoint rho_in =
+  let alpha = decompose ?mode t rho_in in
+  let raw = tracepoint_of_alpha t ~tracepoint alpha in
+  if physical then Eig.project_psd raw else raw
+
+let accuracy approx truth =
+  let d, _ = Cmat.dims truth in
+  let rec log2 acc k = if k <= 1 then acc else log2 (acc + 1) (k / 2) in
+  let n = log2 0 d in
+  Qstate.Density.fidelity
+    (Qstate.Density.of_cmat n (Eig.project_psd approx))
+    (Qstate.Density.of_cmat n (Eig.project_psd truth))
+
+let theoretical_accuracy ~n_in ~n_sample =
+  Float.min 1. (float_of_int n_sample /. float_of_int (1 lsl (n_in + 1)))
+
+let samples_for_full_accuracy ~n_in = 1 lsl (n_in + 1)
+
+let chain fs rho = List.fold_left (fun acc f -> f acc) rho fs

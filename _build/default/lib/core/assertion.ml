@@ -1,0 +1,22 @@
+type t = {
+  name : string;
+  assumes : Predicate.t list;
+  guarantees : Predicate.t list;
+}
+
+let make ?(name = "assert") ~assumes ~guarantees () =
+  if guarantees = [] then invalid_arg "Assertion.make: no guarantees";
+  { name; assumes; guarantees }
+
+let holds ?tol t env =
+  (not (List.for_all (fun p -> Predicate.holds ?tol p env) t.assumes))
+  || List.for_all (fun p -> Predicate.holds ?tol p env) t.guarantees
+
+let tracepoints t =
+  List.sort_uniq compare
+    (List.concat_map Predicate.tracepoints (t.assumes @ t.guarantees))
+
+let describe t =
+  Printf.sprintf "%s: assume {%s} guarantee {%s}" t.name
+    (String.concat "; " (List.map Predicate.describe t.assumes))
+    (String.concat "; " (List.map Predicate.describe t.guarantees))

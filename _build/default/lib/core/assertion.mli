@@ -1,0 +1,25 @@
+(** Assume-guarantee assertions (Definition 1): when every assumption holds,
+    every guarantee must hold. The assertion fails on an input satisfying
+    the assumptions but violating a guarantee. *)
+
+type t = {
+  name : string;
+  assumes : Predicate.t list;
+  guarantees : Predicate.t list;
+}
+
+val make :
+  ?name:string ->
+  assumes:Predicate.t list ->
+  guarantees:Predicate.t list ->
+  unit ->
+  t
+
+(** [holds ?tol t env] checks the implication on one concrete environment:
+    true when some assumption fails or all guarantees hold. *)
+val holds : ?tol:float -> t -> Predicate.env -> bool
+
+(** [tracepoints t] lists all tracepoint ids mentioned. *)
+val tracepoints : t -> int list
+
+val describe : t -> string

@@ -1,0 +1,75 @@
+open Linalg
+
+type mode =
+  | Exact
+  | Tomography of { shots : int; project : bool }
+  | Probs_only of { shots : int }
+
+type sample = {
+  input_state : Qstate.Statevec.t;
+  input_dm : Cmat.t;
+  traces : (int * Cmat.t) list;
+}
+
+type t = {
+  program : Program.t;
+  samples : sample array;
+  mode : mode;
+  cost : Sim.Cost.t;
+}
+
+
+let degrade rng mode cost circuit (id, exact) =
+  match mode with
+  | Exact ->
+      Sim.Cost.record_many cost circuit ~circuits:1 ~shots_each:1;
+      (id, exact)
+  | Tomography { shots; project } ->
+      let tomo = Tomography.State_tomo.run ~project rng ~shots ~truth:exact () in
+      Sim.Cost.record_many cost circuit ~circuits:tomo.Tomography.State_tomo.settings
+        ~shots_each:shots;
+      (id, tomo.Tomography.State_tomo.rho)
+  | Probs_only { shots } ->
+      let tomo = Tomography.State_tomo.probs_only rng ~shots ~truth:exact () in
+      Sim.Cost.record_many cost circuit ~circuits:1 ~shots_each:shots;
+      (id, tomo.Tomography.State_tomo.rho)
+
+let run ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
+    ?trajectories ?inputs program ~count =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 7 in
+  let k = Program.num_input_qubits program in
+  let input_states =
+    match inputs with
+    | Some states ->
+        List.iter
+          (fun st ->
+            if Qstate.Statevec.num_qubits st <> k then
+              invalid_arg "Characterize.run: input size mismatch")
+          states;
+        states
+    | None ->
+        List.init count (fun index -> Clifford.Sampling.state rng kind k ~index)
+  in
+  let cost = Sim.Cost.create () in
+  let samples =
+    List.map
+      (fun input_state ->
+        let traces =
+          Program.run_traces ?noise ?trajectories ~rng program ~input:input_state
+        in
+        let traces =
+          List.map
+            (fun (id, m) ->
+              if id = 0 then (id, m)
+              else degrade rng mode cost program.Program.circuit (id, m))
+            traces
+        in
+        let v = Qstate.Statevec.to_cvec input_state in
+        { input_state; input_dm = Cmat.outer v v; traces })
+      input_states
+  in
+  { program; samples = Array.of_list samples; mode; cost }
+
+let tracepoint_ids t =
+  if Array.length t.samples = 0 then []
+  else List.map fst t.samples.(0).traces

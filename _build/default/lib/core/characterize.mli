@@ -1,0 +1,43 @@
+(** Input sampling (Section 5.1): run the program under a set of sampled
+    inputs and record the state at every tracepoint.
+
+    Tracepoint states can be taken exactly from the simulator ([Exact]), or
+    passed through simulated state tomography with finite shots
+    ([Tomography]) as on real hardware, or reduced to the diagonal only
+    ([Probs_only] — the paper's Strategy-prop). The cost meter accounts the
+    quantum executions the chosen mode would need on a device. *)
+
+type mode =
+  | Exact
+  | Tomography of { shots : int; project : bool }
+  | Probs_only of { shots : int }
+
+type sample = {
+  input_state : Qstate.Statevec.t;
+  input_dm : Linalg.Cmat.t;
+  traces : (int * Linalg.Cmat.t) list;  (** includes the reserved input id 0 *)
+}
+
+type t = {
+  program : Program.t;
+  samples : sample array;
+  mode : mode;
+  cost : Sim.Cost.t;
+}
+
+(** [run ?rng ?kind ?mode ?noise ?trajectories ?inputs program ~count]
+    samples [count] inputs of the given [kind] (default [Clifford]); an
+    explicit [inputs] list overrides kind/count (used by Strategy-adapt). *)
+val run :
+  ?rng:Stats.Rng.t ->
+  ?kind:Clifford.Sampling.kind ->
+  ?mode:mode ->
+  ?noise:Sim.Noise.t ->
+  ?trajectories:int ->
+  ?inputs:Qstate.Statevec.t list ->
+  Program.t ->
+  count:int ->
+  t
+
+(** [tracepoint_ids t] lists the recorded tracepoint ids (including 0). *)
+val tracepoint_ids : t -> int list

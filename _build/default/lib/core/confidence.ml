@@ -1,0 +1,24 @@
+type t = {
+  dist : Stats.Beta_dist.t;
+  epsilon : float;
+  confidence : float;
+}
+
+let estimate ?(epsilon = 0.5) ~n_in ~n_sample accuracies =
+  let mean = Approx.theoretical_accuracy ~n_in ~n_sample in
+  let dist =
+    if Array.length accuracies >= 2 then
+      Stats.Beta_dist.fit_pinned_mean ~mean accuracies
+    else
+      (* no data: assume a moderate spread around the theoretical mean *)
+      Stats.Beta_dist.fit_moments ~mean ~variance:(0.05 *. mean *. (1. -. mean) +. 1e-4)
+  in
+  let confidence = 1. -. Stats.Beta_dist.cdf dist epsilon in
+  { dist; epsilon; confidence }
+
+let required_samples ~n_in ~target_accuracy =
+  let t = Float.min 1. (Float.max 0. target_accuracy) in
+  int_of_float (Float.round (t *. float_of_int (1 lsl (n_in + 1))))
+
+let exhaustive_confidence ~space ~tested =
+  if space <= 0. then 1. else Float.min 1. (tested /. space)

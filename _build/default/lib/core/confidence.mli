@@ -1,0 +1,28 @@
+(** Confidence estimation (Section 6.2, Theorem 3).
+
+    Approximation accuracies across inputs are modelled as Beta-distributed;
+    a counter-example is missed when its accuracy falls below the detection
+    threshold [epsilon], so the confidence that a clean validation is valid
+    for all inputs is [1 - P(acc < epsilon)]. *)
+
+type t = {
+  dist : Stats.Beta_dist.t;
+  epsilon : float;
+  confidence : float;
+}
+
+(** [estimate ?epsilon ~n_in ~n_sample accuracies] fits the Beta shape to
+    benchmark accuracies with the mean pinned to Theorem 2's value and
+    returns the Theorem 3 confidence ([epsilon] defaults to 0.5). An empty
+    accuracy set falls back to a moment fit around the theoretical mean. *)
+val estimate : ?epsilon:float -> n_in:int -> n_sample:int -> float array -> t
+
+(** [required_samples ~n_in ~target_accuracy] inverts Theorem 2: the number
+    of sampled inputs needed for the given average case-2 accuracy. *)
+val required_samples : n_in:int -> target_accuracy:float -> int
+
+(** [exhaustive_confidence ~space ~tested] is the baseline testing
+    confidence the paper's Figure 1(b) plots: the probability that [tested]
+    uniformly drawn distinct inputs from a space of [space] would have hit
+    the single counter-example. *)
+val exhaustive_confidence : space:float -> tested:float -> float

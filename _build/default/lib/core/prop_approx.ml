@@ -1,0 +1,54 @@
+type t = {
+  observables : Qstate.Pauli.t list;
+  input_side : Approx.t;  (* carries the input decomposition machinery *)
+  values : float array array;  (* values.(k).(i): observable k, sample i *)
+}
+
+let of_characterization ~observables ~tracepoint (c : Characterize.t) =
+  if observables = [] then invalid_arg "Prop_approx: no observables";
+  let samples = c.Characterize.samples in
+  if Array.length samples = 0 then invalid_arg "Prop_approx: no samples";
+  let n_in = Program.num_input_qubits c.Characterize.program in
+  let inputs = Array.map (fun s -> s.Characterize.input_dm) samples in
+  let input_side = Approx.make ~n_in ~inputs ~outputs:[] in
+  let values =
+    Array.of_list
+      (List.map
+         (fun p ->
+           Array.map
+             (fun s ->
+               let rho = List.assoc tracepoint s.Characterize.traces in
+               Qstate.Pauli.expectation_dm p rho)
+             samples)
+         observables)
+  in
+  { observables; input_side; values }
+
+let observables t = t.observables
+
+let predict ?mode t rho_in =
+  let alpha = Approx.decompose ?mode t.input_side rho_in in
+  Array.map
+    (fun vals ->
+      let acc = ref 0. in
+      Array.iteri (fun i a -> acc := !acc +. (a *. vals.(i))) alpha;
+      Float.min 1. (Float.max (-1.) !acc))
+    t.values
+
+(* each weight-w Pauli is covered by one local measurement setting; distinct
+   non-identity support patterns need distinct settings (upper bound) *)
+let measurement_settings t =
+  let patterns = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let key =
+        String.concat ""
+          (Array.to_list
+             (Array.map
+                (function Qstate.Pauli.I -> "I" | Qstate.Pauli.X -> "X"
+                        | Qstate.Pauli.Y -> "Y" | Qstate.Pauli.Z -> "Z")
+                p))
+      in
+      Hashtbl.replace patterns key ())
+    t.observables;
+  max 1 (Hashtbl.length patterns)

@@ -1,0 +1,25 @@
+(** Property-level approximation: the formalization of the paper's
+    Strategy-prop (Section 5.4). When an assertion only constrains a few
+    observables, there is no need to reconstruct full density matrices —
+    Pauli expectations are themselves linear in the input state, so the
+    sampled expectation values extend to arbitrary inputs with the same
+    isomorphism argument, at a fraction of the tomography cost. *)
+
+type t
+
+(** [of_characterization ~observables ~tracepoint c] records the expectation
+    of each observable at the tracepoint for every sampled input. Observable
+    arity must match the tracepoint width. *)
+val of_characterization :
+  observables:Qstate.Pauli.t list -> tracepoint:int -> Characterize.t -> t
+
+(** [observables t] in declaration order. *)
+val observables : t -> Qstate.Pauli.t list
+
+(** [predict ?mode t rho_in] is the predicted expectation of each observable
+    under the given input density matrix (clamped to [-1, 1]). *)
+val predict : ?mode:Approx.recovery -> t -> Linalg.Cmat.t -> float array
+
+(** [measurement_settings t] is the number of distinct measurement bases the
+    characterization needs on hardware (vs [3^n] for full tomography). *)
+val measurement_settings : t -> int

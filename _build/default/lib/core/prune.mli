@@ -1,0 +1,28 @@
+(** Sample-space pruning strategies (Section 5.4).
+
+    - {b Strategy-adapt}: eigendecompose the dataset's average input state
+      and sample only along the dominant eigenvectors;
+    - {b Strategy-const}: hold part of the input register constant by
+      shrinking [Program.input_qubits] (a constructor helper here);
+    - {b Strategy-prop}: characterize only the property checked by the
+      assertion — realized by [Characterize.Probs_only], with the shot-cost
+      comparison helper here. *)
+
+(** [strategy_adapt ?energy dataset] returns the dominant eigenvectors of
+    the dataset's average density matrix as sampling inputs, keeping the
+    smallest set whose eigenvalues capture [energy] (default 0.95) of the
+    total. *)
+val strategy_adapt :
+  ?energy:float -> Linalg.Cmat.t list -> Qstate.Statevec.t list
+
+(** [strategy_adapt_top ~keep dataset] keeps exactly [keep] eigenvectors. *)
+val strategy_adapt_top : keep:int -> Linalg.Cmat.t list -> Qstate.Statevec.t list
+
+(** [strategy_const program ~variable_qubits] restricts the program's input
+    to [variable_qubits] (the rest stay [|0>]). *)
+val strategy_const : Program.t -> variable_qubits:int list -> Program.t
+
+(** [prop_shot_reduction ~n_t] is the shot-count factor saved by measuring
+    only the basis distribution instead of full tomography of an [n_t]-qubit
+    tracepoint: [3^n_t]. *)
+val prop_shot_reduction : n_t:int -> int

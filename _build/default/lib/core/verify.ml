@@ -1,0 +1,222 @@
+open Linalg
+
+type verdict =
+  | Verified of { confidence : Confidence.t; max_objective : float }
+  | Violated of {
+      counterexample : Cmat.t;
+      alpha : float array;
+      objective : float;
+    }
+
+type options = {
+  solver : Optimize.Solvers.method_;
+  budget : int;
+  epsilon_obj : float;
+  epsilon_acc : float;
+  recovery : Approx.recovery;
+  projection : [ `Trace | `Psd ];
+  restarts : int;
+}
+
+let default_options =
+  {
+    solver = `Qp;
+    budget = 6_000;
+    epsilon_obj = 0.05;
+    epsilon_acc = 0.5;
+    recovery = `Least_squares;
+    projection = `Psd;
+    restarts = 2;
+  }
+
+(* Environment over tracepoints for a given alpha. The input (id 0) is made
+   physical per the chosen projection; downstream tracepoint states are
+   recombined from the SAME projected-input coefficients so that they remain
+   consistent images of one physical input. *)
+let env_of_alpha ~projection (approx : Approx.t) alpha : Predicate.env =
+  let cache = Hashtbl.create 4 in
+  let phys_alpha =
+    lazy
+      (match projection with
+      | `Trace ->
+          let raw = Approx.input_of_alpha approx alpha in
+          let t = Cx.re (Cmat.trace raw) in
+          if Float.abs t > 1e-9 then
+            Array.map (fun a -> a /. t) alpha
+          else alpha
+      | `Psd ->
+          let raw = Approx.input_of_alpha approx alpha in
+          let projected = Eig.project_psd raw in
+          Approx.decompose ~mode:`Least_squares approx projected)
+  in
+  fun tp ->
+    match Hashtbl.find_opt cache tp with
+    | Some m -> m
+    | None ->
+        let a = Lazy.force phys_alpha in
+        (* every tracepoint, the input included, is recombined from the SAME
+           physical coefficients, so predicates compare exactly the
+           characterized relation rather than approximation residue *)
+        let m =
+          if tp = 0 then Approx.input_of_alpha approx a
+          else Approx.tracepoint_of_alpha approx ~tracepoint:tp a
+        in
+        Hashtbl.replace cache tp m;
+        m
+
+let guarantee_objective assertion env =
+  List.fold_left
+    (fun acc p -> Float.max acc (Predicate.eval p env))
+    neg_infinity assertion.Assertion.guarantees
+
+(* dominant eigenvector of a density matrix, as a pure-state input *)
+let dominant_eigenvector rho =
+  let d, _ = Cmat.dims rho in
+  let rec log2 acc k = if k <= 1 then acc else log2 (acc + 1) (k / 2) in
+  let n = log2 0 d in
+  let w, v = Eig.hermitian rho in
+  let top = Array.length w - 1 in
+  Qstate.Statevec.of_cvec n (Cvec.normalize (Cmat.col v top))
+
+let nearest_basis_state rho =
+  let d, _ = Cmat.dims rho in
+  let rec log2 acc k = if k <= 1 then acc else log2 (acc + 1) (k / 2) in
+  let n = log2 0 d in
+  let best = ref 0 and best_p = ref neg_infinity in
+  for i = 0 to d - 1 do
+    let p = Cx.re (Cmat.get rho i i) in
+    if p > !best_p then begin
+      best := i;
+      best_p := p
+    end
+  done;
+  Qstate.Statevec.basis n !best
+
+let confirmed_violation ?rng confirm assertion counterexample =
+  match confirm with
+  | None -> true
+  | Some program ->
+      let candidates =
+        [ dominant_eigenvector counterexample; nearest_basis_state counterexample ]
+      in
+      List.exists
+        (fun input ->
+          not (
+            let traces = Program.run_traces ?rng program ~input in
+            let env tp =
+              match List.assoc_opt tp traces with
+              | Some m -> m
+              | None -> invalid_arg "Verify: assertion mentions unknown tracepoint"
+            in
+            Assertion.holds ~tol:0.02 assertion env))
+        candidates
+
+let validate ?(options = default_options) ?rng ?confirm approx assertion =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 11 in
+  let dim = Approx.n_sample approx in
+  let projection = options.projection in
+  let objective =
+    Optimize.Objective.make ~dim (fun alpha ->
+        let env = env_of_alpha ~projection approx alpha in
+        guarantee_objective assertion env)
+  in
+  let constraints =
+    List.map
+      (fun p alpha -> Predicate.eval p (env_of_alpha ~projection approx alpha))
+      assertion.Assertion.assumes
+  in
+  let problem = { Optimize.Constrained.objective; constraints } in
+  let best_violation = ref None and best_clean = ref None in
+  (try
+     for _ = 1 to max 1 options.restarts do
+       let sol =
+         Optimize.Constrained.maximize ~budget:(options.budget / max 1 options.restarts)
+           ~method_:options.solver rng problem
+       in
+       if
+         sol.Optimize.Constrained.feasible
+         && sol.Optimize.Constrained.value > options.epsilon_obj
+       then begin
+         let env = env_of_alpha ~projection approx sol.Optimize.Constrained.x in
+         let counterexample = Eig.project_psd (env 0) in
+         if confirmed_violation ~rng confirm assertion counterexample then begin
+           best_violation :=
+             Some
+               (Violated
+                  {
+                    counterexample;
+                    alpha = sol.Optimize.Constrained.x;
+                    objective = sol.Optimize.Constrained.value;
+                  });
+           raise Exit
+         end
+       end
+       else begin
+         match !best_clean with
+         | Some v when v >= sol.Optimize.Constrained.value -> ()
+         | _ -> best_clean := Some sol.Optimize.Constrained.value
+       end
+     done
+   with Exit -> ());
+  match !best_violation with
+  | Some v -> v
+  | None ->
+      let confidence =
+        Confidence.estimate ~epsilon:options.epsilon_acc ~n_in:approx.Approx.n_in
+          ~n_sample:dim [||]
+      in
+      Verified
+        {
+          confidence;
+          max_objective = Option.value ~default:neg_infinity !best_clean;
+        }
+
+let check_on_program ?rng ?tol program assertion ~input =
+  let traces = Program.run_traces ?rng program ~input in
+  let env tp =
+    match List.assoc_opt tp traces with
+    | Some m -> m
+    | None -> invalid_arg (Printf.sprintf "Verify.check_on_program: no tracepoint %d" tp)
+  in
+  Assertion.holds ?tol assertion env
+
+let minimize_counterexample ?rng ?(tol = 0.02) program assertion
+    ~counterexample =
+  let d, _ = Cmat.dims counterexample in
+  let rec log2 acc k = if k <= 1 then acc else log2 (acc + 1) (k / 2) in
+  let n = log2 0 d in
+  let violates input =
+    let traces = Program.run_traces ?rng program ~input in
+    let env tp =
+      match List.assoc_opt tp traces with
+      | Some m -> m
+      | None -> invalid_arg "Verify.minimize_counterexample: unknown tracepoint"
+    in
+    not (Assertion.holds ~tol assertion env)
+  in
+  (* candidate basis states, heaviest first *)
+  let weights =
+    List.init d (fun k -> (k, Cx.re (Cmat.get counterexample k k)))
+    |> List.filter (fun (_, w) -> w > 0.02)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let basis_candidates = List.map (fun (k, _) -> Qstate.Statevec.basis n k) weights in
+  let dominant = dominant_eigenvector counterexample in
+  match List.find_opt violates basis_candidates with
+  | Some simple -> simple
+  | None -> dominant
+
+let probe_accuracies ?rng ?(count = 20) approx program ~tracepoint =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 23 in
+  let k = Program.num_input_qubits program in
+  Array.init count (fun _ ->
+      let input = Clifford.Sampling.haar_state rng k in
+      let truth =
+        List.assoc tracepoint (Program.run_traces ~rng program ~input)
+      in
+      let v = Qstate.Statevec.to_cvec input in
+      let rho_in = Cmat.outer v v in
+      let approx_state =
+        Approx.state_at approx ~tracepoint rho_in
+      in
+      Approx.accuracy approx_state truth)

@@ -1,0 +1,89 @@
+(** Assertion validation (Section 6): pack the guarantee objective and the
+    assumption constraints into a constrained maximization over the
+    decomposition coefficients [alpha] and solve it classically.
+
+    The candidate input is [rho(alpha) = sum alpha_i sigma_in_i], kept
+    physical by Hermitian symmetrization and trace normalization inside the
+    objective (cheap) with a final PSD projection on the reported
+    counter-example. The assertion holds when the maximal guarantee
+    objective stays [<= epsilon_obj]. *)
+
+type verdict =
+  | Verified of {
+      confidence : Confidence.t;
+      max_objective : float;  (** best guarantee violation found (<= tolerance) *)
+    }
+  | Violated of {
+      counterexample : Linalg.Cmat.t;  (** input density matrix triggering the bug *)
+      alpha : float array;
+      objective : float;
+    }
+
+type options = {
+  solver : Optimize.Solvers.method_;
+  budget : int;  (** objective-evaluation budget *)
+  epsilon_obj : float;  (** violation tolerance on the guarantee objective *)
+  epsilon_acc : float;  (** accuracy threshold for confidence (Theorem 3) *)
+  recovery : Approx.recovery;
+  projection : [ `Trace | `Psd ];
+      (** how candidate states are made physical inside the objective:
+          trace normalization only (cheap) or a full PSD projection
+          (slower, much tighter search space) *)
+  restarts : int;  (** independent optimization attempts *)
+}
+
+val default_options : options
+
+(** [validate ?options ?rng ?confirm approx assertion] solves the
+    constrained maximization and returns the verdict. When [confirm] is
+    given, a candidate counter-example is replayed on the actual program
+    (dominant eigenvector input, plus its nearest basis state) and demoted
+    to [Verified] if the real execution satisfies the assertion —
+    eliminating optimizer artifacts, as the paper's validation step does by
+    reporting concrete counter-examples. *)
+val validate :
+  ?options:options ->
+  ?rng:Stats.Rng.t ->
+  ?confirm:Program.t ->
+  Approx.t ->
+  Assertion.t ->
+  verdict
+
+(** [check_on_program ?rng ?tol program assertion ~input] executes the
+    program on one concrete input and evaluates the assertion on the true
+    tracepoint states — used to confirm counter-examples and as the
+    ground-truth oracle in experiments. Mixed-state inputs are checked via
+    their eigenvector decomposition's dominant component. *)
+val check_on_program :
+  ?rng:Stats.Rng.t ->
+  ?tol:float ->
+  Program.t ->
+  Assertion.t ->
+  input:Qstate.Statevec.t ->
+  bool
+
+(** [minimize_counterexample ?rng ?tol program assertion ~counterexample]
+    simplifies a violating input for human consumption: it tries, in order,
+    the nearest computational-basis state, each basis state the
+    counter-example puts significant weight on, and the dominant
+    eigenvector, returning the simplest pure input that still violates the
+    assertion on the real program (falling back to the dominant eigenvector
+    when only the mixed state violates). *)
+val minimize_counterexample :
+  ?rng:Stats.Rng.t ->
+  ?tol:float ->
+  Program.t ->
+  Assertion.t ->
+  counterexample:Linalg.Cmat.t ->
+  Qstate.Statevec.t
+
+(** [probe_accuracies ?rng ?count approx program ~tracepoint] measures
+    approximation accuracy on random Haar inputs against fresh program
+    executions (feeds {!Confidence.estimate} and the accuracy figures). *)
+val probe_accuracies :
+  ?rng:Stats.Rng.t ->
+  ?count:int ->
+  Approx.t ->
+  Program.t ->
+  tracepoint:int ->
+  float array

@@ -1,0 +1,1 @@
+lib/linalg/hsvec.ml: Array Cmat Cx

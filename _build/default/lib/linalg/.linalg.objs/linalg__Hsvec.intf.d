@@ -1,0 +1,1 @@
+lib/linalg/hsvec.mli: Cmat

@@ -1,0 +1,1 @@
+lib/linalg/rmat.mli: Format

@@ -1,0 +1,117 @@
+type t = { n : int; re : float array; im : float array }
+
+let create n = { n; re = Array.make n 0.; im = Array.make n 0. }
+
+let init n f =
+  let v = create n in
+  for k = 0 to n - 1 do
+    let z = f k in
+    v.re.(k) <- Cx.re z;
+    v.im.(k) <- Cx.im z
+  done;
+  v
+
+let of_arrays re im =
+  if Array.length re <> Array.length im then
+    invalid_arg "Cvec.of_arrays: length mismatch";
+  { n = Array.length re; re = Array.copy re; im = Array.copy im }
+
+let of_list l =
+  let a = Array.of_list l in
+  init (Array.length a) (fun k -> a.(k))
+
+let basis n k =
+  if k < 0 || k >= n then invalid_arg "Cvec.basis: index out of range";
+  let v = create n in
+  v.re.(k) <- 1.;
+  v
+
+let dim v = v.n
+let get v k = Cx.make v.re.(k) v.im.(k)
+
+let set v k z =
+  v.re.(k) <- Cx.re z;
+  v.im.(k) <- Cx.im z
+
+let copy v = { n = v.n; re = Array.copy v.re; im = Array.copy v.im }
+
+let map2 f g u v =
+  if u.n <> v.n then invalid_arg "Cvec: dimension mismatch";
+  {
+    n = u.n;
+    re = Array.init u.n (fun k -> f u.re.(k) v.re.(k));
+    im = Array.init u.n (fun k -> g u.im.(k) v.im.(k));
+  }
+
+let add = map2 ( +. ) ( +. )
+let sub = map2 ( -. ) ( -. )
+
+let scale c v =
+  let cr = Cx.re c and ci = Cx.im c in
+  {
+    n = v.n;
+    re = Array.init v.n (fun k -> (cr *. v.re.(k)) -. (ci *. v.im.(k)));
+    im = Array.init v.n (fun k -> (cr *. v.im.(k)) +. (ci *. v.re.(k)));
+  }
+
+let rscale c v =
+  {
+    n = v.n;
+    re = Array.map (( *. ) c) v.re;
+    im = Array.map (( *. ) c) v.im;
+  }
+
+let dot u v =
+  if u.n <> v.n then invalid_arg "Cvec.dot: dimension mismatch";
+  let re = ref 0. and im = ref 0. in
+  for k = 0 to u.n - 1 do
+    (* conj(u_k) * v_k *)
+    re := !re +. (u.re.(k) *. v.re.(k)) +. (u.im.(k) *. v.im.(k));
+    im := !im +. (u.re.(k) *. v.im.(k)) -. (u.im.(k) *. v.re.(k))
+  done;
+  Cx.make !re !im
+
+let norm v =
+  let s = ref 0. in
+  for k = 0 to v.n - 1 do
+    s := !s +. (v.re.(k) *. v.re.(k)) +. (v.im.(k) *. v.im.(k))
+  done;
+  sqrt !s
+
+let normalize v =
+  let nv = norm v in
+  if nv <= 0. then invalid_arg "Cvec.normalize: zero vector";
+  rscale (1. /. nv) v
+
+let kron u v =
+  let n = u.n * v.n in
+  let w = create n in
+  for a = 0 to u.n - 1 do
+    for b = 0 to v.n - 1 do
+      let re = (u.re.(a) *. v.re.(b)) -. (u.im.(a) *. v.im.(b)) in
+      let im = (u.re.(a) *. v.im.(b)) +. (u.im.(a) *. v.re.(b)) in
+      w.re.((a * v.n) + b) <- re;
+      w.im.((a * v.n) + b) <- im
+    done
+  done;
+  w
+
+let equal ?(eps = 1e-12) u v =
+  u.n = v.n
+  &&
+  let ok = ref true in
+  for k = 0 to u.n - 1 do
+    if
+      Float.abs (u.re.(k) -. v.re.(k)) > eps
+      || Float.abs (u.im.(k) -. v.im.(k)) > eps
+    then ok := false
+  done;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[@[";
+  for k = 0 to v.n - 1 do
+    if k > 0 then Format.fprintf ppf ";@ ";
+    Cx.pp ppf (get v k)
+  done;
+  Format.fprintf ppf "@]]"

@@ -1,0 +1,49 @@
+(** Dense complex vectors stored as split real/imaginary float arrays. *)
+
+type t = private { n : int; re : float array; im : float array }
+
+(** [create n] is the zero vector of dimension [n]. *)
+val create : int -> t
+
+(** [init n f] builds a vector whose [k]-th entry is [f k]. *)
+val init : int -> (int -> Cx.t) -> t
+
+(** [of_arrays re im] wraps two equal-length component arrays (copied). *)
+val of_arrays : float array -> float array -> t
+
+(** [of_list l] builds a vector from a list of complex entries. *)
+val of_list : Cx.t list -> t
+
+(** [basis n k] is the [k]-th computational basis vector of dimension [n]. *)
+val basis : int -> int -> t
+
+val dim : t -> int
+val get : t -> int -> Cx.t
+val set : t -> int -> Cx.t -> unit
+val copy : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [scale c v] multiplies every entry by the complex scalar [c]. *)
+val scale : Cx.t -> t -> t
+
+(** [rscale c v] multiplies every entry by the real scalar [c]. *)
+val rscale : float -> t -> t
+
+(** [dot u v] is the Hermitian inner product [sum_k conj(u_k) * v_k]. *)
+val dot : t -> t -> Cx.t
+
+(** [norm v] is the Euclidean norm. *)
+val norm : t -> float
+
+(** [normalize v] rescales [v] to unit norm. Raises [Invalid_argument] on the
+    zero vector. *)
+val normalize : t -> t
+
+(** [kron u v] is the tensor (Kronecker) product of [u] and [v]. *)
+val kron : t -> t -> t
+
+(** [equal ~eps u v] holds when entries agree within [eps]. *)
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

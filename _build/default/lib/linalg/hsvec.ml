@@ -1,0 +1,40 @@
+let dim n = n * n
+
+let sqrt2 = sqrt 2.
+
+let encode a =
+  let n, nc = Cmat.dims a in
+  if n <> nc then invalid_arg "Hsvec.encode: non-square";
+  let h = Cmat.hermitize a in
+  let v = Array.make (dim n) 0. in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    v.(!k) <- Cx.re (Cmat.get h i i);
+    incr k
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let z = Cmat.get h i j in
+      v.(!k) <- sqrt2 *. Cx.re z;
+      v.(!k + 1) <- sqrt2 *. Cx.im z;
+      k := !k + 2
+    done
+  done;
+  v
+
+let decode n v =
+  if Array.length v <> dim n then invalid_arg "Hsvec.decode: bad length";
+  let a = Cmat.create n n in
+  for i = 0 to n - 1 do
+    Cmat.set a i i (Cx.of_float v.(i))
+  done;
+  let k = ref n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let re = v.(!k) /. sqrt2 and im = v.(!k + 1) /. sqrt2 in
+      Cmat.set a i j (Cx.make re im);
+      Cmat.set a j i (Cx.make re (-.im));
+      k := !k + 2
+    done
+  done;
+  a

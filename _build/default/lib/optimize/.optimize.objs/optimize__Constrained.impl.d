@@ -1,0 +1,1 @@
+lib/optimize/constrained.ml: Float List Objective Solvers

@@ -1,0 +1,1 @@
+lib/optimize/constrained.mli: Objective Solvers Stats

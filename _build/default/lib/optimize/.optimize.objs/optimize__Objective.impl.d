@@ -1,0 +1,1 @@
+lib/optimize/objective.ml: Array Float Stats

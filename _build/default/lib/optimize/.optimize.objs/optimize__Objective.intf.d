@@ -1,0 +1,1 @@
+lib/optimize/objective.mli: Stats

@@ -1,0 +1,1 @@
+lib/optimize/solvers.ml: Array Float Objective Stats

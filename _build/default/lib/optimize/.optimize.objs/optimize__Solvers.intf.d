@@ -1,0 +1,1 @@
+lib/optimize/solvers.mli: Objective Stats

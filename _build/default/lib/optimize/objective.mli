@@ -1,0 +1,21 @@
+(** Box-constrained real objective functions (to be maximized). *)
+
+type t = {
+  dim : int;
+  f : float array -> float;
+  lower : float array;
+  upper : float array;
+}
+
+(** [make ~dim ?lower ?upper f] builds an objective; bounds default to
+    [[-1, 1]] per coordinate. *)
+val make : dim:int -> ?lower:float array -> ?upper:float array -> (float array -> float) -> t
+
+(** [clamp t x] projects [x] into the box in place. *)
+val clamp : t -> float array -> unit
+
+(** [random_point t rng] draws a uniform point in the box. *)
+val random_point : t -> Stats.Rng.t -> float array
+
+(** [num_grad ?eps t x] is the central-difference gradient. *)
+val num_grad : ?eps:float -> t -> float array -> float array

@@ -1,0 +1,32 @@
+(** A mini-QASM (OpenQASM-2-flavoured) front end with the paper's tracepoint
+    pragma.
+
+    Supported statements:
+    - [OPENQASM 2.0;] and [include "...";] headers (ignored)
+    - [qreg q[n];] / [creg c[m];] (one register of each kind)
+    - gate applications [name(params) q[i], q[j], ...;] — a multi-index
+      argument such as [x q[2,3,4];] broadcasts a single-qubit gate, and
+      [mcz q[1,2,3],q[4];]-style names starting with [mc] treat the first
+      argument as the control list
+    - the tracepoint pragma [T 1 q[2,3,4];]
+    - [measure q[i] -> c[j];], [reset q[i];], [barrier q[...];]
+    - feedback [if (c[i]==v) name q[j];] and [if (c==v) ...;] (whole
+      register)
+    - user gate definitions
+      [gate name(p1, p2) a, b { h a; rz(p1) b; ... }] with parameters,
+      nesting and recursive expansion at use sites
+
+    Parameters accept float literals, [pi], unary minus and [* / + -]
+    arithmetic. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse src] parses a program into a circuit. Raises {!Parse_error}. *)
+val parse : string -> Circuit.t
+
+(** [parse_file path] reads and parses a file. *)
+val parse_file : string -> Circuit.t
+
+(** [to_string c] renders a circuit back to mini-QASM; [parse (to_string c)]
+    reproduces the circuit up to gate-name canonicalization. *)
+val to_string : Circuit.t -> string

@@ -1,0 +1,1 @@
+lib/qstate/density.ml: Array Cmat Cvec Cx Eig Float Format Linalg List Pauli Statevec

@@ -1,0 +1,1 @@
+lib/qstate/density.mli: Format Linalg Pauli Statevec

@@ -1,0 +1,1 @@
+lib/qstate/gates.ml: Cmat Cx Float Linalg List Printf

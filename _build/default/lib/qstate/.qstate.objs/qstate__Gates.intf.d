@@ -1,0 +1,1 @@
+lib/qstate/gates.mli: Linalg

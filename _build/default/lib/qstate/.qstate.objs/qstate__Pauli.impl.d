@@ -1,0 +1,1 @@
+lib/qstate/pauli.ml: Array Cmat Cx Format Linalg List Printf String

@@ -1,0 +1,1 @@
+lib/qstate/pauli.mli: Format Linalg

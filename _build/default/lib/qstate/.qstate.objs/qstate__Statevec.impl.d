@@ -1,0 +1,1 @@
+lib/qstate/statevec.ml: Array Cmat Cvec Cx Float Format Hashtbl Linalg List Option Pauli Stats String

@@ -1,0 +1,1 @@
+lib/qstate/statevec.mli: Format Linalg Pauli Stats

@@ -1,0 +1,78 @@
+open Linalg
+
+let m2 a b c d = Cmat.of_lists [ [ a; b ]; [ c; d ] ]
+let isq2 = 1. /. sqrt 2.
+let h = m2 (Cx.of_float isq2) (Cx.of_float isq2) (Cx.of_float isq2) (Cx.of_float (-.isq2))
+let x = m2 Cx.zero Cx.one Cx.one Cx.zero
+let y = m2 Cx.zero (Cx.neg Cx.i) Cx.i Cx.zero
+let z = m2 Cx.one Cx.zero Cx.zero (Cx.of_float (-1.))
+let s = m2 Cx.one Cx.zero Cx.zero Cx.i
+let sdg = m2 Cx.one Cx.zero Cx.zero (Cx.neg Cx.i)
+let t = m2 Cx.one Cx.zero Cx.zero (Cx.exp_i (Float.pi /. 4.))
+let tdg = m2 Cx.one Cx.zero Cx.zero (Cx.exp_i (-.Float.pi /. 4.))
+
+let sx =
+  let a = Cx.make 0.5 0.5 and b = Cx.make 0.5 (-0.5) in
+  m2 a b b a
+
+let sy =
+  let a = Cx.make 0.5 0.5 in
+  m2 a (Cx.neg a) a a
+
+let sw =
+  (* sqrt of W = (X+Y)/sqrt2: spectral formula ((1+i) I + (1-i) W) / 2 *)
+  let diag = Cx.make 0.5 0.5 in
+  let isq2 = 1. /. sqrt 2. in
+  m2 diag (Cx.make 0. (-.isq2)) (Cx.of_float isq2) diag
+
+let rx theta =
+  let c = Cx.of_float (cos (theta /. 2.)) in
+  let s = Cx.make 0. (-.sin (theta /. 2.)) in
+  m2 c s s c
+
+let ry theta =
+  let c = cos (theta /. 2.) and s = sin (theta /. 2.) in
+  m2 (Cx.of_float c) (Cx.of_float (-.s)) (Cx.of_float s) (Cx.of_float c)
+
+let rz theta =
+  m2 (Cx.exp_i (-.theta /. 2.)) Cx.zero Cx.zero (Cx.exp_i (theta /. 2.))
+
+let phase lambda = m2 Cx.one Cx.zero Cx.zero (Cx.exp_i lambda)
+
+let u3 theta phi lambda =
+  let c = cos (theta /. 2.) and s = sin (theta /. 2.) in
+  m2
+    (Cx.of_float c)
+    (Cx.neg (Cx.scale s (Cx.exp_i lambda)))
+    (Cx.scale s (Cx.exp_i phi))
+    (Cx.scale c (Cx.exp_i (phi +. lambda)))
+
+let known_names =
+  [
+    "h"; "x"; "y"; "z"; "s"; "sdg"; "t"; "tdg"; "sx"; "sy"; "sw"; "id";
+    "rx"; "ry"; "rz"; "p"; "u1"; "u3";
+  ]
+
+let by_name name params =
+  match (name, params) with
+  | "h", [] -> h
+  | "x", [] -> x
+  | "y", [] -> y
+  | "z", [] -> z
+  | "s", [] -> s
+  | "sdg", [] -> sdg
+  | "t", [] -> t
+  | "tdg", [] -> tdg
+  | "sx", [] -> sx
+  | "sy", [] -> sy
+  | "sw", [] -> sw
+  | "id", [] -> Cmat.identity 2
+  | "rx", [ th ] -> rx th
+  | "ry", [ th ] -> ry th
+  | "rz", [ th ] -> rz th
+  | ("p" | "u1"), [ l ] -> phase l
+  | "u3", [ th; ph; l ] -> u3 th ph l
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Gates.by_name: unknown gate %s/%d" name
+           (List.length params))

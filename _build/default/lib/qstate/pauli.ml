@@ -1,0 +1,118 @@
+open Linalg
+
+type op = I | X | Y | Z
+type t = op array
+
+let single n q o =
+  if q < 0 || q >= n then invalid_arg "Pauli.single: qubit out of range";
+  let p = Array.make n I in
+  p.(q) <- o;
+  p
+
+let identity n = Array.make n I
+let weight p = Array.fold_left (fun acc o -> if o = I then acc else acc + 1) 0 p
+
+let matrix1 = function
+  | I -> Cmat.identity 2
+  | X -> Cmat.of_lists [ [ Cx.zero; Cx.one ]; [ Cx.one; Cx.zero ] ]
+  | Y ->
+      Cmat.of_lists
+        [ [ Cx.zero; Cx.neg Cx.i ]; [ Cx.i; Cx.zero ] ]
+  | Z ->
+      Cmat.of_lists [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.of_float (-1.) ] ]
+
+let matrix p =
+  let n = Array.length p in
+  if n = 0 then invalid_arg "Pauli.matrix: empty string";
+  (* qubit n-1 is the leftmost tensor factor *)
+  let acc = ref (matrix1 p.(n - 1)) in
+  for q = n - 2 downto 0 do
+    acc := Cmat.kron !acc (matrix1 p.(q))
+  done;
+  !acc
+
+let all n =
+  let ops = [ I; X; Y; Z ] in
+  let rec go k =
+    if k = 0 then [ [] ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map (fun o -> List.map (fun r -> o :: r) rest) ops
+  in
+  List.map Array.of_list (go n)
+
+(* tr(P rho): a Pauli string has exactly one nonzero entry per row r, at
+   column r XOR flipmask, with a phase that is a product of per-qubit factors
+   (Z contributes (-1)^bit, Y contributes +/- i). *)
+let expectation_dm p rho =
+  let n = Array.length p in
+  let dim = 1 lsl n in
+  let rows, cols = Cmat.dims rho in
+  if rows <> dim || cols <> dim then
+    invalid_arg "Pauli.expectation_dm: dimension mismatch";
+  let flipmask = ref 0 in
+  Array.iteri (fun q o -> if o = X || o = Y then flipmask := !flipmask lor (1 lsl q)) p;
+  let total = ref Cx.zero in
+  for r = 0 to dim - 1 do
+    let c = r lxor !flipmask in
+    let phase = ref Cx.one in
+    Array.iteri
+      (fun q o ->
+        let bit = (r lsr q) land 1 in
+        match o with
+        | I | X -> ()
+        | Z -> if bit = 1 then phase := Cx.neg !phase
+        | Y ->
+            phase :=
+              if bit = 1 then Cx.mul !phase Cx.i
+              else Cx.mul !phase (Cx.neg Cx.i))
+      p;
+    total := Cx.add !total (Cx.mul !phase (Cmat.get rho c r))
+  done;
+  Cx.re !total
+
+(* single-qubit products: (a, b) -> (exponent of i, result) under the
+   Hermitian convention (XY = iZ, YZ = iX, ZX = iY) *)
+let mul1 a b =
+  match (a, b) with
+  | I, o | o, I -> (0, o)
+  | X, X | Y, Y | Z, Z -> (0, I)
+  | X, Y -> (1, Z)
+  | Y, X -> (3, Z)
+  | Y, Z -> (1, X)
+  | Z, Y -> (3, X)
+  | Z, X -> (1, Y)
+  | X, Z -> (3, Y)
+
+let mul a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Pauli.mul: length mismatch";
+  let phase = ref 0 in
+  let result =
+    Array.init (Array.length a) (fun q ->
+        let ph, o = mul1 a.(q) b.(q) in
+        phase := (!phase + ph) mod 4;
+        o)
+  in
+  (!phase, result)
+
+let commute a b =
+  let pab, _ = mul a b and pba, _ = mul b a in
+  pab = pba
+
+let of_string s =
+  let n = String.length s in
+  Array.init n (fun q ->
+      match s.[n - 1 - q] with
+      | 'I' | 'i' -> I
+      | 'X' | 'x' -> X
+      | 'Y' | 'y' -> Y
+      | 'Z' | 'z' -> Z
+      | c -> invalid_arg (Printf.sprintf "Pauli.of_string: bad char %c" c))
+
+let to_string p =
+  let n = Array.length p in
+  String.init n (fun k ->
+      match p.(n - 1 - k) with I -> 'I' | X -> 'X' | Y -> 'Y' | Z -> 'Z')
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

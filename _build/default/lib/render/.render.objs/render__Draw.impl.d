@@ -1,0 +1,1 @@
+lib/render/draw.ml: Array Buffer Circuit Format List Printf String

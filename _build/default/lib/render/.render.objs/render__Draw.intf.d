@@ -1,0 +1,1 @@
+lib/render/draw.mli: Circuit Format

@@ -1,0 +1,96 @@
+(* Greedy slotting: walk instructions in order; an instruction goes into the
+   first slot after the last slot used by any qubit it touches. Each slot is
+   rendered as a fixed-width column per qubit. *)
+
+type cell = Wire | Label of string
+
+let gate_label (g : Circuit.Gate.t) =
+  let base =
+    match (g.Circuit.Gate.name, g.Circuit.Gate.params) with
+    | name, [] -> String.uppercase_ascii name
+    | name, [ a ] -> Printf.sprintf "%s(%.2g)" (String.uppercase_ascii name) a
+    | name, _ -> String.uppercase_ascii name ^ "(..)"
+  in
+  base
+
+let to_string c =
+  let n = Circuit.num_qubits c in
+  let last_slot = Array.make n (-1) in
+  (* slots.(s).(q) : cell *)
+  let slots : cell array list ref = ref [] in
+  let slot_array = ref [||] in
+  let ensure_slot s =
+    while List.length !slots <= s do
+      let fresh = Array.make n Wire in
+      slots := !slots @ [ fresh ]
+    done;
+    slot_array := Array.of_list !slots;
+    !slot_array.(s)
+  in
+  let place qubits fill =
+    let s = 1 + List.fold_left (fun m q -> max m last_slot.(q)) (-1) qubits in
+    let col = ensure_slot s in
+    List.iter
+      (fun q ->
+        last_slot.(q) <- s;
+        col.(q) <- fill q)
+      qubits
+  in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Instr.Gate g ->
+          let label = gate_label g in
+          place
+            (Circuit.Gate.qubits g)
+            (fun q ->
+              if List.mem q g.Circuit.Gate.controls then Label "o"
+              else if g.Circuit.Gate.name = "swap" then Label "x"
+              else Label ("[" ^ label ^ "]"))
+      | Circuit.Instr.Tracepoint { id; qubits } ->
+          place qubits (fun _ -> Label (Printf.sprintf "T%d" id))
+      | Circuit.Instr.Measure { qubit; clbit } ->
+          place [ qubit ] (fun _ -> Label (Printf.sprintf "M->c%d" clbit))
+      | Circuit.Instr.Reset q -> place [ q ] (fun _ -> Label "|0>")
+      | Circuit.Instr.If_gate { clbits; value; gate } ->
+          let cond =
+            Printf.sprintf "?c%s=%d"
+              (String.concat "," (List.map string_of_int clbits))
+              value
+          in
+          place
+            (Circuit.Gate.qubits gate)
+            (fun q ->
+              if List.mem q gate.Circuit.Gate.controls then Label "o"
+              else Label ("[" ^ gate_label gate ^ cond ^ "]"))
+      | Circuit.Instr.Barrier qs -> place qs (fun _ -> Label "|"))
+    (Circuit.instrs c);
+  let slots = Array.of_list !slots in
+  let widths =
+    Array.map
+      (fun col ->
+        Array.fold_left
+          (fun w cell ->
+            match cell with Wire -> w | Label l -> max w (String.length l))
+          1 col)
+      slots
+  in
+  let buf = Buffer.create 256 in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "q%-2d: -" q);
+    Array.iteri
+      (fun s col ->
+        let w = widths.(s) in
+        let text = match col.(q) with Wire -> "" | Label l -> l in
+        let pad = w - String.length text in
+        let left = pad / 2 and right = pad - (pad / 2) in
+        Buffer.add_string buf (String.make left '-');
+        Buffer.add_string buf text;
+        Buffer.add_string buf (String.make right '-');
+        Buffer.add_string buf (if s = Array.length slots - 1 then "-" else "--"))
+      slots;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

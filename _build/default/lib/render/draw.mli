@@ -1,0 +1,18 @@
+(** ASCII circuit diagrams.
+
+    {[
+      q0: -[H]--o-------T1--
+      q1: ------X---o---T1--
+      q2: ----------X---T1--
+    ]}
+
+    Gates are laid out greedily into time slots (two instructions share a
+    slot when their qubit sets are disjoint); controls render as [o],
+    targets as the gate label, measurements as [M->k], tracepoints as [Tn]
+    spanning their qubits. *)
+
+(** [to_string c] renders the circuit. *)
+val to_string : Circuit.t -> string
+
+(** [pp] — the same as a formatter. *)
+val pp : Format.formatter -> Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/sim/dm_engine.ml: Array Circuit Cost Density Gates Linalg List Noise Qstate

@@ -1,0 +1,1 @@
+lib/sim/dm_engine.mli: Circuit Cost Linalg Noise Qstate

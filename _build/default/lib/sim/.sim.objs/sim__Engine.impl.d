@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Circuit Cost Gates Hashtbl Lazy Linalg List Noise Option Pauli Qstate Statevec Stats

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Circuit Cost Linalg Noise Qstate Stats

@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Cmat Cx Float Linalg Qstate Stats

@@ -1,0 +1,1 @@
+lib/sim/noise.mli: Linalg Qstate Stats

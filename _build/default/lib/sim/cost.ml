@@ -1,0 +1,71 @@
+type t = {
+  mutable executions : int;
+  mutable shots : int;
+  mutable gate_ops : int;
+  mutable one_qubit_gates : int;
+  mutable two_qubit_gates : int;
+  mutable measurements : int;
+}
+
+let create () =
+  {
+    executions = 0;
+    shots = 0;
+    gate_ops = 0;
+    one_qubit_gates = 0;
+    two_qubit_gates = 0;
+    measurements = 0;
+  }
+
+let reset t =
+  t.executions <- 0;
+  t.shots <- 0;
+  t.gate_ops <- 0;
+  t.one_qubit_gates <- 0;
+  t.two_qubit_gates <- 0;
+  t.measurements <- 0
+
+let record_circuit t circuit ~shots =
+  let gates = Circuit.gate_count circuit in
+  let two_q = Circuit.two_qubit_count circuit in
+  let meas =
+    List.fold_left
+      (fun acc i -> match i with Circuit.Instr.Measure _ -> acc + 1 | _ -> acc)
+      0 (Circuit.instrs circuit)
+  in
+  t.executions <- t.executions + 1;
+  t.shots <- t.shots + shots;
+  t.gate_ops <- t.gate_ops + (shots * gates);
+  t.one_qubit_gates <- t.one_qubit_gates + (shots * (gates - two_q));
+  t.two_qubit_gates <- t.two_qubit_gates + (shots * two_q);
+  t.measurements <- t.measurements + (shots * max 1 meas)
+
+let record_many t circuit ~circuits ~shots_each =
+  let gates = Circuit.gate_count circuit in
+  let two_q = Circuit.two_qubit_count circuit in
+  let total_shots = circuits * shots_each in
+  t.executions <- t.executions + circuits;
+  t.shots <- t.shots + total_shots;
+  t.gate_ops <- t.gate_ops + (total_shots * gates);
+  t.one_qubit_gates <- t.one_qubit_gates + (total_shots * (gates - two_q));
+  t.two_qubit_gates <- t.two_qubit_gates + (total_shots * two_q);
+  t.measurements <- t.measurements + total_shots
+
+let add t other =
+  t.executions <- t.executions + other.executions;
+  t.shots <- t.shots + other.shots;
+  t.gate_ops <- t.gate_ops + other.gate_ops;
+  t.one_qubit_gates <- t.one_qubit_gates + other.one_qubit_gates;
+  t.two_qubit_gates <- t.two_qubit_gates + other.two_qubit_gates;
+  t.measurements <- t.measurements + other.measurements
+
+let hardware_seconds t =
+  (60e-9 *. float_of_int t.one_qubit_gates)
+  +. (340e-9 *. float_of_int t.two_qubit_gates)
+  +. (732e-9 *. float_of_int t.measurements)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "executions=%d shots=%d ops=%d (1q=%d 2q=%d meas=%d) est-hw=%.3gs"
+    t.executions t.shots t.gate_ops t.one_qubit_gates t.two_qubit_gates
+    t.measurements (hardware_seconds t)

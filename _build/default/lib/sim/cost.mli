@@ -1,0 +1,36 @@
+(** Mutable cost meters for verification-overhead accounting.
+
+    The paper reports overhead as the number of quantum operations and
+    program executions, and estimates hardware wall-clock from IBMQ gate
+    times (60 ns single-qubit, 340 ns two-qubit, 732 ns readout). *)
+
+type t = {
+  mutable executions : int;  (** circuit submissions (one input, many shots) *)
+  mutable shots : int;  (** total repetitions across executions *)
+  mutable gate_ops : int;  (** quantum gate applications, all shots counted *)
+  mutable one_qubit_gates : int;
+  mutable two_qubit_gates : int;
+  mutable measurements : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [record_circuit t circuit ~shots] accounts one execution of [circuit]
+    with the given number of shots. *)
+val record_circuit : t -> Circuit.t -> shots:int -> unit
+
+(** [record_many t circuit ~circuits ~shots_each] accounts [circuits]
+    distinct submissions of (variants of) [circuit], each with
+    [shots_each] shots — e.g. one tomography pass over many measurement
+    settings. *)
+val record_many : t -> Circuit.t -> circuits:int -> shots_each:int -> unit
+
+(** [add t other] accumulates [other] into [t]. *)
+val add : t -> t -> unit
+
+(** [hardware_seconds t] estimates device wall-clock from the paper's quoted
+    IBMQ timings. *)
+val hardware_seconds : t -> float
+
+val pp : Format.formatter -> t -> unit

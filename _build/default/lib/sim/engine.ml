@@ -1,0 +1,166 @@
+open Qstate
+
+type outcome = {
+  state : Statevec.t;
+  clbits : int array;
+  traces : (int * Linalg.Cmat.t) list;
+}
+
+let swap_matrix =
+  Linalg.Cmat.init 4 4 (fun i j ->
+      let swapped = ((j land 1) lsl 1) lor ((j lsr 1) land 1) in
+      if i = swapped then Linalg.Cx.one else Linalg.Cx.zero)
+
+let inject_noise rng noise (g : Circuit.Gate.t) st =
+  let qs = Circuit.Gate.qubits g in
+  let p = if List.length qs >= 2 then noise.Noise.p2 else noise.Noise.p1 in
+  if p > 0. then
+    List.iter
+      (fun q ->
+        match Noise.sample_pauli rng p with
+        | None -> ()
+        | Some op -> Statevec.apply1 (Pauli.matrix1 op) q st)
+      qs
+
+let apply_gate_ideal (g : Circuit.Gate.t) st =
+  match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
+  | "swap", [ a; b ] ->
+      if g.Circuit.Gate.controls <> [] then
+        invalid_arg "Engine: controlled swap unsupported";
+      Statevec.apply2 swap_matrix a b st
+  | name, [ tgt ] ->
+      let u = Gates.by_name name g.Circuit.Gate.params in
+      Statevec.apply_controlled ~controls:g.Circuit.Gate.controls u tgt st
+  | _ -> invalid_arg "Engine: malformed gate"
+
+let apply_gate ?rng ?noise g st =
+  apply_gate_ideal g st;
+  match (rng, noise) with
+  | Some rng, Some noise when not (Noise.is_ideal noise) ->
+      inject_noise rng noise g st
+  | _ -> ()
+
+let default_rng = lazy (Stats.Rng.make 0xC0FFEE)
+
+let run ?rng ?(noise = Noise.ideal) ?initial ?meter c =
+  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  let st =
+    match initial with
+    | Some s ->
+        if Statevec.num_qubits s <> Circuit.num_qubits c then
+          invalid_arg "Engine.run: initial state qubit mismatch";
+        Statevec.copy s
+    | None -> Statevec.zero (Circuit.num_qubits c)
+  in
+  let clbits = Array.make (Circuit.num_clbits c) 0 in
+  let traces = ref [] in
+  (match meter with
+  | Some m -> Cost.record_circuit m c ~shots:1
+  | None -> ());
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Instr.Gate g -> apply_gate ~rng ~noise g st
+      | Circuit.Instr.Tracepoint { id; qubits } ->
+          traces := (id, Statevec.reduced_density st qubits) :: !traces
+      | Circuit.Instr.Measure { qubit; clbit } ->
+          let outcome = Statevec.measure rng st qubit in
+          let outcome =
+            if noise.Noise.readout > 0. && Stats.Rng.float rng 1. < noise.Noise.readout
+            then 1 - outcome
+            else outcome
+          in
+          clbits.(clbit) <- outcome
+      | Circuit.Instr.Reset q ->
+          let outcome = Statevec.measure rng st q in
+          if outcome = 1 then Statevec.apply1 Gates.x q st
+      | Circuit.Instr.If_gate { clbits = cbs; value; gate } ->
+          let read =
+            List.fold_left
+              (fun (acc, k) b -> (acc lor (clbits.(b) lsl k), k + 1))
+              (0, 0) cbs
+            |> fst
+          in
+          if read = value then apply_gate ~rng ~noise gate st
+      | Circuit.Instr.Barrier _ -> ())
+    (Circuit.instrs c);
+  { state = st; clbits; traces = List.rev !traces }
+
+let is_deterministic c =
+  List.for_all
+    (function
+      | Circuit.Instr.Measure _ | Circuit.Instr.Reset _ | Circuit.Instr.If_gate _
+        ->
+          false
+      | _ -> true)
+    (Circuit.instrs c)
+
+let tracepoint_states ?rng ?(noise = Noise.ideal) ?(trajectories = 64) ?initial
+    ?meter c =
+  if is_deterministic c && Noise.is_ideal noise then
+    (run ?rng ~noise ?initial ?meter c).traces
+  else begin
+    let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+    let acc = Hashtbl.create 8 in
+    let order = ref [] in
+    for _ = 1 to trajectories do
+      let { traces; _ } = run ~rng ~noise ?initial ?meter c in
+      List.iter
+        (fun (id, m) ->
+          match Hashtbl.find_opt acc id with
+          | None ->
+              order := id :: !order;
+              Hashtbl.add acc id m
+          | Some prev -> Hashtbl.replace acc id (Linalg.Cmat.add prev m))
+        traces
+    done;
+    List.rev_map
+      (fun id ->
+        ( id,
+          Linalg.Cmat.rscale (1. /. float_of_int trajectories) (Hashtbl.find acc id)
+        ))
+      !order
+  end
+
+let sample_counts ?rng ?(noise = Noise.ideal) ?initial ?meter ~shots c =
+  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  let tbl = Hashtbl.create 64 in
+  let bump k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  if is_deterministic c && Noise.is_ideal noise then begin
+    let { state; _ } = run ~rng ~noise ?initial c in
+    (match meter with
+    | Some m -> Cost.record_circuit m c ~shots
+    | None -> ());
+    List.iter
+      (fun (k, n) ->
+        for _ = 1 to n do
+          bump k
+        done)
+      (Statevec.counts rng state ~shots)
+  end
+  else
+    for _ = 1 to shots do
+      let { state; _ } = run ~rng ~noise ?initial ?meter c in
+      bump (Statevec.sample rng state)
+    done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let unitary c =
+  let n = Circuit.num_qubits c in
+  let d = 1 lsl n in
+  let u = Linalg.Cmat.create d d in
+  for k = 0 to d - 1 do
+    let st = Statevec.basis n k in
+    List.iter
+      (fun instr ->
+        match instr with
+        | Circuit.Instr.Gate g -> apply_gate_ideal g st
+        | Circuit.Instr.Tracepoint _ | Circuit.Instr.Barrier _ -> ()
+        | _ -> invalid_arg "Engine.unitary: non-unitary instruction")
+      (Circuit.instrs c);
+    Linalg.Cmat.set_col u k (Statevec.to_cvec st)
+  done;
+  u

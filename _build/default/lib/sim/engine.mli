@@ -1,0 +1,64 @@
+(** Trajectory-based state-vector execution of circuits.
+
+    One [run] is a single quantum trajectory: mid-circuit measurements are
+    sampled and collapse the state, classically-controlled gates read the
+    sampled bits, and (optional) depolarizing noise is injected as random
+    Pauli errors. Tracepoints snapshot the reduced density matrix of their
+    qubits as the trajectory passes. *)
+
+type outcome = {
+  state : Qstate.Statevec.t;  (** final state of the trajectory *)
+  clbits : int array;  (** final classical register *)
+  traces : (int * Linalg.Cmat.t) list;
+      (** tracepoint id -> reduced density matrix, in program order *)
+}
+
+(** [apply_gate ?rng ?noise g st] applies one gate (mutating [st]),
+    injecting a sampled Pauli error after it when [noise] is given. *)
+val apply_gate : ?rng:Stats.Rng.t -> ?noise:Noise.t -> Circuit.Gate.t -> Qstate.Statevec.t -> unit
+
+(** [run ?rng ?noise ?initial ?meter c] executes one trajectory. [initial]
+    defaults to [|0...0>]; [meter] (if given) accounts one execution with one
+    shot. *)
+val run :
+  ?rng:Stats.Rng.t ->
+  ?noise:Noise.t ->
+  ?initial:Qstate.Statevec.t ->
+  ?meter:Cost.t ->
+  Circuit.t ->
+  outcome
+
+(** [is_deterministic c] holds when the circuit has no measurement, reset or
+    feedback, so a single ideal trajectory already yields exact tracepoint
+    states. *)
+val is_deterministic : Circuit.t -> bool
+
+(** [tracepoint_states ?rng ?noise ?trajectories ?initial ?meter c] returns
+    the expected reduced density matrix at every tracepoint. Deterministic
+    ideal circuits use one pass; otherwise [trajectories] (default 64) runs
+    are averaged. *)
+val tracepoint_states :
+  ?rng:Stats.Rng.t ->
+  ?noise:Noise.t ->
+  ?trajectories:int ->
+  ?initial:Qstate.Statevec.t ->
+  ?meter:Cost.t ->
+  Circuit.t ->
+  (int * Linalg.Cmat.t) list
+
+(** [sample_counts ?rng ?noise ?initial ?meter ~shots c] samples the final
+    computational-basis distribution. Measurement-free ideal circuits run
+    once and sample; otherwise each shot is a fresh trajectory. Returns
+    sorted [(basis_index, count)] pairs over the full register. *)
+val sample_counts :
+  ?rng:Stats.Rng.t ->
+  ?noise:Noise.t ->
+  ?initial:Qstate.Statevec.t ->
+  ?meter:Cost.t ->
+  shots:int ->
+  Circuit.t ->
+  (int * int) list
+
+(** [unitary c] materializes the circuit unitary column by column (intended
+    for tests and small circuits; fails on non-unitary instructions). *)
+val unitary : Circuit.t -> Linalg.Cmat.t

@@ -1,0 +1,61 @@
+open Linalg
+
+type t = { p1 : float; p2 : float; readout : float }
+
+let ideal = { p1 = 0.; p2 = 0.; readout = 0. }
+
+(* Depolarizing probability p relates to average gate fidelity F on one qubit
+   by F = 1 - p/2, so p = 2 (1 - F); for two-qubit gates F = 1 - 4p/5,
+   approximated here by p = (1 - F) * 5/4. *)
+let ibm_cairo = { p1 = 2. *. (1. -. 0.9945); p2 = 1.25 *. (1. -. 0.984); readout = 0.01 }
+
+let make ?(p1 = 0.) ?(p2 = 0.) ?(readout = 0.) () = { p1; p2; readout }
+let is_ideal t = t.p1 = 0. && t.p2 = 0. && t.readout = 0.
+
+let kraus1 p =
+  if p < 0. || p > 1. then invalid_arg "Noise.kraus1: bad probability";
+  (* convention: rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z),
+     matching the trajectory sampler below *)
+  let w0 = sqrt (1. -. p) and w = sqrt (p /. 3.) in
+  [
+    Cmat.rscale w0 (Cmat.identity 2);
+    Cmat.rscale w (Qstate.Pauli.matrix1 Qstate.Pauli.X);
+    Cmat.rscale w (Qstate.Pauli.matrix1 Qstate.Pauli.Y);
+    Cmat.rscale w (Qstate.Pauli.matrix1 Qstate.Pauli.Z);
+  ]
+
+let sample_pauli rng p =
+  if Stats.Rng.float rng 1. >= p then None
+  else
+    match Stats.Rng.int rng 3 with
+    | 0 -> Some Qstate.Pauli.X
+    | 1 -> Some Qstate.Pauli.Y
+    | _ -> Some Qstate.Pauli.Z
+
+let amplitude_damping gamma =
+  if gamma < 0. || gamma > 1. then invalid_arg "Noise.amplitude_damping: bad rate";
+  [
+    Cmat.of_lists
+      [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.of_float (sqrt (1. -. gamma)) ] ];
+    Cmat.of_lists
+      [ [ Cx.zero; Cx.of_float (sqrt gamma) ]; [ Cx.zero; Cx.zero ] ];
+  ]
+
+let phase_damping lambda =
+  if lambda < 0. || lambda > 1. then invalid_arg "Noise.phase_damping: bad rate";
+  [
+    Cmat.of_lists
+      [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.of_float (sqrt (1. -. lambda)) ] ];
+    Cmat.of_lists
+      [ [ Cx.zero; Cx.zero ]; [ Cx.zero; Cx.of_float (sqrt lambda) ] ];
+  ]
+
+let thermal ~t1 ~t2 ~gate_time =
+  if t1 <= 0. || t2 <= 0. || gate_time < 0. then
+    invalid_arg "Noise.thermal: non-positive time";
+  if t2 > 2. *. t1 +. 1e-12 then invalid_arg "Noise.thermal: T2 > 2 T1";
+  let gamma = 1. -. exp (-.gate_time /. t1) in
+  (* pure dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1) *)
+  let inv_tphi = (1. /. t2) -. (1. /. (2. *. t1)) in
+  let lambda = 1. -. exp (-.gate_time *. inv_tphi *. 2.) in
+  (gamma, Float.max 0. lambda)

@@ -1,0 +1,42 @@
+(** Noise models for the density-matrix engine and trajectory sampling.
+
+    Gates are followed by depolarizing channels; readout flips outcomes with
+    a symmetric error probability. The [ibm_cairo] preset matches the device
+    the paper quotes (99.45% single-qubit and 98.4% two-qubit fidelity). *)
+
+type t = {
+  p1 : float;  (** single-qubit depolarizing probability per gate *)
+  p2 : float;  (** two-qubit depolarizing probability per gate *)
+  readout : float;  (** probability of flipping a measured bit *)
+}
+
+val ideal : t
+val ibm_cairo : t
+
+(** [make ?p1 ?p2 ?readout ()] builds a custom model (defaults 0). *)
+val make : ?p1:float -> ?p2:float -> ?readout:float -> unit -> t
+
+val is_ideal : t -> bool
+
+(** [kraus1 p] is the single-qubit depolarizing channel with probability [p]
+    as four 2 x 2 Kraus operators. *)
+val kraus1 : float -> Linalg.Cmat.t list
+
+(** [sample_pauli rng p] draws [None] (no error, probability [1 - p]) or one
+    of the three non-identity Paulis uniformly — the trajectory-sampling
+    counterpart of {!kraus1}. *)
+val sample_pauli : Stats.Rng.t -> float -> Qstate.Pauli.op option
+
+(** [amplitude_damping gamma] is the T1 relaxation channel: [|1>] decays to
+    [|0>] with probability [gamma]. *)
+val amplitude_damping : float -> Linalg.Cmat.t list
+
+(** [phase_damping lambda] is the pure-dephasing (T2) channel: off-diagonal
+    coherence shrinks by [sqrt (1 - lambda)]. *)
+val phase_damping : float -> Linalg.Cmat.t list
+
+(** [thermal ~t1 ~t2 ~gate_time] converts device relaxation times into
+    per-gate damping rates [(gamma, lambda)] with the standard
+    [1/T2 = 1/(2 T1) + 1/T_phi] decomposition. Raises [Invalid_argument]
+    when [t2 > 2 t1] (unphysical). *)
+val thermal : t1:float -> t2:float -> gate_time:float -> float * float

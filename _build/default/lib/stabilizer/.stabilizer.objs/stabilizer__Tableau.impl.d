@@ -1,0 +1,1 @@
+lib/stabilizer/tableau.ml: Array Circuit Cmat Linalg List Printf Qstate Stats String

@@ -1,0 +1,1 @@
+lib/stabilizer/tableau.mli: Circuit Linalg Stats

@@ -1,0 +1,59 @@
+(** Stabilizer (CHP) simulation of Clifford circuits in the
+    Aaronson-Gottesman tableau representation: O(n) per gate, O(n^2) per
+    measurement, regardless of entanglement.
+
+    The Clifford group underpins MorphQPV's input sampling (Section 5.1);
+    this simulator prepares and manipulates those states at polynomial cost
+    and provides an exact cross-check for the dense engines. *)
+
+type t
+
+(** [make n] is the stabilizer state [|0...0>]. *)
+val make : int -> t
+
+val num_qubits : t -> int
+val copy : t -> t
+
+(* In-place Clifford generators *)
+val h : t -> int -> unit
+val s : t -> int -> unit
+val sdg : t -> int -> unit
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val cx : t -> int -> int -> unit
+val cz : t -> int -> int -> unit
+val swap : t -> int -> int -> unit
+
+(** [apply_gate g t] dispatches a circuit gate; raises [Invalid_argument] on
+    non-Clifford gates (parameterized rotations etc.). *)
+val apply_gate : Circuit.Gate.t -> t -> unit
+
+(** [is_clifford_circuit c] — all gates dispatchable and no measurement. *)
+val is_clifford_circuit : Circuit.t -> bool
+
+(** [run c] executes a measurement-free Clifford circuit from [|0...0>]. *)
+val run : Circuit.t -> t
+
+(** [measure rng t q] measures qubit [q] in the Z basis, collapsing the
+    tableau, and returns the outcome. *)
+val measure : Stats.Rng.t -> t -> int -> int
+
+(** [expectation_z t q] is [<Z_q>] without collapsing: +1, -1 or 0
+    (0 when the outcome is random). *)
+val expectation_z : t -> int -> int
+
+(** [stabilizer_strings t] renders the [n] stabilizer generators as
+    [(sign, pauli-string)] pairs, e.g. [("+", "XXX")] (for inspection and
+    tests; highest qubit leftmost). *)
+val stabilizer_strings : t -> (string * string) list
+
+(** [density t] materializes the density matrix
+    [prod_i (I + G_i) / 2^n] — exponential; intended for tests on few
+    qubits. *)
+val density : t -> Linalg.Cmat.t
+
+(** [random rng n ~gates] applies a random [{H, S, CX}] word of the given
+    length (default [2 n^2 + 12]) — an approximately uniform stabilizer
+    state. *)
+val random : ?gates:int -> Stats.Rng.t -> int -> t

@@ -1,0 +1,1 @@
+lib/stats/beta_dist.ml: Array Float Format Rng Special

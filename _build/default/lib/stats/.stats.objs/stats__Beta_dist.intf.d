@@ -1,0 +1,1 @@
+lib/stats/beta_dist.mli: Format Rng

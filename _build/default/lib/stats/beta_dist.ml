@@ -1,0 +1,53 @@
+type t = { b1 : float; b2 : float }
+
+let make b1 b2 =
+  if b1 <= 0. || b2 <= 0. then invalid_arg "Beta_dist.make: non-positive shape";
+  { b1; b2 }
+
+let mean d = d.b1 /. (d.b1 +. d.b2)
+
+let variance d =
+  let s = d.b1 +. d.b2 in
+  d.b1 *. d.b2 /. (s *. s *. (s +. 1.))
+
+let pdf d x =
+  if x <= 0. || x >= 1. then 0.
+  else
+    exp
+      (((d.b1 -. 1.) *. log x)
+      +. ((d.b2 -. 1.) *. log (1. -. x))
+      -. Special.lbeta d.b1 d.b2)
+
+let cdf d x = Special.betainc d.b1 d.b2 x
+let sample d rng = Rng.beta rng ~a:d.b1 ~b:d.b2
+
+let clamp_mean m = Float.min 0.999 (Float.max 0.001 m)
+
+let fit_moments ~mean ~variance =
+  let m = clamp_mean mean in
+  let vmax = m *. (1. -. m) in
+  let v = Float.min (0.999 *. vmax) (Float.max 1e-8 variance) in
+  let common = (m *. (1. -. m) /. v) -. 1. in
+  make (Float.max 1e-3 (m *. common)) (Float.max 1e-3 ((1. -. m) *. common))
+
+let moments samples =
+  let n = float_of_int (Array.length samples) in
+  if n < 1. then invalid_arg "Beta_dist.fit: empty sample";
+  let clip x = Float.min 0.9999 (Float.max 0.0001 x) in
+  let xs = Array.map clip samples in
+  let mean = Array.fold_left ( +. ) 0. xs /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. xs
+    /. Float.max 1. (n -. 1.)
+  in
+  (mean, var)
+
+let fit samples =
+  let mean, var = moments samples in
+  fit_moments ~mean ~variance:var
+
+let fit_pinned_mean ~mean samples =
+  let _, var = moments samples in
+  fit_moments ~mean ~variance:var
+
+let pp ppf d = Format.fprintf ppf "Beta(%.4g, %.4g)" d.b1 d.b2

@@ -1,0 +1,37 @@
+(** The Beta distribution B(b1, b2) used by MorphQPV's confidence model
+    (Section 6.2 of the paper): approximation accuracies across inputs are
+    modelled as Beta-distributed, and the verification confidence is
+    [1 - P(acc < epsilon)]. *)
+
+type t = { b1 : float; b2 : float }
+
+(** [make b1 b2] builds a distribution; raises [Invalid_argument] unless both
+    shapes are positive. *)
+val make : float -> float -> t
+
+val mean : t -> float
+val variance : t -> float
+
+(** [pdf d x] is the probability density at [x] in (0, 1). *)
+val pdf : t -> float -> float
+
+(** [cdf d x] is [P(X <= x)], the regularized incomplete beta I_x(b1, b2). *)
+val cdf : t -> float -> float
+
+(** [sample d rng] draws one variate. *)
+val sample : t -> Rng.t -> float
+
+(** [fit_moments ~mean ~variance] recovers shapes by the method of moments.
+    The variance is clamped to the feasible open interval for the given mean. *)
+val fit_moments : mean:float -> variance:float -> t
+
+(** [fit samples] fits by the method of moments to empirical data in [0, 1].
+    Values are clipped away from the boundary first. *)
+val fit : float array -> t
+
+(** [fit_pinned_mean ~mean samples] fits shapes whose mean is pinned to the
+    theoretical value from Theorem 2 while matching the empirical variance,
+    mirroring the paper's characterization of (b1, b2). *)
+val fit_pinned_mean : mean:float -> float array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+let nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Describe." ^ name ^ ": empty array")
+
+let mean xs =
+  nonempty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  nonempty "variance" xs;
+  let m = mean xs in
+  let n = float_of_int (Array.length xs) in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+  /. Float.max 1. (n -. 1.)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  nonempty "min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  nonempty "max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let percentile xs p =
+  nonempty "percentile" xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Describe.histogram: non-positive bins";
+  if hi <= lo then invalid_arg "Describe.histogram: empty range";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let b = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let b = Stdlib.max 0 (Stdlib.min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  counts

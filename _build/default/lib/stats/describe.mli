@@ -1,0 +1,17 @@
+(** Descriptive statistics helpers used across experiments. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+val min : float array -> float
+val max : float array -> float
+
+(** [median xs] for a non-empty array (does not mutate its argument). *)
+val median : float array -> float
+
+(** [percentile xs p] is the [p]-th percentile (0-100, linear interpolation). *)
+val percentile : float array -> float -> float
+
+(** [histogram ~bins ~lo ~hi xs] counts values into [bins] equal-width bins
+    over [lo, hi); out-of-range values are clamped into the edge bins. *)
+val histogram : bins:int -> lo:float -> hi:float -> float array -> int array

@@ -1,0 +1,81 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x9e3779b9 |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let float t bound = Random.State.float t bound
+let int t bound = Random.State.int t bound
+let bool t = Random.State.bool t
+let uniform t lo hi = lo +. Random.State.float t (hi -. lo)
+
+let gaussian t ~mu ~sigma =
+  let u1 = Float.max 1e-300 (Random.State.float t 1.) in
+  let u2 = Random.State.float t 1. in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let binomial t ~n ~p =
+  if p <= 0. then 0
+  else if p >= 1. then n
+  else
+    let var = float_of_int n *. p *. (1. -. p) in
+    if var > 30. then
+      let mean = float_of_int n *. p in
+      let x = gaussian t ~mu:mean ~sigma:(sqrt var) in
+      Stdlib.max 0 (Stdlib.min n (int_of_float (Float.round x)))
+    else begin
+      let count = ref 0 in
+      for _ = 1 to n do
+        if Random.State.float t 1. < p then incr count
+      done;
+      !count
+    end
+
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Rng.categorical: non-positive total weight";
+  let r = Random.State.float t total in
+  let acc = ref 0. and found = ref (Array.length weights - 1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         acc := !acc +. w;
+         if r < !acc then begin
+           found := i;
+           raise Exit
+         end)
+       weights
+   with Exit -> ());
+  !found
+
+let rec gamma t ~shape =
+  if shape <= 0. then invalid_arg "Rng.gamma: non-positive shape"
+  else if shape < 1. then
+    (* boost: Gamma(a) = Gamma(a+1) * U^(1/a) *)
+    let u = Float.max 1e-300 (Random.State.float t 1.) in
+    gamma t ~shape:(shape +. 1.) *. (u ** (1. /. shape))
+  else begin
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec loop () =
+      let x = gaussian t ~mu:0. ~sigma:1. in
+      let v = (1. +. (c *. x)) ** 3. in
+      if v <= 0. then loop ()
+      else
+        let u = Float.max 1e-300 (Random.State.float t 1.) in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+        else loop ()
+    in
+    loop ()
+  end
+
+let beta t ~a ~b =
+  let x = gamma t ~shape:a in
+  let y = gamma t ~shape:b in
+  x /. (x +. y)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

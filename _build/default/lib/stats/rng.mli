@@ -1,0 +1,46 @@
+(** Deterministic random number generation for reproducible experiments.
+
+    A thin wrapper around [Random.State] with the distributions the
+    reproduction needs (uniform, Gaussian, binomial, categorical, Gamma and
+    Beta variates). *)
+
+type t
+
+(** [make seed] creates a generator from an integer seed. *)
+val make : int -> t
+
+(** [split t] derives an independent generator from [t]. *)
+val split : t -> t
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [int t bound] is uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+val uniform : t -> float -> float -> float
+
+(** [gaussian t ~mu ~sigma] is a normal variate (Box-Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** [binomial t ~n ~p] counts successes in [n] Bernoulli([p]) trials. Uses a
+    Gaussian approximation for [n * p * (1 - p) > 30] to stay O(1) on the
+    large shot counts used by tomography. *)
+val binomial : t -> n:int -> p:float -> int
+
+(** [categorical t weights] samples an index proportionally to the
+    non-negative [weights]. *)
+val categorical : t -> float array -> int
+
+(** [gamma t ~shape] samples Gamma(shape, 1) (Marsaglia-Tsang). *)
+val gamma : t -> shape:float -> float
+
+(** [beta t ~a ~b] samples Beta(a, b). *)
+val beta : t -> a:float -> b:float -> float
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,87 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients. *)
+let lanczos =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec lgamma x =
+  if x <= 0. then invalid_arg "Special.lgamma: non-positive argument"
+  else if x < 0.5 then
+    (* reflection formula *)
+    log (Float.pi /. sin (Float.pi *. x)) -. lgamma (1. -. x)
+  else
+    let x = x -. 1. in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let lbeta a b = lgamma a +. lgamma b -. lgamma (a +. b)
+
+(* Continued fraction for the incomplete beta function (Numerical Recipes
+   betacf), using the modified Lentz method. *)
+let betacf a b x =
+  let max_iter = 300 and eps = 3e-14 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1. /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to max_iter do
+       let mf = float_of_int m in
+       let m2 = 2. *. mf in
+       let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       h := !h *. !d *. !c;
+       let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+let betainc a b x =
+  if a <= 0. || b <= 0. then invalid_arg "Special.betainc: non-positive shape";
+  if x <= 0. then 0.
+  else if x >= 1. then 1.
+  else
+    let front = exp ((a *. log x) +. (b *. log (1. -. x)) -. lbeta a b) in
+    if x < (a +. 1.) /. (a +. b +. 2.) then front *. betacf a b x /. a
+    else 1. -. (front *. betacf b a (1. -. x) /. b)
+
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let y =
+    1.
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736)
+        *. t
+       +. 0.254829592)
+       *. t
+       *. exp (-.(x *. x))
+  in
+  sign *. y

@@ -1,0 +1,15 @@
+(** Special functions needed by the Beta-distribution confidence model. *)
+
+(** [lgamma x] is the natural log of the Gamma function for [x > 0]
+    (Lanczos approximation, ~15 significant digits). *)
+val lgamma : float -> float
+
+(** [lbeta a b] is [log (Beta (a, b))]. *)
+val lbeta : float -> float -> float
+
+(** [betainc a b x] is the regularized incomplete beta function I_x(a, b)
+    for [a, b > 0] and [x] in [0, 1] (continued-fraction evaluation). *)
+val betainc : float -> float -> float -> float
+
+(** [erf x] is the Gauss error function (Abramowitz-Stegun 7.1.26, ~1e-7). *)
+val erf : float -> float

@@ -1,0 +1,1 @@
+lib/tomography/mitigation.ml: Array Float Linalg List Rmat Stats

@@ -1,0 +1,1 @@
+lib/tomography/mitigation.mli: Linalg Stats

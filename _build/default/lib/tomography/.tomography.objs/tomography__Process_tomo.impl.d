@@ -1,0 +1,1 @@
+lib/tomography/process_tomo.ml: Array Cmat Cvec Cx Hsvec Lazy Linalg List Rmat State_tomo

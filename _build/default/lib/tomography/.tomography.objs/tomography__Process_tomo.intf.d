@@ -1,0 +1,1 @@
+lib/tomography/process_tomo.mli: Linalg Stats

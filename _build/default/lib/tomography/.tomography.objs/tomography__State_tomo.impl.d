@@ -1,0 +1,1 @@
+lib/tomography/state_tomo.ml: Array Cmat Cx Eig Float Linalg List Pauli Qstate Stats

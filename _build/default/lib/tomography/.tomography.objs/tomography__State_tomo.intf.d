@@ -1,0 +1,1 @@
+lib/tomography/state_tomo.mli: Linalg Qstate Stats

@@ -1,0 +1,59 @@
+open Linalg
+
+type t = { n : int; confusion : Rmat.t }
+
+let ideal n = { n; confusion = Rmat.identity (1 lsl n) }
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let exact n ~readout =
+  if readout < 0. || readout > 1. then invalid_arg "Mitigation.exact: bad rate";
+  let d = 1 lsl n in
+  let confusion =
+    Rmat.init d d (fun obs true_ ->
+        let flips = popcount (obs lxor true_) in
+        (readout ** float_of_int flips)
+        *. ((1. -. readout) ** float_of_int (n - flips)))
+  in
+  { n; confusion }
+
+let calibrate ?(shots = 1024) rng ~n ~readout =
+  let d = 1 lsl n in
+  let confusion = Rmat.create d d in
+  for true_ = 0 to d - 1 do
+    (* calibration circuit: prepare |true_>, measure with flip noise *)
+    let counts = Array.make d 0 in
+    for _ = 1 to shots do
+      let observed = ref true_ in
+      for q = 0 to n - 1 do
+        if Stats.Rng.float rng 1. < readout then observed := !observed lxor (1 lsl q)
+      done;
+      counts.(!observed) <- counts.(!observed) + 1
+    done;
+    for obs = 0 to d - 1 do
+      Rmat.set confusion obs true_ (float_of_int counts.(obs) /. float_of_int shots)
+    done
+  done;
+  { n; confusion }
+
+let apply t observed =
+  let d = 1 lsl t.n in
+  if Array.length observed <> d then invalid_arg "Mitigation.apply: bad length";
+  let raw =
+    try Rmat.solve t.confusion observed
+    with Failure _ -> Rmat.lstsq t.confusion observed
+  in
+  let clipped = Array.map (Float.max 0.) raw in
+  let total = Array.fold_left ( +. ) 0. clipped in
+  if total <= 0. then Array.make d (1. /. float_of_int d)
+  else Array.map (fun x -> x /. total) clipped
+
+let mitigate_counts t ~shots counts =
+  let d = 1 lsl t.n in
+  let observed = Array.make d 0. in
+  List.iter
+    (fun (k, c) -> observed.(k) <- float_of_int c /. float_of_int shots)
+    counts;
+  apply t observed

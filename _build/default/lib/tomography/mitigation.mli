@@ -1,0 +1,29 @@
+(** Measurement (readout) error mitigation.
+
+    Real devices flip measured bits with some probability; tomography built
+    on raw counts inherits that bias. The standard correction calibrates a
+    confusion matrix [C] (column [j] = observed distribution when the true
+    state is basis [j]) from calibration circuits and solves
+    [C p_true = p_observed] for every subsequent experiment. *)
+
+type t = private { n : int; confusion : Linalg.Rmat.t }
+
+(** [ideal n] is the identity calibration (no correction). *)
+val ideal : int -> t
+
+(** [exact n ~readout] is the analytic confusion matrix of a symmetric
+    per-qubit flip probability — the model used by {!Sim.Noise.readout}. *)
+val exact : int -> readout:float -> t
+
+(** [calibrate ?shots rng ~n ~readout] estimates the confusion matrix by
+    simulating the [2^n] calibration circuits under the given flip
+    probability with [shots] (default 1024) measurements each. *)
+val calibrate : ?shots:int -> Stats.Rng.t -> n:int -> readout:float -> t
+
+(** [apply t observed] solves for the true distribution, clips negatives and
+    renormalizes. [observed] must have length [2^n]. *)
+val apply : t -> float array -> float array
+
+(** [mitigate_counts t ~shots counts] converts sampled counts to a corrected
+    probability distribution. *)
+val mitigate_counts : t -> shots:int -> (int * int) list -> float array

@@ -1,0 +1,72 @@
+open Linalg
+
+type result = {
+  choi_like : (Cmat.t * Cmat.t) list;
+  settings : int;
+  shots_used : int;
+}
+
+let single_states =
+  lazy
+    (let zero = Cvec.of_list [ Cx.one; Cx.zero ] in
+     let one = Cvec.of_list [ Cx.zero; Cx.one ] in
+     let plus = Cvec.rscale (1. /. sqrt 2.) (Cvec.of_list [ Cx.one; Cx.one ]) in
+     let plus_i = Cvec.rscale (1. /. sqrt 2.) (Cvec.of_list [ Cx.one; Cx.i ]) in
+     List.map (fun v -> Cmat.outer v v) [ zero; one; plus; plus_i ])
+
+let input_basis n =
+  let singles = Lazy.force single_states in
+  let rec go k =
+    if k = 0 then [ Cmat.identity 1 ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map (fun s -> List.map (fun r -> Cmat.kron r s) rest) singles
+  in
+  go n
+
+let run rng ~shots ~channel ~n () =
+  let basis = input_basis n in
+  let settings = ref 0 and shots_used = ref 0 in
+  let choi_like =
+    List.map
+      (fun input ->
+        let output_true = channel input in
+        let tomo = State_tomo.run rng ~shots ~truth:output_true () in
+        settings := !settings + tomo.State_tomo.settings;
+        shots_used := !shots_used + tomo.State_tomo.shots_used;
+        (input, tomo.State_tomo.rho))
+      basis
+  in
+  { choi_like; settings = !settings; shots_used = !shots_used }
+
+let apply result rho =
+  match result.choi_like with
+  | [] -> invalid_arg "Process_tomo.apply: empty result"
+  | (first_in, first_out) :: _ ->
+      let n_in, _ = Cmat.dims first_in in
+      let n_out, _ = Cmat.dims first_out in
+      let inputs = List.map fst result.choi_like in
+      let cols = List.length inputs in
+      (* least-squares decomposition of rho over the probed inputs *)
+      let rows = Hsvec.dim n_in in
+      let a = Rmat.create rows cols in
+      List.iteri
+        (fun j input ->
+          let v = Hsvec.encode input in
+          Array.iteri (fun i x -> Rmat.set a i j x) v)
+        inputs;
+      let b = Hsvec.encode rho in
+      let alpha = Rmat.lstsq ~ridge:1e-9 a b in
+      let acc = ref (Cmat.create n_out n_out) in
+      List.iteri
+        (fun j (_, out) -> acc := Cmat.add !acc (Cmat.rscale alpha.(j) out))
+        result.choi_like;
+      !acc
+
+let cost ~n ~shots =
+  let four_n =
+    let rec pow acc k = if k = 0 then acc else pow (acc * 4) (k - 1) in
+    pow 1 n
+  in
+  let settings_per_input = State_tomo.settings_count n in
+  (four_n * settings_per_input, four_n * settings_per_input * shots)

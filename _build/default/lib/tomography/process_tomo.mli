@@ -1,0 +1,37 @@
+(** Quantum process tomography: reconstructing a channel rather than a state.
+
+    Used in the paper only as a (very expensive) baseline for obtaining
+    tracepoint states (Figure 11a). We provide a faithful implementation for
+    small registers — probe the channel with an operator basis of input
+    states and run state tomography on every output — plus the standard cost
+    model for larger registers. *)
+
+type result = {
+  choi_like : (Linalg.Cmat.t * Linalg.Cmat.t) list;
+      (** (input basis element, reconstructed output) pairs; applying the
+          channel to a state decomposes it over the input basis *)
+  settings : int;
+  shots_used : int;
+}
+
+(** [input_basis n] is the standard [4^n]-element operator basis built from
+    products of [|0>, |1>, |+>, |+i>] single-qubit states. *)
+val input_basis : int -> Linalg.Cmat.t list
+
+(** [run rng ~shots ~channel ~n ()] probes an [n]-qubit channel (a function
+    on density matrices) with the full input basis. *)
+val run :
+  Stats.Rng.t ->
+  shots:int ->
+  channel:(Linalg.Cmat.t -> Linalg.Cmat.t) ->
+  n:int ->
+  unit ->
+  result
+
+(** [apply result rho] approximates the channel output for input [rho] by
+    decomposing [rho] over the probed input basis (least squares). *)
+val apply : result -> Linalg.Cmat.t -> Linalg.Cmat.t
+
+(** [cost ~n ~shots] is [(settings, shots_used)] for an [n]-qubit process
+    tomography without running it: [4^n] inputs, each with [3^n] settings. *)
+val cost : n:int -> shots:int -> int * int

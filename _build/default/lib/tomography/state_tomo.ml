@@ -1,0 +1,69 @@
+open Linalg
+open Qstate
+
+type result = { rho : Cmat.t; settings : int; shots_used : int }
+
+let noisy_expectation rng ~shots e =
+  if shots <= 0 then e
+  else
+    let e = Float.min 1. (Float.max (-1.) e) in
+    let p_plus = (1. +. e) /. 2. in
+    let k = Stats.Rng.binomial rng ~n:shots ~p:p_plus in
+    (2. *. float_of_int k /. float_of_int shots) -. 1.
+
+let settings_count n =
+  let rec pow acc k = if k = 0 then acc else pow (acc * 3) (k - 1) in
+  pow 1 n
+
+let reconstruct n terms =
+  let d = 1 lsl n in
+  let acc = ref (Cmat.create d d) in
+  let has_identity = ref false in
+  List.iter
+    (fun (p, e) ->
+      if Pauli.weight p = 0 then has_identity := true;
+      if e <> 0. then acc := Cmat.add !acc (Cmat.rscale e (Pauli.matrix p)))
+    terms;
+  if not !has_identity then acc := Cmat.add !acc (Cmat.identity d);
+  Cmat.rscale (1. /. float_of_int d) !acc
+
+let run ?(project = true) rng ~shots ~truth () =
+  let d, dc = Cmat.dims truth in
+  if d <> dc then invalid_arg "State_tomo.run: non-square state";
+  let n =
+    let rec log2 acc k = if k <= 1 then acc else log2 (acc + 1) (k / 2) in
+    log2 0 d
+  in
+  if 1 lsl n <> d then invalid_arg "State_tomo.run: dimension not a power of 2";
+  let terms =
+    List.map
+      (fun p ->
+        let e_true = Pauli.expectation_dm p truth in
+        let e =
+          if Pauli.weight p = 0 then 1. else noisy_expectation rng ~shots e_true
+        in
+        (p, e))
+      (Pauli.all n)
+  in
+  let raw = reconstruct n terms in
+  let rho = if project then Eig.project_psd raw else Cmat.hermitize raw in
+  let settings = settings_count n in
+  { rho; settings; shots_used = settings * shots }
+
+let probs_only rng ~shots ~truth () =
+  let d, _ = Cmat.dims truth in
+  let true_probs = Array.init d (fun i -> Float.max 0. (Cx.re (Cmat.get truth i i))) in
+  let total = Array.fold_left ( +. ) 0. true_probs in
+  let norm = if total > 0. then Array.map (fun p -> p /. total) true_probs else true_probs in
+  (* multinomial sampling of the diagonal *)
+  let counts = Array.make d 0 in
+  for _ = 1 to shots do
+    let k = Stats.Rng.categorical rng norm in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let rho =
+    Cmat.init d d (fun i j ->
+        if i = j then Cx.of_float (float_of_int counts.(i) /. float_of_int shots)
+        else Cx.zero)
+  in
+  { rho; settings = 1; shots_used = shots }

@@ -1,0 +1,48 @@
+(** Quantum state tomography with simulated finite-shot noise.
+
+    The device only exposes measurement statistics, so tracepoint states are
+    reconstructed from Pauli expectations: [rho = 2^-n sum_P <P> P]. Each
+    expectation estimate uses [shots] repetitions with binomial sampling
+    noise; the reconstruction is optionally projected back to the
+    density-matrix cone (Hermitian, PSD, unit trace).
+
+    Measurement-setting accounting follows the standard scheme where one of
+    [3^n] local bases serves every Pauli string it dominates. *)
+
+type result = {
+  rho : Linalg.Cmat.t;  (** reconstructed state *)
+  settings : int;  (** distinct measurement settings used *)
+  shots_used : int;  (** total shots across settings *)
+}
+
+(** [noisy_expectation rng ~shots e] simulates estimating a Pauli expectation
+    whose true value is [e] from [shots] single-shot readouts. [shots = 0]
+    returns [e] exactly. *)
+val noisy_expectation : Stats.Rng.t -> shots:int -> float -> float
+
+(** [settings_count n] is [3^n], the number of local measurement bases that
+    cover all Pauli strings on [n] qubits. *)
+val settings_count : int -> int
+
+(** [reconstruct n terms] assembles [2^-n * sum (e_P * P)] from estimated
+    expectations; the identity term is fixed to 1 if absent. *)
+val reconstruct : int -> (Qstate.Pauli.t * float) list -> Linalg.Cmat.t
+
+(** [run ?project rng ~shots ~truth ()] performs full tomography of the [n]-
+    qubit state [truth] (an exact density matrix): estimates every Pauli
+    expectation with shot noise, reconstructs, and projects to a physical
+    state unless [project] is [false]. [shots] is the budget per measurement
+    setting. *)
+val run :
+  ?project:bool ->
+  Stats.Rng.t ->
+  shots:int ->
+  truth:Linalg.Cmat.t ->
+  unit ->
+  result
+
+(** [probs_only rng ~shots ~truth ()] estimates only the computational-basis
+    distribution (the paper's Strategy-prop short-cut): one setting, [shots]
+    samples, returning the diagonal reconstruction. *)
+val probs_only :
+  Stats.Rng.t -> shots:int -> truth:Linalg.Cmat.t -> unit -> result

@@ -1,0 +1,1 @@
+lib/transpile/equiv.ml: Circuit Clifford Cmat Cx Float Linalg Qstate Sim Stats

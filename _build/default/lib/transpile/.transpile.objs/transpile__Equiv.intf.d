@@ -1,0 +1,1 @@
+lib/transpile/equiv.mli: Circuit Stats

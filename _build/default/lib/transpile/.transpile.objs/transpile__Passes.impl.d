@@ -1,0 +1,1 @@
+lib/transpile/passes.ml: Circuit Float List

@@ -1,0 +1,1 @@
+lib/transpile/passes.mli: Circuit

@@ -1,0 +1,49 @@
+open Linalg
+
+let unitaries_equal ?(up_to_phase = true) ?(eps = 1e-9) a b =
+  if Circuit.num_qubits a <> Circuit.num_qubits b then false
+  else begin
+    let ua = Sim.Engine.unitary a and ub = Sim.Engine.unitary b in
+    if not up_to_phase then Cmat.equal ~eps ua ub
+    else begin
+      (* align on the largest entry of ua *)
+      let d, _ = Cmat.dims ua in
+      let best = ref (0, 0) and best_mag = ref 0. in
+      for i = 0 to d - 1 do
+        for j = 0 to d - 1 do
+          let m = Cx.norm (Cmat.get ua i j) in
+          if m > !best_mag then begin
+            best := (i, j);
+            best_mag := m
+          end
+        done
+      done;
+      let i, j = !best in
+      let za = Cmat.get ua i j and zb = Cmat.get ub i j in
+      if Cx.norm zb < eps then false
+      else
+        let phase = Cx.div za zb in
+        Float.abs (Cx.norm phase -. 1.) < 1e-6
+        && Cmat.equal ~eps ua (Cmat.scale phase ub)
+    end
+  end
+
+let states_agree ?(trials = 8) ?(eps = 1e-9) rng a b =
+  Circuit.num_qubits a = Circuit.num_qubits b
+  &&
+  let n = Circuit.num_qubits a in
+  let ok = ref true in
+  for _ = 1 to trials do
+    if !ok then begin
+      let input = Clifford.Sampling.haar_state rng n in
+      let out c = (Sim.Engine.run ~initial:input c).Sim.Engine.state in
+      if Qstate.Statevec.fidelity_pure (out a) (out b) < 1. -. eps then
+        ok := false
+    end
+  done;
+  !ok
+
+let equivalent ?rng a b =
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 77 in
+  if Circuit.num_qubits a <= 8 then unitaries_equal a b
+  else states_agree rng a b

@@ -1,0 +1,17 @@
+(** Circuit equivalence checking (the "equivalence checking" line of
+    related work): exact unitary comparison up to global phase for small
+    registers, random-state fidelity sampling for larger ones. *)
+
+(** [unitaries_equal ?up_to_phase a b] materializes both unitaries and
+    compares entrywise; with [up_to_phase] (default true) a global phase is
+    normalized away first. Intended for <= ~10 qubits. *)
+val unitaries_equal : ?up_to_phase:bool -> ?eps:float -> Circuit.t -> Circuit.t -> bool
+
+(** [states_agree ?trials ?eps rng a b] pushes random Haar states through
+    both circuits and compares output fidelity — a probabilistic check that
+    scales to larger registers (false means definitely inequivalent). *)
+val states_agree :
+  ?trials:int -> ?eps:float -> Stats.Rng.t -> Circuit.t -> Circuit.t -> bool
+
+(** [equivalent ?rng a b] dispatches: exact below 9 qubits, sampling above. *)
+val equivalent : ?rng:Stats.Rng.t -> Circuit.t -> Circuit.t -> bool

@@ -1,0 +1,127 @@
+let qubits_of_instr = Circuit.Instr.qubits
+
+let disjoint a b =
+  not (List.exists (fun q -> List.mem q b) a)
+
+let same_wires (g : Circuit.Gate.t) (g' : Circuit.Gate.t) =
+  g.Circuit.Gate.controls = g'.Circuit.Gate.controls
+  && g.Circuit.Gate.targets = g'.Circuit.Gate.targets
+
+(* names of mutually-inverse parameterless pairs *)
+let inverse_names = function
+  | "h" -> Some "h"
+  | "x" -> Some "x"
+  | "y" -> Some "y"
+  | "z" -> Some "z"
+  | "swap" -> Some "swap"
+  | "id" -> Some "id"
+  | "s" -> Some "sdg"
+  | "sdg" -> Some "s"
+  | "t" -> Some "tdg"
+  | "tdg" -> Some "t"
+  | _ -> None
+
+let cancels (g : Circuit.Gate.t) (g' : Circuit.Gate.t) =
+  same_wires g g'
+  &&
+  match (g.Circuit.Gate.params, g'.Circuit.Gate.params) with
+  | [], [] -> inverse_names g.Circuit.Gate.name = Some g'.Circuit.Gate.name
+  | [ a ], [ b ] ->
+      g.Circuit.Gate.name = g'.Circuit.Gate.name
+      && List.mem g.Circuit.Gate.name [ "rx"; "ry"; "rz"; "p"; "u1" ]
+      && Float.abs (a +. b) < 1e-12
+  | _ -> false
+
+let rotation_family = [ "rx"; "ry"; "rz"; "p"; "u1" ]
+
+let mergeable (g : Circuit.Gate.t) (g' : Circuit.Gate.t) =
+  same_wires g g'
+  && g.Circuit.Gate.name = g'.Circuit.Gate.name
+  && List.mem g.Circuit.Gate.name rotation_family
+  && List.length g.Circuit.Gate.params = 1
+  && List.length g'.Circuit.Gate.params = 1
+
+(* the identity period of a rotation's angle: exact identity only *)
+let identity_period = function
+  | "rx" | "ry" | "rz" -> 4. *. Float.pi
+  | _ -> 2. *. Float.pi (* p / u1 *)
+
+let is_identity_angle name a =
+  let period = identity_period name in
+  let m = Float.rem (Float.abs a) period in
+  Float.min m (period -. m) < 1e-12
+
+let merged (g : Circuit.Gate.t) (g' : Circuit.Gate.t) =
+  let a = List.hd g.Circuit.Gate.params and b = List.hd g'.Circuit.Gate.params in
+  let sum = a +. b in
+  if is_identity_angle g.Circuit.Gate.name sum then None
+  else
+    Some
+      (Circuit.Gate.make ~params:[ sum ] ~controls:g.Circuit.Gate.controls
+         g.Circuit.Gate.name g.Circuit.Gate.targets)
+
+(* place gate [g] against the reversed output [res], cancelling or merging
+   with the nearest instruction sharing a wire when allowed *)
+let place ~do_cancel ~do_merge g res =
+  let gq = Circuit.Gate.qubits g in
+  let rec scan acc = function
+    | [] -> None
+    | item :: rest -> (
+        if disjoint (qubits_of_instr item) gq then scan (item :: acc) rest
+        else
+          match item with
+          | Circuit.Instr.Gate g' when do_cancel && cancels g g' ->
+              Some (List.rev_append acc rest)
+          | Circuit.Instr.Gate g' when do_merge && mergeable g g' -> (
+              match merged g g' with
+              | Some m -> Some (List.rev_append acc (Circuit.Instr.Gate m :: rest))
+              | None -> Some (List.rev_append acc rest))
+          | _ -> None)
+  in
+  match scan [] res with
+  | Some res' -> res'
+  | None -> Circuit.Instr.Gate g :: res
+
+let run_pass ~do_cancel ~do_merge c =
+  let res =
+    List.fold_left
+      (fun res instr ->
+        match instr with
+        | Circuit.Instr.Gate g -> place ~do_cancel ~do_merge g res
+        | fence -> fence :: res)
+      []
+      (Circuit.instrs c)
+  in
+  List.fold_left
+    (fun c i -> Circuit.add i c)
+    (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+    (List.rev res)
+
+let cancel_inverses c = run_pass ~do_cancel:true ~do_merge:false c
+let merge_rotations c = run_pass ~do_cancel:false ~do_merge:true c
+
+let drop_identities ?(eps = 1e-12) c =
+  Circuit.map_gates
+    (fun g ->
+      match (g.Circuit.Gate.name, g.Circuit.Gate.params) with
+      | "id", [] -> None
+      | (("rx" | "ry" | "rz" | "p" | "u1") as name), [ a ]
+        when Float.abs a < eps || is_identity_angle name a ->
+          None
+      | _ -> Some g)
+    c
+
+let optimize ?(max_passes = 10) c =
+  let step c = drop_identities (run_pass ~do_cancel:true ~do_merge:true c) in
+  let rec go c k =
+    if k = 0 then c
+    else
+      let c' = step c in
+      if Circuit.gate_count c' = Circuit.gate_count c then c' else go c' (k - 1)
+  in
+  go c max_passes
+
+let gate_reduction ~before ~after =
+  let b = Circuit.gate_count before in
+  if b = 0 then 0.
+  else float_of_int (b - Circuit.gate_count after) /. float_of_int b

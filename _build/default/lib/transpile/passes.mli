@@ -1,0 +1,27 @@
+(** Peephole circuit optimization. Shrinking a circuit before
+    characterization reduces both hardware time and accumulated noise; the
+    passes below preserve the unitary semantics exactly (property-tested
+    against the simulator) and never move gates across tracepoints,
+    measurements or barriers — those act as optimization fences, so
+    tracepoint states are untouched.
+
+    Passes:
+    - cancel adjacent mutually-inverse gate pairs (H H, X X, CX CX, S Sdg, ...)
+    - merge adjacent rotations on the same axis (RZ a; RZ b -> RZ (a+b))
+    - drop identity rotations (angle ~ 0 mod 4pi, global-phase-exact) *)
+
+(** [cancel_inverses c] removes adjacent inverse pairs (one sweep). *)
+val cancel_inverses : Circuit.t -> Circuit.t
+
+(** [merge_rotations c] fuses adjacent same-axis rotations on one qubit
+    (one sweep). *)
+val merge_rotations : Circuit.t -> Circuit.t
+
+(** [drop_identities ?eps c] removes rotations by ~0 (and [p(0)], [id]). *)
+val drop_identities : ?eps:float -> Circuit.t -> Circuit.t
+
+(** [optimize ?max_passes c] iterates all passes to a fixed point. *)
+val optimize : ?max_passes:int -> Circuit.t -> Circuit.t
+
+(** [gate_reduction ~before ~after] is the fraction of gates removed. *)
+val gate_reduction : before:Circuit.t -> after:Circuit.t -> float

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Benchmarks Circuit Float List Morphcore Program Qstate Sim Stats

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Benchmarks Bv Circuit Clifford Float Ghz Grover Iris Linalg List Mutation Printf Qaoa Qec Qft Qnn Qram Qstate Quantum_lock Shor_period Sim Stats Teleport Xeb

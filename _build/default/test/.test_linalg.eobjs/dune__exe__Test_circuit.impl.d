@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Circuit Float Linalg List Sim

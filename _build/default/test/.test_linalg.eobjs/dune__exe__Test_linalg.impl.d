@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cmat Cvec Cx Eig Float Format Hsvec Linalg List Printf QCheck QCheck_alcotest Random Rmat

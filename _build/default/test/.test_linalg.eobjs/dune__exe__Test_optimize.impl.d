@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Constrained Float List Objective Optimize QCheck QCheck_alcotest Solvers Stats

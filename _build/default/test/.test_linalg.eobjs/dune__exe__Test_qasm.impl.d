@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Array Benchmarks Circuit Float Linalg List QCheck QCheck_alcotest Qasm Qstate Sim Stats

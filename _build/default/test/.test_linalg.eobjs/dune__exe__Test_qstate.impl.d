@@ -1,0 +1,1 @@
+test/test_qstate.ml: Alcotest Array Cmat Cvec Cx Density Float Gates Linalg List Pauli Printf QCheck QCheck_alcotest Qstate Sim Statevec Stats

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Benchmarks Circuit List Render Stats String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Benchmarks Circuit Clifford Cmat Cx Float Linalg List Qstate Sim Stats

@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Circuit Float Format Linalg List QCheck QCheck_alcotest Qstate Sim Stabilizer Stats Tableau

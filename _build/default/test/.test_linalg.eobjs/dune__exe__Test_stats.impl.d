@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Beta_dist Describe Float List Printf QCheck QCheck_alcotest Rng Special Stats

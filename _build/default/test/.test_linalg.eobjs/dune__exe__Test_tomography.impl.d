@@ -1,0 +1,1 @@
+test/test_tomography.ml: Alcotest Array Clifford Cmat Cx Eig Float Hashtbl Linalg List Option Qstate Sim Stats Tomography

@@ -1,0 +1,1 @@
+test/test_transpile.ml: Alcotest Benchmarks Circuit Equiv Float Format List Passes QCheck QCheck_alcotest Stats Transpile

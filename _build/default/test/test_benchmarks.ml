@@ -1,0 +1,422 @@
+open Benchmarks
+
+let rng () = Stats.Rng.make 888
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------------- Quantum lock ---------------- *)
+
+let test_lock_spec () =
+  let lock = Quantum_lock.make ~key:5 3 in
+  for input = 0 to 7 do
+    let p = Quantum_lock.accepts lock input in
+    check_float
+      (Printf.sprintf "input %d" input)
+      (float_of_int (Quantum_lock.expected_output lock input))
+      p ~eps:1e-9
+  done
+
+let test_lock_bug () =
+  let lock = Quantum_lock.make ~key:5 ~unexpected_key:2 3 in
+  check_float "true key" 1. (Quantum_lock.accepts lock 5);
+  check_float "unexpected key accepted" 1. (Quantum_lock.accepts lock 2);
+  check_float "other rejected" 0. (Quantum_lock.accepts lock 7)
+
+let test_lock_validation () =
+  Alcotest.check_raises "key range" (Invalid_argument "Quantum_lock.make: key out of range")
+    (fun () -> ignore (Quantum_lock.make ~key:8 3));
+  Alcotest.check_raises "same key" (Invalid_argument "Quantum_lock.make: bad unexpected key")
+    (fun () -> ignore (Quantum_lock.make ~key:2 ~unexpected_key:2 3))
+
+(* ---------------- QFT ---------------- *)
+
+let test_qft_inverse () =
+  let n = 4 in
+  let c = Qft.append_inverse (List.init n (fun i -> i)) (Qft.circuit n) in
+  let u = Sim.Engine.unitary c in
+  if not (Linalg.Cmat.equal ~eps:1e-9 u (Linalg.Cmat.identity (1 lsl n))) then
+    Alcotest.fail "QFT * QFT^-1 != I"
+
+let test_qft_of_basis () =
+  (* QFT|0> = uniform superposition *)
+  let st = (Sim.Engine.run (Qft.circuit 3)).Sim.Engine.state in
+  let probs = Qstate.Statevec.probs st in
+  Array.iter (fun p -> check_float "uniform" 0.125 p ~eps:1e-9) probs
+
+(* ---------------- QRAM ---------------- *)
+
+let test_qram_reads () =
+  let r = rng () in
+  let table = Qram.uniform_table r 3 in
+  let qram = Qram.make ~table 3 in
+  for addr = 0 to 7 do
+    check_float
+      (Printf.sprintf "addr %d" addr)
+      (Qram.expected_p1 qram addr)
+      (Qram.read qram addr)
+      ~eps:1e-9
+  done
+
+let test_qram_superposition () =
+  (* querying (|00> + |11>)/sqrt2 mixes both cells coherently *)
+  let table = [| 0.3; 0.; 0.; 1.2 |] in
+  let qram = Qram.make ~table 2 in
+  let input =
+    Qstate.Statevec.of_cvec 3
+      (Linalg.Cvec.init 8 (fun k ->
+           if k = 0 || k = 3 then Linalg.Cx.of_float (1. /. sqrt 2.) else Linalg.Cx.zero))
+  in
+  let st = (Sim.Engine.run ~initial:input qram.Qram.circuit).Sim.Engine.state in
+  (* amplitude of |addr=00, data=1> should be sin(0.3)/sqrt2 *)
+  let amp = Qstate.Statevec.amplitude st 0b100 in
+  check_float "cell 0" (sin 0.3 /. sqrt 2.) (Linalg.Cx.re amp) ~eps:1e-9
+
+let test_qram_corruption () =
+  let table = [| 0.5; 1.0 |] in
+  let qram = Qram.make ~corrupt:(1, 2.5) ~table 1 in
+  (* address 0 intact, address 1 corrupted *)
+  check_float "intact" (Qram.expected_p1 qram 0) (Qram.read qram 0) ~eps:1e-9;
+  let bad = Qram.read qram 1 in
+  if Float.abs (bad -. Qram.expected_p1 qram 1) < 0.05 then
+    Alcotest.fail "corruption invisible"
+
+(* ---------------- Teleport ---------------- *)
+
+let test_teleport_multi () =
+  let r = rng () in
+  let k = 2 in
+  let c = Teleport.multi k in
+  let payload = Clifford.Sampling.haar_state r k in
+  let initial = Qstate.Statevec.kron (Qstate.Statevec.zero (2 * k)) payload in
+  let o = Sim.Engine.run ~rng:r ~initial c in
+  let out = Qstate.Statevec.reduced_density o.Sim.Engine.state (Teleport.output_qubits k) in
+  let expect =
+    Linalg.Cmat.outer (Qstate.Statevec.to_cvec payload) (Qstate.Statevec.to_cvec payload)
+  in
+  if not (Linalg.Cmat.equal ~eps:1e-9 out expect) then
+    Alcotest.fail "2-qubit teleportation failed"
+
+let test_teleport_tracepoints () =
+  let traces = Sim.Engine.tracepoint_states ~trajectories:8 (Teleport.single ()) in
+  assert (List.mem_assoc 1 traces);
+  assert (List.mem_assoc 2 traces)
+
+(* ---------------- QNN & Iris ---------------- *)
+
+let test_iris_shapes () =
+  let flowers = Iris.generate (rng ()) ~count:40 in
+  Alcotest.(check int) "count" 40 (Array.length flowers);
+  Array.iter
+    (fun f ->
+      Alcotest.(check int) "4 features" 4 (Array.length f.Iris.features);
+      assert (f.Iris.label = 0 || f.Iris.label = 1))
+    flowers;
+  (* setosa sepal length mostly in [4, 6] *)
+  let setosa = Array.to_list flowers |> List.filter (fun f -> f.Iris.label = 0) in
+  let in_band =
+    List.length
+      (List.filter (fun f -> f.Iris.features.(0) >= 4. && f.Iris.features.(0) <= 6.) setosa)
+  in
+  assert (float_of_int in_band /. float_of_int (List.length setosa) > 0.9)
+
+let test_iris_normalization () =
+  let angles = Iris.normalize_features [| 4.; 2.; 1.; 0. |] in
+  Array.iter (fun a -> check_float "lo maps to 0" 0. a) angles;
+  let hi = Iris.normalize_features [| 8.; 4.5; 7.; 2.6 |] in
+  Array.iter (fun a -> check_float "hi maps to 2pi" (2. *. Float.pi) a ~eps:1e-9) hi
+
+let test_qnn_training_improves () =
+  let r = rng () in
+  let flowers = Iris.generate r ~count:16 in
+  let qnn = Qnn.init r ~num_qubits:4 ~layers:1 in
+  let before = Qnn.accuracy qnn flowers in
+  let trained = Qnn.train r qnn flowers ~epochs:8 ~lr:0.3 in
+  let after = Qnn.accuracy trained flowers in
+  if after < before -. 0.05 then
+    Alcotest.failf "training degraded accuracy: %.2f -> %.2f" before after;
+  if after < 0.7 then Alcotest.failf "trained accuracy too low: %.2f" after
+
+let test_qnn_prune () =
+  let r = rng () in
+  let qnn = Qnn.init r ~num_qubits:3 ~layers:2 in
+  qnn.Qnn.params.(0) <- 0.001;
+  qnn.Qnn.params.(3) <- 0.002;
+  let pruned, removed = Qnn.prune qnn ~threshold:0.01 in
+  Alcotest.(check (list int)) "removed" [ 0; 3 ] removed;
+  check_float "zeroed" 0. pruned.Qnn.params.(0)
+
+let test_qnn_prune_changes_little () =
+  let r = rng () in
+  let flowers = Iris.generate r ~count:10 in
+  let qnn = Qnn.init r ~num_qubits:4 ~layers:2 in
+  qnn.Qnn.params.(2) <- 0.004;
+  let pruned, _ = Qnn.prune qnn ~threshold:0.01 in
+  Array.iter
+    (fun f ->
+      let a = Qnn.predict qnn ~features:f.Iris.features in
+      let b = Qnn.predict pruned ~features:f.Iris.features in
+      if Float.abs (a -. b) > 0.05 then Alcotest.fail "tiny-angle prune changed output")
+    flowers
+
+(* ---------------- QEC ---------------- *)
+
+let test_qec_corrects_all_single_errors () =
+  let r = rng () in
+  List.iter
+    (fun d ->
+      for q = 0 to d - 1 do
+        let fid = Qec.logical_fidelity ~error:q ~trials:8 r d in
+        check_float (Printf.sprintf "d=%d error on %d" d q) 1. fid
+      done)
+    [ 3; 5 ]
+
+let test_qec_no_error () =
+  let fid = Qec.logical_fidelity ~trials:8 (rng ()) 3 in
+  check_float "clean round" 1. fid
+
+let test_qec_validation () =
+  Alcotest.check_raises "even distance"
+    (Invalid_argument "Qec: distance must be odd and at least 3") (fun () ->
+      ignore (Qec.round 4))
+
+(* ---------------- Shor ---------------- *)
+
+let test_shor_orders () =
+  Alcotest.(check int) "ord(2,15)" 4 (Shor_period.order ~a:2 ~n_mod:15);
+  Alcotest.(check int) "ord(7,15)" 4 (Shor_period.order ~a:7 ~n_mod:15);
+  Alcotest.(check int) "ord(2,21)" 6 (Shor_period.order ~a:2 ~n_mod:21)
+
+let test_shor_peak () =
+  let counting = 5 in
+  let c = Shor_period.circuit ~counting ~phase:0.25 in
+  let st = (Sim.Engine.run c).Sim.Engine.state in
+  let probs = Qstate.Statevec.probs st in
+  let best = ref 0 in
+  Array.iteri (fun k p -> if p > probs.(!best) then best := k) probs;
+  let counting_value = !best land ((1 lsl counting) - 1) in
+  Alcotest.(check int) "peak" (Shor_period.expected_peak ~counting ~phase:0.25) counting_value
+
+let test_shor_exact_phase_prob_one () =
+  (* phase = k/2^m is estimated exactly: all probability on one output *)
+  let c = Shor_period.circuit ~counting:3 ~phase:(3. /. 8.) in
+  let st = (Sim.Engine.run c).Sim.Engine.state in
+  let probs = Qstate.Statevec.probs st in
+  let max_p = Array.fold_left Float.max 0. probs in
+  check_float "deterministic peak" 1. max_p ~eps:1e-9
+
+(* ---------------- XEB ---------------- *)
+
+let test_xeb_circuit_shape () =
+  let c = Xeb.make (rng ()) ~n:4 ~depth:5 in
+  Alcotest.(check int) "qubits" 4 (Circuit.num_qubits c);
+  assert (Circuit.two_qubit_count c > 0);
+  assert (Sim.Engine.is_deterministic c)
+
+let test_xeb_self_fidelity () =
+  (* sampling from the ideal distribution estimates d * sum p^2 - 1 *)
+  let r = rng () in
+  let c = Xeb.make r ~n:4 ~depth:8 in
+  let st = (Sim.Engine.run c).Sim.Engine.state in
+  let ideal = Qstate.Statevec.probs st in
+  let expected =
+    (16. *. Array.fold_left (fun acc p -> acc +. (p *. p)) 0. ideal) -. 1.
+  in
+  let samples = Array.init 8000 (fun _ -> Qstate.Statevec.sample r st) in
+  let f = Xeb.linear_xeb ~ideal_probs:ideal ~samples in
+  check_float "self xeb" expected f ~eps:(0.15 *. (1. +. expected));
+  (* and a coherent circuit is far from the uniform value 0 *)
+  assert (f > 0.3)
+
+let test_xeb_uniform_fidelity_zero () =
+  (* sampling uniformly gives XEB ~ 0 *)
+  let r = rng () in
+  let c = Xeb.make r ~n:4 ~depth:8 in
+  let st = (Sim.Engine.run c).Sim.Engine.state in
+  let ideal = Qstate.Statevec.probs st in
+  let samples = Array.init 8000 (fun _ -> Stats.Rng.int r 16) in
+  let f = Xeb.linear_xeb ~ideal_probs:ideal ~samples in
+  check_float "uniform xeb" 0. f ~eps:0.3
+
+(* ---------------- BV & GHZ ---------------- *)
+
+let test_bv_recovers_secret () =
+  List.iter
+    (fun secret ->
+      Alcotest.(check int)
+        (Printf.sprintf "secret %d" secret)
+        secret
+        (Bv.recover ~secret 4))
+    [ 0; 1; 5; 15 ]
+
+let test_ghz_state () =
+  let st = Ghz.state 4 in
+  check_float "p0" 0.5 (Linalg.Cx.norm2 (Qstate.Statevec.amplitude st 0));
+  check_float "p15" 0.5 (Linalg.Cx.norm2 (Qstate.Statevec.amplitude st 15))
+
+(* ---------------- Mutation ---------------- *)
+
+let test_mutation_adds_gate () =
+  let r = rng () in
+  let c = Ghz.circuit 3 in
+  let m = Mutation.inject r c in
+  Alcotest.(check int) "one more gate" (Circuit.gate_count c + 1)
+    (Circuit.gate_count m.Mutation.circuit)
+
+let test_mutation_phase_family () =
+  let r = rng () in
+  List.iter
+    (fun m ->
+      assert (List.mem m.Mutation.gate_name [ "z"; "s"; "t"; "rz" ]))
+    (Mutation.inject_many r ~count:30 (Ghz.circuit 3))
+
+let test_mutation_preserves_probs_sometimes () =
+  (* a phase gate injected at the very end never changes probabilities *)
+  let c = Circuit.(empty 2 |> h 0 |> cx 0 1) in
+  let items = Circuit.instrs c in
+  let mutated =
+    List.fold_left (fun acc i -> Circuit.add i acc) (Circuit.empty 2) items
+    |> Circuit.z 0
+  in
+  let p1 = Qstate.Statevec.probs (Sim.Engine.run c).Sim.Engine.state in
+  let p2 = Qstate.Statevec.probs (Sim.Engine.run mutated).Sim.Engine.state in
+  Array.iteri (fun i p -> check_float "probs equal" p p2.(i)) p1
+
+let test_mutation_bitflip_changes_probs () =
+  let r = rng () in
+  let c = Ghz.circuit 2 in
+  let m = Mutation.inject_bitflip r c in
+  Alcotest.(check string) "x gate" "x" m.Mutation.gate_name
+
+(* ---------------- Grover (appended suite) ---------------- *)
+
+let test_grover_amplifies () =
+  List.iter
+    (fun n ->
+      let marked = (1 lsl n) - 2 in
+      let p = Grover.success_probability ~marked n in
+      let uniform = 1. /. float_of_int (1 lsl n) in
+      if p < 0.8 then Alcotest.failf "n=%d weak amplification %.3f" n p;
+      assert (p > 2. *. uniform))
+    [ 2; 3; 4; 5 ]
+
+let test_grover_optimal_iterations () =
+  Alcotest.(check int) "n=2" 1 (Grover.optimal_iterations 2);
+  Alcotest.(check int) "n=4" 3 (Grover.optimal_iterations 4)
+
+let test_grover_zero_iterations_uniform () =
+  let p = Grover.success_probability ~iterations:0 ~marked:1 3 in
+  check_float "uniform" 0.125 p ~eps:1e-9
+
+let test_grover_validation () =
+  Alcotest.check_raises "marked range"
+    (Invalid_argument "Grover.circuit: marked element out of range") (fun () ->
+      ignore (Grover.circuit ~marked:8 3))
+
+(* ---------------- QAOA ---------------- *)
+
+let test_qaoa_graphs () =
+  Alcotest.(check int) "ring edges" 4 (List.length (Qaoa.ring 4));
+  Alcotest.(check int) "complete edges" 6 (List.length (Qaoa.complete 4));
+  check_float "ring maxcut" 4. (Qaoa.max_cut ~graph:(Qaoa.ring 4) 4);
+  check_float "odd ring maxcut" 4. (Qaoa.max_cut ~graph:(Qaoa.ring 5) 5)
+
+let test_qaoa_zero_angles_uniform () =
+  (* gamma = beta = 0: uniform superposition, expected cut = |E|/2 *)
+  let graph = Qaoa.ring 4 in
+  let cut, _ = Qaoa.run ~graph ~gammas:[ 0. ] ~betas:[ 0. ] 4 in
+  check_float "uniform cut" 2. cut ~eps:1e-9
+
+let test_qaoa_improves_over_uniform () =
+  let r = rng () in
+  let graph = Qaoa.ring 4 in
+  let _, _, ratio = Qaoa.optimize ~iters:300 r ~graph ~layers:1 4 in
+  (* p=1 QAOA on the 4-ring should clearly beat the uniform ratio of 0.5 *)
+  if ratio < 0.6 then Alcotest.failf "ratio %.3f" ratio
+
+let test_qaoa_expected_cut_on_basis () =
+  let graph = Qaoa.ring 4 in
+  (* bitstring 0101 cuts all four ring edges *)
+  check_float "alternating" 4.
+    (Qaoa.expected_cut ~graph 4 (Qstate.Statevec.basis 4 0b0101))
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "quantum-lock",
+        [
+          Alcotest.test_case "spec" `Quick test_lock_spec;
+          Alcotest.test_case "bug" `Quick test_lock_bug;
+          Alcotest.test_case "validation" `Quick test_lock_validation;
+        ] );
+      ( "qft",
+        [
+          Alcotest.test_case "inverse" `Quick test_qft_inverse;
+          Alcotest.test_case "uniform" `Quick test_qft_of_basis;
+        ] );
+      ( "qram",
+        [
+          Alcotest.test_case "reads" `Quick test_qram_reads;
+          Alcotest.test_case "superposition" `Quick test_qram_superposition;
+          Alcotest.test_case "corruption" `Quick test_qram_corruption;
+        ] );
+      ( "teleport",
+        [
+          Alcotest.test_case "multi" `Quick test_teleport_multi;
+          Alcotest.test_case "tracepoints" `Quick test_teleport_tracepoints;
+        ] );
+      ( "qnn",
+        [
+          Alcotest.test_case "iris shapes" `Quick test_iris_shapes;
+          Alcotest.test_case "iris normalization" `Quick test_iris_normalization;
+          Alcotest.test_case "training improves" `Slow test_qnn_training_improves;
+          Alcotest.test_case "prune" `Quick test_qnn_prune;
+          Alcotest.test_case "prune changes little" `Quick test_qnn_prune_changes_little;
+        ] );
+      ( "qec",
+        [
+          Alcotest.test_case "corrects single errors" `Quick test_qec_corrects_all_single_errors;
+          Alcotest.test_case "clean round" `Quick test_qec_no_error;
+          Alcotest.test_case "validation" `Quick test_qec_validation;
+        ] );
+      ( "shor",
+        [
+          Alcotest.test_case "orders" `Quick test_shor_orders;
+          Alcotest.test_case "peak" `Quick test_shor_peak;
+          Alcotest.test_case "exact phase" `Quick test_shor_exact_phase_prob_one;
+        ] );
+      ( "xeb",
+        [
+          Alcotest.test_case "shape" `Quick test_xeb_circuit_shape;
+          Alcotest.test_case "self fidelity" `Quick test_xeb_self_fidelity;
+          Alcotest.test_case "uniform fidelity" `Quick test_xeb_uniform_fidelity_zero;
+        ] );
+      ( "bv-ghz",
+        [
+          Alcotest.test_case "bv secret" `Quick test_bv_recovers_secret;
+          Alcotest.test_case "ghz state" `Quick test_ghz_state;
+        ] );
+      ( "grover",
+        [
+          Alcotest.test_case "amplifies" `Quick test_grover_amplifies;
+          Alcotest.test_case "optimal iterations" `Quick test_grover_optimal_iterations;
+          Alcotest.test_case "zero iterations" `Quick test_grover_zero_iterations_uniform;
+          Alcotest.test_case "validation" `Quick test_grover_validation;
+        ] );
+      ( "qaoa",
+        [
+          Alcotest.test_case "graphs" `Quick test_qaoa_graphs;
+          Alcotest.test_case "zero angles uniform" `Quick test_qaoa_zero_angles_uniform;
+          Alcotest.test_case "optimization improves" `Slow test_qaoa_improves_over_uniform;
+          Alcotest.test_case "expected cut basis" `Quick test_qaoa_expected_cut_on_basis;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "adds gate" `Quick test_mutation_adds_gate;
+          Alcotest.test_case "phase family" `Quick test_mutation_phase_family;
+          Alcotest.test_case "terminal phase invisible" `Quick test_mutation_preserves_probs_sometimes;
+          Alcotest.test_case "bitflip" `Quick test_mutation_bitflip_changes_probs;
+        ] );
+    ]
+

@@ -1,0 +1,164 @@
+open Optimize
+
+let rng () = Stats.Rng.make 321
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* concave quadratic with maximum 3 at (0.5, -0.25) *)
+let quadratic =
+  Objective.make ~dim:2 (fun x ->
+      3. -. (2. *. (x.(0) -. 0.5) ** 2.) -. ((x.(1) +. 0.25) ** 2.))
+
+(* multimodal: global max 1 at x = 0.7 *)
+let multimodal =
+  Objective.make ~dim:1 (fun x ->
+      (0.6 *. exp (-50. *. ((x.(0) +. 0.5) ** 2.)))
+      +. exp (-50. *. ((x.(0) -. 0.7) ** 2.)))
+
+let solvers : (string * (Stats.Rng.t -> Objective.t -> Solvers.solution)) list =
+  [
+    ("adam", fun r o -> Solvers.adam r o);
+    ("anneal", fun r o -> Solvers.anneal r o);
+    ("genetic", fun r o -> Solvers.genetic r o);
+    ("qp", fun r o -> Solvers.qp r o);
+  ]
+
+let test_objective_helpers () =
+  let o = Objective.make ~dim:3 (fun _ -> 0.) in
+  let x = [| -5.; 0.3; 5. |] in
+  Objective.clamp o x;
+  Alcotest.(check (list (float 1e-12))) "clamped" [ -1.; 0.3; 1. ] (Array.to_list x);
+  let r = rng () in
+  let p = Objective.random_point o r in
+  Array.iter (fun v -> assert (v >= -1. && v <= 1.)) p
+
+let test_num_grad () =
+  let o = Objective.make ~dim:2 (fun x -> (x.(0) *. x.(0)) +. (3. *. x.(1))) in
+  let g = Objective.num_grad o [| 0.4; 0.1 |] in
+  check_float "dx" 0.8 g.(0) ~eps:1e-6;
+  check_float "dy" 3. g.(1) ~eps:1e-6
+
+let test_solvers_quadratic () =
+  List.iter
+    (fun (name, solve) ->
+      let sol = solve (rng ()) quadratic in
+      if Float.abs (sol.Solvers.value -. 3.) > 0.05 then
+        Alcotest.failf "%s missed quadratic max: %.4f" name sol.Solvers.value)
+    solvers
+
+let test_solvers_multimodal () =
+  (* global-capable solvers should escape the local bump *)
+  List.iter
+    (fun (name, solve) ->
+      let sol = solve (rng ()) multimodal in
+      if Float.abs (sol.Solvers.value -. 1.) > 0.1 then
+        Alcotest.failf "%s missed global max: %.4f at %.3f" name
+          sol.Solvers.value sol.Solvers.x.(0))
+    [ ("anneal", fun r o -> Solvers.anneal r o);
+      ("genetic", fun r o -> Solvers.genetic r o) ]
+
+let test_solution_within_bounds () =
+  List.iter
+    (fun (name, solve) ->
+      let sol = solve (rng ()) quadratic in
+      Array.iter
+        (fun v ->
+          if v < -1.0001 || v > 1.0001 then
+            Alcotest.failf "%s left the box" name)
+        sol.Solvers.x)
+    solvers
+
+let test_evals_counted () =
+  let sol = Solvers.anneal ~iters:100 ~restarts:1 (rng ()) quadratic in
+  assert (sol.Solvers.evals >= 100)
+
+let test_maximize_dispatch () =
+  List.iter
+    (fun m ->
+      let sol = Solvers.maximize ~budget:4000 m (rng ()) quadratic in
+      if Float.abs (sol.Solvers.value -. 3.) > 0.1 then
+        Alcotest.failf "%s dispatch failed: %f" (Solvers.method_to_string m)
+          sol.Solvers.value)
+    [ `Adam; `Anneal; `Genetic; `Qp ]
+
+(* constrained: max x + y subject to x + y <= 1 -> value 1 *)
+let test_constrained_active () =
+  let problem =
+    {
+      Constrained.objective = Objective.make ~dim:2 (fun x -> x.(0) +. x.(1));
+      constraints = [ (fun x -> x.(0) +. x.(1) -. 1.) ];
+    }
+  in
+  let sol = Constrained.maximize ~budget:20000 ~method_:`Anneal (rng ()) problem in
+  assert sol.Constrained.feasible;
+  check_float "active constraint" 1. sol.Constrained.value ~eps:0.05
+
+let test_constrained_inactive () =
+  (* unconstrained max (0,0) already feasible *)
+  let problem =
+    {
+      Constrained.objective =
+        Objective.make ~dim:2 (fun x -> -.(x.(0) ** 2.) -. (x.(1) ** 2.));
+      constraints = [ (fun x -> x.(0) -. 10.) ];
+    }
+  in
+  let sol = Constrained.maximize ~method_:`Qp (rng ()) problem in
+  assert sol.Constrained.feasible;
+  check_float "interior max" 0. sol.Constrained.value ~eps:0.01
+
+let test_constrained_infeasible () =
+  (* contradictory constraints must be reported infeasible *)
+  let problem =
+    {
+      Constrained.objective = Objective.make ~dim:1 (fun x -> x.(0));
+      constraints = [ (fun x -> x.(0) -. 0.5); (fun x -> 0.6 -. x.(0)) ];
+    }
+  in
+  let sol = Constrained.maximize ~method_:`Anneal (rng ()) problem in
+  assert (not sol.Constrained.feasible)
+
+let test_qp_exact_on_quadratic () =
+  (* the QP solver should nail a pure quadratic very precisely *)
+  let sol = Solvers.qp ~iters:100 ~restarts:2 (rng ()) quadratic in
+  check_float "qp value" 3. sol.Solvers.value ~eps:1e-3;
+  check_float "qp x0" 0.5 sol.Solvers.x.(0) ~eps:0.05;
+  check_float "qp x1" (-0.25) sol.Solvers.x.(1) ~eps:0.05
+
+let prop_solutions_bounded =
+  QCheck.Test.make ~name:"random quadratics stay bounded" ~count:20
+    QCheck.(pair (float_range (-0.9) 0.9) (float_range (-0.9) 0.9))
+    (fun (cx, cy) ->
+      let o =
+        Objective.make ~dim:2 (fun x ->
+            -.((x.(0) -. cx) ** 2.) -. ((x.(1) -. cy) ** 2.))
+      in
+      let sol = Solvers.qp ~iters:40 ~restarts:2 (rng ()) o in
+      sol.Solvers.value > -0.2)
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "objective",
+        [
+          Alcotest.test_case "helpers" `Quick test_objective_helpers;
+          Alcotest.test_case "num grad" `Quick test_num_grad;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "quadratic" `Quick test_solvers_quadratic;
+          Alcotest.test_case "multimodal" `Quick test_solvers_multimodal;
+          Alcotest.test_case "bounds" `Quick test_solution_within_bounds;
+          Alcotest.test_case "eval counting" `Quick test_evals_counted;
+          Alcotest.test_case "dispatch" `Quick test_maximize_dispatch;
+          Alcotest.test_case "qp exact" `Quick test_qp_exact_on_quadratic;
+        ] );
+      ( "constrained",
+        [
+          Alcotest.test_case "active" `Quick test_constrained_active;
+          Alcotest.test_case "inactive" `Quick test_constrained_inactive;
+          Alcotest.test_case "infeasible" `Quick test_constrained_infeasible;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_solutions_bounded ]);
+    ]

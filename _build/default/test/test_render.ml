@@ -1,0 +1,76 @@
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let test_ghz_layout () =
+  let out = Render.Draw.to_string (Circuit.(empty 3 |> h 0 |> cx 0 1 |> cx 1 2)) in
+  let ls = lines out in
+  Alcotest.(check int) "three wires" 3 (List.length ls);
+  (* qubit 0 line carries the H and the control dot *)
+  let l0 = List.nth ls 0 in
+  assert (String.length l0 > 0);
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  assert (contains "[H]" l0);
+  assert (contains "o" l0);
+  assert (contains "[X]" (List.nth ls 1))
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_slots_share_columns () =
+  (* disjoint gates share a slot: the drawing should have exactly 1 slot *)
+  let out = Render.Draw.to_string Circuit.(empty 2 |> h 0 |> h 1) in
+  let ls = lines out in
+  let width l = String.length l in
+  Alcotest.(check int) "same width" (width (List.nth ls 0)) (width (List.nth ls 1));
+  (* both rows show their H in the same column *)
+  let col l =
+    let rec find i = if i >= String.length l - 2 then -1
+      else if String.sub l i 3 = "[H]" then i else find (i + 1) in
+    find 0
+  in
+  Alcotest.(check int) "same column" (col (List.nth ls 0)) (col (List.nth ls 1))
+
+let test_measure_and_feedback_rendering () =
+  let out = Render.Draw.to_string (Benchmarks.Teleport.single ()) in
+  assert (contains "M->c0" out);
+  assert (contains "?c" out);
+  assert (contains "T1" out);
+  assert (contains "T2" out)
+
+let test_parameter_label () =
+  let out = Render.Draw.to_string Circuit.(empty 1 |> rz 0.5 0) in
+  assert (contains "RZ(0.5)" out)
+
+let test_every_benchmark_renders () =
+  let rng = Stats.Rng.make 1 in
+  List.iter
+    (fun c ->
+      let out = Render.Draw.to_string c in
+      Alcotest.(check int) "one line per qubit" (Circuit.num_qubits c)
+        (List.length (lines out)))
+    [
+      Benchmarks.Ghz.circuit 4;
+      Benchmarks.Qft.circuit 3;
+      (Benchmarks.Quantum_lock.make ~key:1 3).Benchmarks.Quantum_lock.circuit;
+      Benchmarks.Teleport.multi 2;
+      Benchmarks.Xeb.make rng ~n:3 ~depth:3;
+      Benchmarks.Grover.circuit ~marked:2 3;
+    ]
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "draw",
+        [
+          Alcotest.test_case "ghz layout" `Quick test_ghz_layout;
+          Alcotest.test_case "slot sharing" `Quick test_slots_share_columns;
+          Alcotest.test_case "measure/feedback" `Quick test_measure_and_feedback_rendering;
+          Alcotest.test_case "parameter label" `Quick test_parameter_label;
+          Alcotest.test_case "all benchmarks render" `Quick test_every_benchmark_renders;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+open Stats
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------------- Special ---------------- *)
+
+let test_lgamma_known () =
+  (* Gamma(1) = Gamma(2) = 1, Gamma(5) = 24, Gamma(1/2) = sqrt(pi) *)
+  check_float "lgamma 1" 0. (Special.lgamma 1.) ~eps:1e-10;
+  check_float "lgamma 2" 0. (Special.lgamma 2.) ~eps:1e-10;
+  check_float "lgamma 5" (log 24.) (Special.lgamma 5.) ~eps:1e-9;
+  check_float "lgamma 0.5" (0.5 *. log Float.pi) (Special.lgamma 0.5) ~eps:1e-9
+
+let test_lgamma_recurrence () =
+  (* Gamma(x+1) = x Gamma(x) *)
+  List.iter
+    (fun x ->
+      check_float
+        (Printf.sprintf "recurrence at %g" x)
+        (Special.lgamma x +. log x)
+        (Special.lgamma (x +. 1.))
+        ~eps:1e-9)
+    [ 0.3; 1.7; 4.2; 9.9 ]
+
+let test_lbeta () =
+  (* B(a,b) = Gamma(a) Gamma(b) / Gamma(a+b); B(1,1) = 1; B(2,3) = 1/12 *)
+  check_float "lbeta 1 1" 0. (Special.lbeta 1. 1.) ~eps:1e-10;
+  check_float "lbeta 2 3" (log (1. /. 12.)) (Special.lbeta 2. 3.) ~eps:1e-9
+
+let test_betainc_uniform () =
+  (* Beta(1,1) is uniform: I_x = x *)
+  List.iter
+    (fun x -> check_float "uniform cdf" x (Special.betainc 1. 1. x) ~eps:1e-9)
+    [ 0.; 0.1; 0.33; 0.5; 0.9; 1. ]
+
+let test_betainc_symmetry () =
+  (* I_x(a, b) = 1 - I_{1-x}(b, a) *)
+  List.iter
+    (fun (a, b, x) ->
+      check_float "symmetry"
+        (Special.betainc a b x)
+        (1. -. Special.betainc b a (1. -. x))
+        ~eps:1e-10)
+    [ (2., 3., 0.25); (0.5, 0.5, 0.7); (5., 1., 0.9); (3.3, 2.2, 0.01) ]
+
+let test_betainc_monotone () =
+  let prev = ref (-1.) in
+  for i = 0 to 100 do
+    let x = float_of_int i /. 100. in
+    let v = Special.betainc 2.5 1.5 x in
+    if v < !prev -. 1e-12 then Alcotest.fail "betainc not monotone";
+    prev := v
+  done
+
+let test_erf () =
+  check_float "erf 0" 0. (Special.erf 0.) ~eps:1e-7;
+  check_float "erf 1" 0.8427007929 (Special.erf 1.) ~eps:1e-4;
+  check_float "erf -1" (-0.8427007929) (Special.erf (-1.)) ~eps:1e-4
+
+(* ---------------- Beta_dist ---------------- *)
+
+let test_beta_moments () =
+  let d = Beta_dist.make 2. 5. in
+  check_float "mean" (2. /. 7.) (Beta_dist.mean d);
+  check_float "variance" (2. *. 5. /. (49. *. 8.)) (Beta_dist.variance d)
+
+let test_beta_cdf_limits () =
+  let d = Beta_dist.make 3. 2. in
+  check_float "cdf 0" 0. (Beta_dist.cdf d 0.);
+  check_float "cdf 1" 1. (Beta_dist.cdf d 1.);
+  let mid = Beta_dist.cdf d 0.5 in
+  if mid <= 0. || mid >= 1. then Alcotest.fail "cdf interior out of range"
+
+let test_beta_fit_moments () =
+  let d = Beta_dist.fit_moments ~mean:0.3 ~variance:0.01 in
+  check_float "fitted mean" 0.3 (Beta_dist.mean d) ~eps:1e-6;
+  check_float "fitted variance" 0.01 (Beta_dist.variance d) ~eps:1e-6
+
+let test_beta_fit_samples () =
+  let rng = Rng.make 99 in
+  let d_true = Beta_dist.make 4. 2. in
+  let samples = Array.init 5000 (fun _ -> Beta_dist.sample d_true rng) in
+  let d_fit = Beta_dist.fit samples in
+  check_float "fit mean" (Beta_dist.mean d_true) (Beta_dist.mean d_fit) ~eps:0.02;
+  check_float "fit var" (Beta_dist.variance d_true) (Beta_dist.variance d_fit)
+    ~eps:0.01
+
+let test_beta_pdf_integrates () =
+  let d = Beta_dist.make 2.5 3.5 in
+  let n = 2000 in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let x = (float_of_int i +. 0.5) /. float_of_int n in
+    acc := !acc +. (Beta_dist.pdf d x /. float_of_int n)
+  done;
+  check_float "pdf integral" 1. !acc ~eps:1e-3
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.make 5 and b = Rng.make 5 in
+  for _ = 1 to 50 do
+    check_float "same stream" (Rng.float a 1.) (Rng.float b 1.)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.make 17 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng ~mu:2. ~sigma:3.) in
+  check_float "gaussian mean" 2. (Describe.mean xs) ~eps:0.1;
+  check_float "gaussian std" 3. (Describe.stddev xs) ~eps:0.1
+
+let test_rng_binomial () =
+  let rng = Rng.make 19 in
+  (* small n: exact Bernoulli loop *)
+  let xs = Array.init 5000 (fun _ -> float_of_int (Rng.binomial rng ~n:10 ~p:0.3)) in
+  check_float "binomial mean small" 3. (Describe.mean xs) ~eps:0.1;
+  (* large n: Gaussian approximation path *)
+  let ys = Array.init 5000 (fun _ -> float_of_int (Rng.binomial rng ~n:1000 ~p:0.5)) in
+  check_float "binomial mean large" 500. (Describe.mean ys) ~eps:2.;
+  check_float "binomial std large" (sqrt 250.) (Describe.stddev ys) ~eps:1.5;
+  (* edges *)
+  assert (Rng.binomial rng ~n:100 ~p:0. = 0);
+  assert (Rng.binomial rng ~n:100 ~p:1. = 100)
+
+let test_rng_categorical () =
+  let rng = Rng.make 23 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 6000 do
+    let k = Rng.categorical rng [| 1.; 2.; 3. |] in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_float "cat 0" 1000. (float_of_int counts.(0)) ~eps:150.;
+  check_float "cat 2" 3000. (float_of_int counts.(2)) ~eps:220.
+
+let test_rng_gamma_mean () =
+  let rng = Rng.make 29 in
+  let xs = Array.init 10000 (fun _ -> Rng.gamma rng ~shape:3.5) in
+  check_float "gamma mean" 3.5 (Describe.mean xs) ~eps:0.1
+
+(* ---------------- Describe ---------------- *)
+
+let test_describe_basic () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  check_float "mean" 2.5 (Describe.mean xs);
+  check_float "min" 1. (Describe.min xs);
+  check_float "max" 4. (Describe.max xs);
+  check_float "median" 2.5 (Describe.median xs);
+  check_float "variance" (5. /. 3.) (Describe.variance xs) ~eps:1e-9
+
+let test_describe_percentile () =
+  let xs = Array.init 101 float_of_int in
+  check_float "p0" 0. (Describe.percentile xs 0.);
+  check_float "p50" 50. (Describe.percentile xs 50.);
+  check_float "p100" 100. (Describe.percentile xs 100.)
+
+let test_describe_histogram () =
+  let xs = [| 0.1; 0.2; 0.55; 0.9; 1.5; -0.5 |] in
+  let h = Describe.histogram ~bins:2 ~lo:0. ~hi:1. xs in
+  Alcotest.(check (list int)) "bins" [ 3; 3 ] (Array.to_list h)
+
+(* ---------------- qcheck ---------------- *)
+
+let prop_betainc_bounds =
+  QCheck.Test.make ~name:"betainc in [0,1]" ~count:200
+    QCheck.(triple (float_range 0.1 10.) (float_range 0.1 10.) (float_range 0. 1.))
+    (fun (a, b, x) ->
+      let v = Special.betainc a b x in
+      v >= 0. && v <= 1.)
+
+let prop_beta_fit_roundtrip =
+  QCheck.Test.make ~name:"fit_moments roundtrip" ~count:100
+    QCheck.(pair (float_range 0.05 0.95) (float_range 0.0005 0.02))
+    (fun (m, v) ->
+      let d = Beta_dist.fit_moments ~mean:m ~variance:v in
+      Float.abs (Beta_dist.mean d -. m) < 1e-3
+      || Beta_dist.variance d < v +. 1e-6)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_betainc_bounds; prop_beta_fit_roundtrip ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "lgamma known" `Quick test_lgamma_known;
+          Alcotest.test_case "lgamma recurrence" `Quick test_lgamma_recurrence;
+          Alcotest.test_case "lbeta" `Quick test_lbeta;
+          Alcotest.test_case "betainc uniform" `Quick test_betainc_uniform;
+          Alcotest.test_case "betainc symmetry" `Quick test_betainc_symmetry;
+          Alcotest.test_case "betainc monotone" `Quick test_betainc_monotone;
+          Alcotest.test_case "erf" `Quick test_erf;
+        ] );
+      ( "beta-dist",
+        [
+          Alcotest.test_case "moments" `Quick test_beta_moments;
+          Alcotest.test_case "cdf limits" `Quick test_beta_cdf_limits;
+          Alcotest.test_case "fit moments" `Quick test_beta_fit_moments;
+          Alcotest.test_case "fit samples" `Quick test_beta_fit_samples;
+          Alcotest.test_case "pdf integrates" `Quick test_beta_pdf_integrates;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "binomial" `Quick test_rng_binomial;
+          Alcotest.test_case "categorical" `Quick test_rng_categorical;
+          Alcotest.test_case "gamma mean" `Quick test_rng_gamma_mean;
+        ] );
+      ( "describe",
+        [
+          Alcotest.test_case "basic" `Quick test_describe_basic;
+          Alcotest.test_case "percentile" `Quick test_describe_percentile;
+          Alcotest.test_case "histogram" `Quick test_describe_histogram;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,299 @@
+open Linalg
+
+let rng () = Stats.Rng.make 55
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let random_dm r n =
+  let st = Clifford.Sampling.haar_state r n in
+  let v = Qstate.Statevec.to_cvec st in
+  Cmat.outer v v
+
+(* ---------------- State_tomo ---------------- *)
+
+let test_noisy_expectation_unbiased () =
+  let r = rng () in
+  let e_true = 0.42 in
+  let estimates =
+    Array.init 3000 (fun _ ->
+        Tomography.State_tomo.noisy_expectation r ~shots:200 e_true)
+  in
+  check_float "unbiased" e_true (Stats.Describe.mean estimates) ~eps:0.01;
+  (* variance shrinks with shots *)
+  let tight =
+    Array.init 500 (fun _ ->
+        Tomography.State_tomo.noisy_expectation r ~shots:20000 e_true)
+  in
+  assert (Stats.Describe.stddev tight < Stats.Describe.stddev estimates)
+
+let test_noisy_expectation_exact_mode () =
+  let r = rng () in
+  check_float "shots=0 exact" 0.3
+    (Tomography.State_tomo.noisy_expectation r ~shots:0 0.3)
+
+let test_settings_count () =
+  Alcotest.(check int) "1 qubit" 3 (Tomography.State_tomo.settings_count 1);
+  Alcotest.(check int) "3 qubits" 27 (Tomography.State_tomo.settings_count 3)
+
+let test_reconstruct_exact () =
+  (* reconstruction from exact expectations is the identity map *)
+  let r = rng () in
+  let truth = random_dm r 2 in
+  let terms =
+    List.map
+      (fun p -> (p, Qstate.Pauli.expectation_dm p truth))
+      (Qstate.Pauli.all 2)
+  in
+  let rec_rho = Tomography.State_tomo.reconstruct 2 terms in
+  if not (Cmat.equal ~eps:1e-9 truth rec_rho) then
+    Alcotest.fail "exact reconstruction differs"
+
+let test_run_infinite_shots () =
+  let r = rng () in
+  let truth = random_dm r 2 in
+  let result = Tomography.State_tomo.run r ~shots:0 ~truth () in
+  if not (Cmat.equal ~eps:1e-6 truth result.Tomography.State_tomo.rho) then
+    Alcotest.fail "infinite-shot tomography should be exact"
+
+let test_run_finite_shots_close () =
+  let r = rng () in
+  let truth = random_dm r 2 in
+  let result = Tomography.State_tomo.run r ~shots:8000 ~truth () in
+  let fid =
+    Qstate.Density.fidelity
+      (Qstate.Density.of_cmat 2 result.Tomography.State_tomo.rho)
+      (Qstate.Density.of_cmat 2 truth)
+  in
+  if fid < 0.97 then Alcotest.failf "tomography fidelity too low: %.3f" fid;
+  Alcotest.(check int) "settings" 9 result.Tomography.State_tomo.settings;
+  Alcotest.(check int) "shots" (9 * 8000) result.Tomography.State_tomo.shots_used
+
+let test_run_projection_physical () =
+  let r = rng () in
+  let truth = random_dm r 2 in
+  (* few shots: raw reconstruction would be unphysical; projection fixes it *)
+  let result = Tomography.State_tomo.run ~project:true r ~shots:50 ~truth () in
+  assert (Qstate.Density.is_valid ~eps:1e-6 (Qstate.Density.of_cmat 2 result.Tomography.State_tomo.rho))
+
+let test_probs_only () =
+  let r = rng () in
+  let truth = random_dm r 2 in
+  let result = Tomography.State_tomo.probs_only r ~shots:20000 ~truth () in
+  Alcotest.(check int) "one setting" 1 result.Tomography.State_tomo.settings;
+  for i = 0 to 3 do
+    check_float "diag close"
+      (Cx.re (Cmat.get truth i i))
+      (Cx.re (Cmat.get result.Tomography.State_tomo.rho i i))
+      ~eps:0.02
+  done
+
+(* ---------------- Process_tomo ---------------- *)
+
+let test_process_input_basis () =
+  let basis = Tomography.Process_tomo.input_basis 1 in
+  Alcotest.(check int) "4 inputs" 4 (List.length basis);
+  List.iter
+    (fun m -> check_float "unit trace" 1. (Cx.re (Cmat.trace m)) ~eps:1e-12)
+    basis;
+  Alcotest.(check int) "16 inputs for 2q" 16
+    (List.length (Tomography.Process_tomo.input_basis 2))
+
+let test_process_reconstruction () =
+  let r = rng () in
+  (* channel: apply a fixed unitary *)
+  let u = Qstate.Gates.u3 0.7 0.3 1.1 in
+  let channel rho = Cmat.mul3 u rho (Cmat.adjoint u) in
+  let result = Tomography.Process_tomo.run r ~shots:0 ~channel ~n:1 () in
+  let test_in = random_dm r 1 in
+  let approx_out = Tomography.Process_tomo.apply result test_in in
+  let true_out = channel test_in in
+  if not (Cmat.equal ~eps:1e-6 approx_out true_out) then
+    Alcotest.fail "process tomography reconstruction wrong"
+
+let test_process_cost () =
+  let settings, shots = Tomography.Process_tomo.cost ~n:3 ~shots:100 in
+  Alcotest.(check int) "settings" (64 * 27) settings;
+  Alcotest.(check int) "shots" (64 * 27 * 100) shots
+
+(* ---------------- Clifford sampling ---------------- *)
+
+let test_sampling_basis_enumerates () =
+  let r = rng () in
+  List.iter
+    (fun index ->
+      let st = Clifford.Sampling.state r Clifford.Sampling.Basis 2 ~index in
+      let expect = Qstate.Statevec.basis 2 (index mod 4) in
+      if Qstate.Statevec.fidelity_pure st expect < 1. -. 1e-12 then
+        Alcotest.failf "basis state %d wrong" index)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_sampling_normalized () =
+  let r = rng () in
+  List.iter
+    (fun kind ->
+      for index = 0 to 5 do
+        let st = Clifford.Sampling.state r kind 3 ~index in
+        check_float "normalized" 1. (Qstate.Statevec.norm st) ~eps:1e-9
+      done)
+    [ Clifford.Sampling.Basis; Clifford.Sampling.Clifford; Clifford.Sampling.Haar ]
+
+let test_sampling_clifford_span () =
+  (* enough clifford samples should span more of the Hermitian space than
+     the same number of basis states *)
+  let r = rng () in
+  let rank states =
+    let encs = List.map (fun (_, st) ->
+        let v = Qstate.Statevec.to_cvec st in
+        Linalg.Hsvec.encode (Cmat.outer v v)) states in
+    (* crude numerical rank via Gram matrix eigenvalues *)
+    let k = List.length encs in
+    let g = Linalg.Rmat.init k k (fun i j ->
+        let a = List.nth encs i and b = List.nth encs j in
+        Array.fold_left ( +. ) 0. (Array.map2 ( *. ) a b)) in
+    (* count significant pivots via Cholesky-free diagonalization: use
+       complex eig on embedded real symmetric matrix *)
+    let cm = Cmat.init k k (fun i j -> Cx.of_float (Linalg.Rmat.get g i j)) in
+    let w, _ = Eig.hermitian cm in
+    Array.fold_left (fun acc x -> if x > 1e-9 then acc + 1 else acc) 0 w
+  in
+  let basis = Clifford.Sampling.sample_set r Clifford.Sampling.Basis 2 ~count:8 in
+  let cliff = Clifford.Sampling.sample_set r Clifford.Sampling.Clifford 2 ~count:8 in
+  (* 8 basis states of 2 qubits only span the 4 diagonal directions *)
+  assert (rank basis <= 4);
+  assert (rank cliff > 4)
+
+let test_haar_state_distribution () =
+  (* mean density matrix of Haar states approaches I/d *)
+  let r = rng () in
+  let d = 4 in
+  let acc = ref (Cmat.create d d) in
+  let trials = 600 in
+  for _ = 1 to trials do
+    let st = Clifford.Sampling.haar_state r 2 in
+    let v = Qstate.Statevec.to_cvec st in
+    acc := Cmat.add !acc (Cmat.outer v v)
+  done;
+  let avg = Cmat.rscale (1. /. float_of_int trials) !acc in
+  if not (Cmat.equal ~eps:0.05 avg (Cmat.rscale 0.25 (Cmat.identity d))) then
+    Alcotest.fail "haar average not maximally mixed"
+
+let test_random_mixture_physical () =
+  let r = rng () in
+  let states = List.init 4 (fun _ -> Clifford.Sampling.haar_state r 2) in
+  let rho = Clifford.Sampling.random_mixture r states in
+  assert (Qstate.Density.is_valid ~eps:1e-8 (Qstate.Density.of_cmat 2 rho))
+
+let test_prep_circuit_matches_state () =
+  let r1 = Stats.Rng.make 5 and r2 = Stats.Rng.make 5 in
+  let c = Clifford.Sampling.prep_circuit r1 Clifford.Sampling.Clifford 3 ~index:0 in
+  let st1 = (Sim.Engine.run c).Sim.Engine.state in
+  let st2 = Clifford.Sampling.state r2 Clifford.Sampling.Clifford 3 ~index:0 in
+  if Qstate.Statevec.fidelity_pure st1 st2 < 1. -. 1e-9 then
+    Alcotest.fail "prep circuit does not reproduce its state"
+
+(* ---------------- Mitigation ---------------- *)
+
+let test_mitigation_exact_matrix () =
+  let m = Tomography.Mitigation.exact 1 ~readout:0.1 in
+  check_float "diag" 0.9 (Linalg.Rmat.get m.Tomography.Mitigation.confusion 0 0);
+  check_float "off" 0.1 (Linalg.Rmat.get m.Tomography.Mitigation.confusion 1 0);
+  (* columns are distributions *)
+  let m2 = Tomography.Mitigation.exact 3 ~readout:0.07 in
+  for j = 0 to 7 do
+    let s = ref 0. in
+    for i = 0 to 7 do
+      s := !s +. Linalg.Rmat.get m2.Tomography.Mitigation.confusion i j
+    done;
+    check_float "column sum" 1. !s ~eps:1e-12
+  done
+
+let test_mitigation_recovers_truth () =
+  let readout = 0.08 in
+  let m = Tomography.Mitigation.exact 2 ~readout in
+  (* true distribution concentrated on |01>: corrupt it, then mitigate *)
+  let true_p = [| 0.; 1.; 0.; 0. |] in
+  let observed = Linalg.Rmat.apply m.Tomography.Mitigation.confusion true_p in
+  (* corruption spread weight away... *)
+  assert (observed.(1) < 0.9);
+  let recovered = Tomography.Mitigation.apply m observed in
+  Array.iteri (fun i p -> check_float "recovered" true_p.(i) p ~eps:1e-9) recovered;
+  ignore recovered
+
+let test_mitigation_calibrated_close_to_exact () =
+  let r = rng () in
+  let readout = 0.1 in
+  let cal = Tomography.Mitigation.calibrate ~shots:20000 r ~n:2 ~readout in
+  let exact = Tomography.Mitigation.exact 2 ~readout in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      check_float "entry"
+        (Linalg.Rmat.get exact.Tomography.Mitigation.confusion i j)
+        (Linalg.Rmat.get cal.Tomography.Mitigation.confusion i j)
+        ~eps:0.02
+    done
+  done
+
+let test_mitigation_counts_pipeline () =
+  let r = rng () in
+  let readout = 0.06 in
+  let m = Tomography.Mitigation.exact 2 ~readout in
+  (* simulate measuring |11> with flips *)
+  let shots = 20000 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to shots do
+    let obs = ref 3 in
+    for q = 0 to 1 do
+      if Stats.Rng.float r 1. < readout then obs := !obs lxor (1 lsl q)
+    done;
+    Hashtbl.replace counts !obs (1 + Option.value ~default:0 (Hashtbl.find_opt counts !obs))
+  done;
+  let count_list = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+  let p = Tomography.Mitigation.mitigate_counts m ~shots count_list in
+  check_float "mitigated p11" 1. p.(3) ~eps:0.02
+
+let test_mitigation_ideal_noop () =
+  let m = Tomography.Mitigation.ideal 2 in
+  let p = [| 0.2; 0.3; 0.1; 0.4 |] in
+  let q = Tomography.Mitigation.apply m p in
+  Array.iteri (fun i x -> check_float "identity" p.(i) x ~eps:1e-12) q
+
+let () =
+  Alcotest.run "tomography"
+    [
+      ( "state-tomo",
+        [
+          Alcotest.test_case "unbiased estimator" `Quick test_noisy_expectation_unbiased;
+          Alcotest.test_case "exact mode" `Quick test_noisy_expectation_exact_mode;
+          Alcotest.test_case "settings count" `Quick test_settings_count;
+          Alcotest.test_case "exact reconstruction" `Quick test_reconstruct_exact;
+          Alcotest.test_case "infinite shots" `Quick test_run_infinite_shots;
+          Alcotest.test_case "finite shots close" `Quick test_run_finite_shots_close;
+          Alcotest.test_case "projection physical" `Quick test_run_projection_physical;
+          Alcotest.test_case "probs only" `Quick test_probs_only;
+        ] );
+      ( "process-tomo",
+        [
+          Alcotest.test_case "input basis" `Quick test_process_input_basis;
+          Alcotest.test_case "reconstruction" `Quick test_process_reconstruction;
+          Alcotest.test_case "cost model" `Quick test_process_cost;
+        ] );
+      ( "mitigation",
+        [
+          Alcotest.test_case "exact matrix" `Quick test_mitigation_exact_matrix;
+          Alcotest.test_case "recovers truth" `Quick test_mitigation_recovers_truth;
+          Alcotest.test_case "calibration" `Quick test_mitigation_calibrated_close_to_exact;
+          Alcotest.test_case "counts pipeline" `Quick test_mitigation_counts_pipeline;
+          Alcotest.test_case "ideal noop" `Quick test_mitigation_ideal_noop;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "basis enumerates" `Quick test_sampling_basis_enumerates;
+          Alcotest.test_case "normalized" `Quick test_sampling_normalized;
+          Alcotest.test_case "clifford span" `Quick test_sampling_clifford_span;
+          Alcotest.test_case "haar distribution" `Quick test_haar_state_distribution;
+          Alcotest.test_case "random mixture" `Quick test_random_mixture_physical;
+          Alcotest.test_case "prep circuit" `Quick test_prep_circuit_matches_state;
+        ] );
+    ]

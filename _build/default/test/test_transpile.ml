@@ -1,0 +1,216 @@
+open Transpile
+
+let rng () = Stats.Rng.make 7171
+
+let check_equiv msg before after =
+  if not (Equiv.unitaries_equal before after) then
+    Alcotest.failf "%s: optimization changed semantics:@.%s@.->@.%s" msg
+      (Format.asprintf "%a" Circuit.pp before)
+      (Format.asprintf "%a" Circuit.pp after)
+
+(* ---------------- cancel_inverses ---------------- *)
+
+let test_cancel_hh () =
+  let c = Circuit.(empty 1 |> h 0 |> h 0) in
+  let c' = Passes.cancel_inverses c in
+  Alcotest.(check int) "empty" 0 (Circuit.gate_count c');
+  check_equiv "hh" c c'
+
+let test_cancel_s_sdg () =
+  let c = Circuit.(empty 1 |> s 0 |> sdg 0 |> t_gate 0 |> tdg 0) in
+  Alcotest.(check int) "all gone" 0 (Circuit.gate_count (Passes.cancel_inverses c))
+
+let test_cancel_cx_pair () =
+  let c = Circuit.(empty 2 |> cx 0 1 |> cx 0 1) in
+  Alcotest.(check int) "cx pair" 0 (Circuit.gate_count (Passes.cancel_inverses c))
+
+let test_cancel_across_disjoint () =
+  (* the intervening gate touches a different qubit: still cancels *)
+  let c = Circuit.(empty 3 |> h 0 |> x 2 |> h 0) in
+  let c' = Passes.cancel_inverses c in
+  Alcotest.(check int) "only x remains" 1 (Circuit.gate_count c');
+  check_equiv "across disjoint" c c'
+
+let test_no_cancel_across_overlap () =
+  (* z on the same qubit blocks the h..h cancellation *)
+  let c = Circuit.(empty 1 |> h 0 |> z 0 |> h 0) in
+  let c' = Passes.cancel_inverses c in
+  Alcotest.(check int) "kept" 3 (Circuit.gate_count c');
+  check_equiv "blocked" c c'
+
+let test_no_cancel_across_tracepoint () =
+  (* the tracepoint observes the qubit between the pair: must not cancel,
+     otherwise the recorded state changes *)
+  let c = Circuit.(empty 1 |> h 0 |> tracepoint 1 [ 0 ] |> h 0) in
+  let c' = Passes.cancel_inverses c in
+  Alcotest.(check int) "kept" 2 (Circuit.gate_count c')
+
+let test_cancel_different_wires_kept () =
+  let c = Circuit.(empty 2 |> cx 0 1 |> cx 1 0) in
+  Alcotest.(check int) "kept" 2 (Circuit.gate_count (Passes.cancel_inverses c))
+
+let test_cancel_rotation_negation () =
+  let c = Circuit.(empty 1 |> rz 0.7 0 |> rz (-0.7) 0) in
+  Alcotest.(check int) "negated" 0 (Circuit.gate_count (Passes.cancel_inverses c))
+
+(* ---------------- merge_rotations ---------------- *)
+
+let test_merge_rz () =
+  let c = Circuit.(empty 1 |> rz 0.3 0 |> rz 0.4 0) in
+  let c' = Passes.merge_rotations c in
+  Alcotest.(check int) "merged" 1 (Circuit.gate_count c');
+  check_equiv "rz merge" c c'
+
+let test_merge_exact_identity () =
+  (* rz(x) rz(4pi - x) is the exact identity matrix *)
+  let c = Circuit.(empty 1 |> rz 1.0 0 |> rz ((4. *. Float.pi) -. 1.0) 0) in
+  let c' = Passes.merge_rotations c in
+  Alcotest.(check int) "vanished" 0 (Circuit.gate_count c');
+  check_equiv "identity merge" c c'
+
+let test_merge_2pi_not_dropped () =
+  (* rz(2pi) = -I: a global phase — but dropping it under a CONTROL would be
+     wrong, so the pass must keep a merged crz(2pi) *)
+  let c = Circuit.(empty 2 |> crz 1.0 0 1 |> crz ((2. *. Float.pi) -. 1.0) 0 1) in
+  let c' = Passes.merge_rotations c in
+  Alcotest.(check int) "kept" 1 (Circuit.gate_count c');
+  check_equiv "controlled 2pi" c c'
+
+let test_merge_mixed_axes_kept () =
+  let c = Circuit.(empty 1 |> rz 0.3 0 |> rx 0.4 0) in
+  Alcotest.(check int) "no merge" 2 (Circuit.gate_count (Passes.merge_rotations c))
+
+(* ---------------- drop_identities ---------------- *)
+
+let test_drop_identities () =
+  let c = Circuit.(empty 1 |> rz 0. 0 |> rx (4. *. Float.pi) 0 |> p 0. 0 |> h 0) in
+  let c' = Passes.drop_identities c in
+  Alcotest.(check int) "only h" 1 (Circuit.gate_count c')
+
+(* ---------------- optimize (fixpoint) ---------------- *)
+
+let test_optimize_cascade () =
+  (* h x x h: inner xx cancels, then hh cancels — needs the fixpoint *)
+  let c = Circuit.(empty 1 |> h 0 |> x 0 |> x 0 |> h 0) in
+  Alcotest.(check int) "cascade" 0 (Circuit.gate_count (Passes.optimize c))
+
+let test_optimize_preserves_random_circuits () =
+  let r = rng () in
+  for _ = 1 to 10 do
+    let n = 1 + Stats.Rng.int r 3 in
+    let c = ref (Circuit.empty n) in
+    for _ = 1 to 25 do
+      match Stats.Rng.int r 6 with
+      | 0 -> c := Circuit.h (Stats.Rng.int r n) !c
+      | 1 -> c := Circuit.s (Stats.Rng.int r n) !c
+      | 2 -> c := Circuit.rz (Stats.Rng.uniform r (-3.) 3.) (Stats.Rng.int r n) !c
+      | 3 -> c := Circuit.rx (Stats.Rng.uniform r (-3.) 3.) (Stats.Rng.int r n) !c
+      | 4 -> c := Circuit.x (Stats.Rng.int r n) !c
+      | _ ->
+          if n >= 2 then begin
+            let a = Stats.Rng.int r n in
+            let b = (a + 1) mod n in
+            c := Circuit.cx a b !c
+          end
+    done;
+    let before = !c in
+    let after = Passes.optimize before in
+    check_equiv "random circuit" before after;
+    assert (Circuit.gate_count after <= Circuit.gate_count before)
+  done
+
+let test_optimize_reduces_redundant () =
+  let r = rng () in
+  (* build a circuit, then append its adjoint: everything should collapse *)
+  let base = Circuit.(empty 2 |> h 0 |> rz 0.9 1 |> cx 0 1 |> t_gate 0) in
+  let c = Circuit.append base (Circuit.adjoint base) in
+  let c' = Passes.optimize c in
+  Alcotest.(check int) "annihilated" 0 (Circuit.gate_count c');
+  ignore r
+
+let test_gate_reduction_metric () =
+  let before = Circuit.(empty 1 |> h 0 |> h 0 |> x 0) in
+  let after = Passes.optimize before in
+  let red = Passes.gate_reduction ~before ~after in
+  if Float.abs (red -. (2. /. 3.)) > 1e-9 then
+    Alcotest.failf "reduction %.3f" red
+
+(* ---------------- Equiv ---------------- *)
+
+let test_equiv_global_phase () =
+  (* Z X and X Z differ by a global phase -1 *)
+  let a = Circuit.(empty 1 |> z 0 |> x 0) in
+  let b = Circuit.(empty 1 |> x 0 |> z 0) in
+  assert (Equiv.unitaries_equal a b);
+  assert (not (Equiv.unitaries_equal ~up_to_phase:false a b))
+
+let test_equiv_detects_difference () =
+  let a = Circuit.(empty 2 |> h 0 |> cx 0 1) in
+  let b = Circuit.(empty 2 |> h 0 |> cx 0 1 |> s 1) in
+  assert (not (Equiv.unitaries_equal a b));
+  assert (not (Equiv.states_agree (rng ()) a b))
+
+let test_equiv_sampling_agrees () =
+  let c = Benchmarks.Ghz.circuit 4 in
+  let c' = Passes.optimize c in
+  assert (Equiv.states_agree (rng ()) c c');
+  assert (Equiv.equivalent c c')
+
+let prop_optimize_preserves =
+  QCheck.Test.make ~name:"optimize preserves unitary" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let r = Stats.Rng.make seed in
+      let n = 1 + Stats.Rng.int r 3 in
+      let c = ref (Circuit.empty n) in
+      for _ = 1 to 15 do
+        match Stats.Rng.int r 4 with
+        | 0 -> c := Circuit.h (Stats.Rng.int r n) !c
+        | 1 -> c := Circuit.t_gate (Stats.Rng.int r n) !c
+        | 2 -> c := Circuit.rz (Stats.Rng.uniform r (-3.) 3.) (Stats.Rng.int r n) !c
+        | _ ->
+            if n >= 2 then begin
+              let a = Stats.Rng.int r n in
+              let b = (a + 1) mod n in
+              c := Circuit.cz a b !c
+            end
+      done;
+      Equiv.unitaries_equal !c (Passes.optimize !c))
+
+let () =
+  Alcotest.run "transpile"
+    [
+      ( "cancel",
+        [
+          Alcotest.test_case "hh" `Quick test_cancel_hh;
+          Alcotest.test_case "s sdg / t tdg" `Quick test_cancel_s_sdg;
+          Alcotest.test_case "cx pair" `Quick test_cancel_cx_pair;
+          Alcotest.test_case "across disjoint" `Quick test_cancel_across_disjoint;
+          Alcotest.test_case "blocked by overlap" `Quick test_no_cancel_across_overlap;
+          Alcotest.test_case "blocked by tracepoint" `Quick test_no_cancel_across_tracepoint;
+          Alcotest.test_case "different wires kept" `Quick test_cancel_different_wires_kept;
+          Alcotest.test_case "rotation negation" `Quick test_cancel_rotation_negation;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "rz" `Quick test_merge_rz;
+          Alcotest.test_case "exact identity" `Quick test_merge_exact_identity;
+          Alcotest.test_case "2pi under control kept" `Quick test_merge_2pi_not_dropped;
+          Alcotest.test_case "mixed axes kept" `Quick test_merge_mixed_axes_kept;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "drop identities" `Quick test_drop_identities;
+          Alcotest.test_case "cascade" `Quick test_optimize_cascade;
+          Alcotest.test_case "random circuits preserved" `Quick test_optimize_preserves_random_circuits;
+          Alcotest.test_case "adjoint annihilates" `Quick test_optimize_reduces_redundant;
+          Alcotest.test_case "reduction metric" `Quick test_gate_reduction_metric;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "global phase" `Quick test_equiv_global_phase;
+          Alcotest.test_case "detects difference" `Quick test_equiv_detects_difference;
+          Alcotest.test_case "sampling agrees" `Quick test_equiv_sampling_agrees;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_optimize_preserves ]);
+    ]
