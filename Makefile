@@ -1,0 +1,29 @@
+.PHONY: build test bench bench-smoke clean
+
+build:
+	dune build
+
+test:
+	dune build @runtest
+
+bench: build
+	dune exec bench/main.exe
+
+# Deterministic-parallelism smoke check: the fig1b experiment must print
+# byte-identical output with 1 and 2 domains (timing lines stripped).
+bench-smoke: build
+	@MORPHQPV_DOMAINS=1 dune exec bench/main.exe -- fig1b --no-bechamel \
+	  | grep -v -E 'finished in|done in' > bench_smoke_1.out
+	@MORPHQPV_DOMAINS=2 dune exec bench/main.exe -- fig1b --no-bechamel \
+	  | grep -v -E 'finished in|done in' > bench_smoke_2.out
+	@if diff -u bench_smoke_1.out bench_smoke_2.out; then \
+	  echo "bench-smoke: outputs identical across 1 and 2 domains"; \
+	  rm -f bench_smoke_1.out bench_smoke_2.out; \
+	else \
+	  echo "bench-smoke: FAILED — outputs diverge between domain counts" >&2; \
+	  exit 1; \
+	fi
+
+clean:
+	dune clean
+	rm -f bench_smoke_*.out BENCH_results.json

@@ -1,0 +1,124 @@
+(* perf: multicore scaling of the execution substrate (not a paper figure).
+
+   Workload 1 — the fig14-style kernel at scale: a 10-qubit noisy random
+   circuit whose tracepoint states are averaged over independent
+   trajectories. This is the embarrassingly-parallel hot path of
+   characterization; it is run with 1, 2 and 4 domains, checked for
+   bit-identical outputs (the deterministic-parallelism contract), and the
+   speedup vs the sequential baseline is recorded in BENCH_results.json.
+
+   Workload 2 — single-qubit gate fusion: the same circuit with adjacent 1q
+   gates fused into one u2x2 kernel sweep, timed against the unfused run to
+   show the per-trajectory work reduction.
+
+   Workload 3 — small-n regression guard: the 3-qubit quantum-lock
+   characterization, timed with 1 and 4 domains; small workloads must not
+   slow down when a pool is available. *)
+
+open Morphcore
+
+let frob_diff a b = Linalg.Cmat.frob_norm (Linalg.Cmat.sub a b)
+
+let traces_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ia, ma) (ib, mb) -> ia = ib && frob_diff ma mb = 0.)
+       a b
+
+let run () =
+  Util.header "perf: multicore scaling of the trajectory engine";
+  let cores = Domain.recommended_domain_count () in
+  Util.row "host parallelism: %d recommended domain(s)%s" cores
+    (if cores < 4 then "  [speedups are bounded by the host core count]"
+     else "");
+
+  (* ---- workload 1: noisy trajectory fan-out, 10 qubits ---- *)
+  let n = 10 in
+  let circuit =
+    (* Xeb.make puts tracepoints on the full register; re-point them at a
+       4-qubit slice so the per-trajectory density matrices stay small and
+       the workload is dominated by gate application, not state readout *)
+    let base = Benchmarks.Xeb.make (Stats.Rng.make 4242) ~n ~depth:8 in
+    List.fold_left
+      (fun c i ->
+        match i with
+        | Circuit.Instr.Tracepoint { id; _ } ->
+            Circuit.tracepoint id [ 0; 1; 2; 3 ] c
+        | i -> Circuit.add i c)
+      (Circuit.empty n) (Circuit.instrs base)
+  in
+  let noise = Sim.Noise.ibm_cairo in
+  let trajectories = 32 in
+  let run_with pool =
+    Sim.Engine.tracepoint_states ~pool ~rng:(Stats.Rng.make 7) ~noise
+      ~trajectories circuit
+  in
+  let time_domains d =
+    let pool = Parallel.Pool.create ~domains:d () in
+    let r = Util.time (fun () -> run_with pool) in
+    Parallel.Pool.shutdown pool;
+    r
+  in
+  let base_traces, t1 = time_domains 1 in
+  Util.row "noisy-traj 10q x%d   domains=1   %7.3fs   (sequential baseline)"
+    trajectories t1;
+  Util.record "perf/noisy-traj-10q/domains=1" ~seconds:t1 ~speedup:1.0
+    ~domains:1 ();
+  List.iter
+    (fun d ->
+      let traces, td = time_domains d in
+      if not (traces_equal base_traces traces) then
+        failwith "perf: parallel trajectories diverged from sequential run";
+      let speedup = t1 /. td in
+      Util.row
+        "noisy-traj 10q x%d   domains=%d   %7.3fs   speedup %.2fx   bit-identical: yes"
+        trajectories d td speedup;
+      Util.record
+        (Printf.sprintf "perf/noisy-traj-10q/domains=%d" d)
+        ~seconds:td ~speedup ~domains:d ())
+    [ 2; 4 ];
+
+  (* ---- workload 2: single-qubit gate fusion ---- *)
+  let fused = Transpile.Passes.fuse_1q circuit in
+  Util.row "fusion: %d gates -> %d gates (%.0f%% removed)"
+    (Circuit.gate_count circuit) (Circuit.gate_count fused)
+    (100. *. Transpile.Passes.gate_reduction ~before:circuit ~after:fused);
+  let time_fused c =
+    let pool = Parallel.Pool.create ~domains:1 () in
+    let _, t =
+      Util.time (fun () ->
+          Sim.Engine.tracepoint_states ~pool ~rng:(Stats.Rng.make 7) ~noise
+            ~trajectories c)
+    in
+    Parallel.Pool.shutdown pool;
+    t
+  in
+  let t_unfused = time_fused circuit and t_fused = time_fused fused in
+  Util.row "fused kernel       domains=1   %7.3fs   vs unfused %7.3fs (%.2fx)"
+    t_fused t_unfused (t_unfused /. t_fused);
+  Util.record "perf/fused-traj-10q/domains=1" ~seconds:t_fused
+    ~speedup:(t_unfused /. t_fused) ~domains:1 ();
+
+  (* ---- workload 3: small-n characterization must not regress ---- *)
+  let lock = Benchmarks.Quantum_lock.make ~key:1 3 in
+  let program =
+    Program.make ~input_qubits:lock.Benchmarks.Quantum_lock.key_qubits
+      lock.Benchmarks.Quantum_lock.circuit
+  in
+  let characterize d =
+    let pool = Parallel.Pool.create ~domains:d () in
+    let r =
+      Util.time (fun () ->
+          Characterize.run ~pool ~rng:(Stats.Rng.make 11) ~noise
+            ~trajectories:16 program ~count:16)
+    in
+    Parallel.Pool.shutdown pool;
+    r
+  in
+  let _, s1 = characterize 1 in
+  let _, s4 = characterize 4 in
+  Util.row "characterize 3q lock   domains=1 %.3fs   domains=4 %.3fs" s1 s4;
+  Util.record "perf/characterize-lock-3q/domains=1" ~seconds:s1 ~speedup:1.0
+    ~domains:1 ();
+  Util.record "perf/characterize-lock-3q/domains=4" ~seconds:s4
+    ~speedup:(s1 /. s4) ~domains:4 ()

@@ -26,6 +26,7 @@ let experiments =
     ("table4", "success rate + overhead vs NDD/Quito", Exp_table4.run);
     ("table6", "success rate + seconds vs Twist/Automa", Exp_table6.run);
     ("ablation", "alpha-recovery and PSD-projection ablations", Exp_ablation.run);
+    ("perf", "multicore scaling + gate fusion (BENCH_results.json)", Exp_perf.run);
   ]
 
 (* ------------------------- bechamel suite ---------------------------- *)
@@ -174,12 +175,15 @@ let () =
           selected
     in
     let t0 = Unix.gettimeofday () in
+    let domains = Parallel.Pool.env_domains () in
     List.iter
       (fun (name, _, run) ->
         let (), dt = Util.time run in
+        Util.record name ~seconds:dt ~domains ();
         Printf.printf "[%s finished in %.1fs]\n%!" name dt)
       to_run;
     if with_bechamel && (selected = [] || List.mem "bechamel" selected) then
       run_bechamel ();
+    Util.write_bench_json "BENCH_results.json";
     Printf.printf "\nAll experiments done in %.1fs\n%!" (Unix.gettimeofday () -. t0)
   end

@@ -18,6 +18,37 @@ let header title =
 
 let row fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* ------------- machine-readable results (BENCH_results.json) ------------- *)
+
+(* rows of (name, wall seconds, speedup vs sequential, domain count),
+   recorded by the driver and the perf experiment, written once per run so
+   the perf trajectory is tracked across PRs *)
+let bench_rows : (string * float * float option * int) list ref = ref []
+
+let record name ~seconds ?speedup ~domains () =
+  bench_rows := (name, seconds, speedup, domains) :: !bench_rows
+
+let write_bench_json path =
+  let rows = List.rev !bench_rows in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"morphqpv-bench-v1\",\n  \"default_domains\": %d,\n  \"results\": [\n"
+    (Parallel.Pool.env_domains ());
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, seconds, speedup, domains) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d}%s\n"
+        name seconds
+        (match speedup with
+        | Some s -> Printf.sprintf "%.3f" s
+        | None -> "null")
+        domains
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
 let mean = Stats.Describe.mean
 
 (* doubling search: smallest sample count (from [start], capped at [cap])

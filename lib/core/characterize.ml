@@ -34,9 +34,10 @@ let degrade rng mode cost circuit (id, exact) =
       Sim.Cost.record_many cost circuit ~circuits:1 ~shots_each:shots;
       (id, tomo.Tomography.State_tomo.rho)
 
-let run ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
+let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
     ?trajectories ?inputs program ~count =
   let rng = match rng with Some r -> r | None -> Stats.Rng.make 7 in
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
   let k = Program.num_input_qubits program in
   let input_states =
     match inputs with
@@ -50,25 +51,34 @@ let run ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
     | None ->
         List.init count (fun index -> Clifford.Sampling.state rng kind k ~index)
   in
+  (* fan sampled inputs across the pool: one split child generator and one
+     private cost meter per sample, derived/merged in index order so the
+     characterization is bit-identical for any domain count *)
+  let inputs_arr = Array.of_list input_states in
+  let n = Array.length inputs_arr in
+  let rngs = Array.init n (Stats.Rng.split rng) in
   let cost = Sim.Cost.create () in
   let samples =
-    List.map
-      (fun input_state ->
+    Parallel.Pool.map_init pool n (fun i ->
+        let rng = rngs.(i) in
+        let sample_cost = Sim.Cost.create () in
+        let input_state = inputs_arr.(i) in
         let traces =
-          Program.run_traces ?noise ?trajectories ~rng program ~input:input_state
+          Program.run_traces ~pool ?noise ?trajectories ~rng program
+            ~input:input_state
         in
         let traces =
           List.map
             (fun (id, m) ->
               if id = 0 then (id, m)
-              else degrade rng mode cost program.Program.circuit (id, m))
+              else degrade rng mode sample_cost program.Program.circuit (id, m))
             traces
         in
         let v = Qstate.Statevec.to_cvec input_state in
-        { input_state; input_dm = Cmat.outer v v; traces })
-      input_states
+        ({ input_state; input_dm = Cmat.outer v v; traces }, sample_cost))
   in
-  { program; samples = Array.of_list samples; mode; cost }
+  Array.iter (fun (_, c) -> Sim.Cost.add cost c) samples;
+  { program; samples = Array.map fst samples; mode; cost }
 
 let tracepoint_ids t =
   if Array.length t.samples = 0 then []

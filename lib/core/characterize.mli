@@ -25,10 +25,15 @@ type t = {
   cost : Sim.Cost.t;
 }
 
-(** [run ?rng ?kind ?mode ?noise ?trajectories ?inputs program ~count]
+(** [run ?pool ?rng ?kind ?mode ?noise ?trajectories ?inputs program ~count]
     samples [count] inputs of the given [kind] (default [Clifford]); an
-    explicit [inputs] list overrides kind/count (used by Strategy-adapt). *)
+    explicit [inputs] list overrides kind/count (used by Strategy-adapt).
+    Sampled inputs are characterized in parallel on [pool] (default
+    [Parallel.Pool.global ()]), each with its own [Stats.Rng.split] child
+    generator and private cost meter; meters are merged in sample order, so
+    results and cost totals are identical for any domain count. *)
 val run :
+  ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
   ?kind:Clifford.Sampling.kind ->
   ?mode:mode ->

@@ -40,11 +40,11 @@ let embed p input =
     full
   end
 
-let run_traces ?rng ?noise ?trajectories ?meter p ~input =
+let run_traces ?pool ?rng ?noise ?trajectories ?meter p ~input =
   let initial = embed p input in
   let traces =
-    Sim.Engine.tracepoint_states ?rng ?noise ?trajectories ?meter ~initial
-      p.circuit
+    Sim.Engine.tracepoint_states ?pool ?rng ?noise ?trajectories ?meter
+      ~initial p.circuit
   in
   let v = Statevec.to_cvec input in
   (0, Linalg.Cmat.outer v v) :: traces

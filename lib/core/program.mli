@@ -14,10 +14,12 @@ val num_input_qubits : t -> int
     initial state (zeros elsewhere). *)
 val embed : t -> Qstate.Statevec.t -> Qstate.Statevec.t
 
-(** [run_traces ?rng ?noise ?trajectories ?meter p ~input] executes the
+(** [run_traces ?pool ?rng ?noise ?trajectories ?meter p ~input] executes the
     program on the given input state and returns tracepoint states, with the
-    reserved id 0 mapping to the input's density matrix. *)
+    reserved id 0 mapping to the input's density matrix. [pool] is forwarded
+    to [Sim.Engine.tracepoint_states] for parallel trajectory averaging. *)
 val run_traces :
+  ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
   ?noise:Sim.Noise.t ->
   ?trajectories:int ->

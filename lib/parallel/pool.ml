@@ -1,0 +1,179 @@
+type job = {
+  body : int -> int -> unit; (* process indices [lo, hi) *)
+  next : int Atomic.t;
+  total : int;
+  chunk : int;
+  error : exn option Atomic.t;
+}
+
+type t = {
+  n_domains : int;
+  mutable workers : unit Domain.t array;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable active : int; (* workers still draining the current job *)
+  mutable stopped : bool;
+  busy : bool Atomic.t; (* one fan-out at a time; nested calls go sequential *)
+}
+
+let domains t = t.n_domains
+
+let run_chunks job =
+  let rec go () =
+    if Atomic.get job.error = None then begin
+      let lo = Atomic.fetch_and_add job.next job.chunk in
+      if lo < job.total then begin
+        (try job.body lo (min job.total (lo + job.chunk))
+         with e -> ignore (Atomic.compare_and_set job.error None (Some e)));
+        go ()
+      end
+    end
+  in
+  go ()
+
+let worker_loop pool =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.lock;
+    while (not pool.stopped) && pool.generation = !seen do
+      Condition.wait pool.work_ready pool.lock
+    done;
+    if pool.stopped then begin
+      Mutex.unlock pool.lock;
+      running := false
+    end
+    else begin
+      seen := pool.generation;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.lock;
+      run_chunks job;
+      Mutex.lock pool.lock;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.lock
+    end
+  done
+
+let env_domains () =
+  match Sys.getenv_opt "MORPHQPV_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> k
+      | _ -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+let create ?domains () =
+  let n =
+    match domains with Some d -> max 1 d | None -> env_domains ()
+  in
+  let n = min n 64 in
+  let pool =
+    {
+      n_domains = n;
+      workers = [||];
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      active = 0;
+      stopped = false;
+      busy = Atomic.make false;
+    }
+  in
+  pool.workers <-
+    Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let already = pool.stopped in
+  pool.stopped <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  if not already then Array.iter Domain.join pool.workers
+
+let submit pool ~n ~chunk body =
+  let job =
+    {
+      body;
+      next = Atomic.make 0;
+      total = n;
+      chunk;
+      error = Atomic.make None;
+    }
+  in
+  Mutex.lock pool.lock;
+  if pool.stopped then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool: used after shutdown"
+  end;
+  pool.job <- Some job;
+  pool.generation <- pool.generation + 1;
+  pool.active <- Array.length pool.workers;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  run_chunks job;
+  Mutex.lock pool.lock;
+  while pool.active > 0 do
+    Condition.wait pool.work_done pool.lock
+  done;
+  pool.job <- None;
+  Mutex.unlock pool.lock;
+  match Atomic.get job.error with Some e -> raise e | None -> ()
+
+let parallel_for_chunks ?(chunk = 1) pool ~n body =
+  if n > 0 then begin
+    let chunk = max 1 chunk in
+    if
+      pool.n_domains <= 1 || n <= chunk
+      || not (Atomic.compare_and_set pool.busy false true)
+    then body 0 n
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set pool.busy false)
+        (fun () -> submit pool ~n ~chunk body)
+  end
+
+let parallel_for ?(chunk = 1) pool ~n f =
+  parallel_for_chunks ~chunk pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let map_init pool n f =
+  if n <= 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ~n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+(* ------------------------- global pool ------------------------------- *)
+
+let global_lock = Mutex.create ()
+let global_pool = ref None
+
+let global () =
+  Mutex.lock global_lock;
+  let p =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock global_lock;
+  p
+
+let set_global_domains k =
+  Mutex.lock global_lock;
+  let old = !global_pool in
+  global_pool := Some (create ~domains:k ());
+  Mutex.unlock global_lock;
+  match old with Some p -> shutdown p | None -> ()

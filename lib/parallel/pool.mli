@@ -1,0 +1,62 @@
+(** A persistent pool of OCaml 5 domains for data-parallel fan-out.
+
+    The pool owns [domains - 1] worker domains; the submitting thread is the
+    remaining participant, so a pool of 1 runs everything inline with zero
+    synchronization. Work is distributed by atomic chunk stealing over an
+    index range.
+
+    {b Determinism.} The pool never changes {e what} is computed, only
+    {e where}: every index is processed exactly once and any reduction is the
+    caller's responsibility. All call sites in this repository either write to
+    disjoint slots ({!map_init}, the state-vector kernels) or merge results in
+    index order after the fan-out, so results are bit-identical for any domain
+    count — see the "Parallel execution" section of DESIGN.md.
+
+    {b Reentrancy.} A pool runs one fan-out at a time. A [parallel_for]
+    issued while the pool is busy (e.g. from inside a worker, or from a
+    nested library layer) silently degrades to the sequential path, so
+    nesting is safe and deadlock-free. *)
+
+type t
+
+(** [create ?domains ()] spawns a pool. [domains] defaults to the
+    [MORPHQPV_DOMAINS] environment variable, or
+    [Domain.recommended_domain_count ()] when unset; it is clamped to
+    [1, 64]. *)
+val create : ?domains:int -> unit -> t
+
+(** [domains t] is the total parallelism (workers + caller). *)
+val domains : t -> int
+
+(** [shutdown t] joins the worker domains. The pool must be idle; using it
+    afterwards raises. Shutting down twice is a no-op. *)
+val shutdown : t -> unit
+
+(** [parallel_for ?chunk t ~n f] runs [f i] exactly once for every
+    [i] in [0, n). [chunk] (default 1) is the steal granularity — purely a
+    scheduling knob, invisible to [f]. The first exception raised by any [f]
+    is re-raised in the caller after all workers quiesce. *)
+val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+
+(** [parallel_for_chunks ?chunk t ~n f] is a lower-overhead variant for tight
+    numeric kernels: [f lo hi] must process indices [lo, hi). Ranges
+    partition [0, n) but their boundaries are unspecified — [f] must not
+    attach meaning to them (the sequential fallback is a single [f 0 n]). *)
+val parallel_for_chunks : ?chunk:int -> t -> n:int -> (int -> int -> unit) -> unit
+
+(** [map_init t n f] is [Array.init n f] with the calls fanned out over the
+    pool. Slot [i] holds [f i]; order of the result is the index order, so a
+    subsequent in-order fold is deterministic for any domain count. *)
+val map_init : t -> int -> (int -> 'a) -> 'a array
+
+(** [global ()] is the process-wide shared pool, created lazily from
+    [MORPHQPV_DOMAINS]. Used as the default by [Engine], [Characterize] and
+    the state-vector kernels when no explicit [?pool] is given. *)
+val global : unit -> t
+
+(** [set_global_domains k] replaces the global pool with a [k]-domain one
+    (shutting the previous one down). Intended for benchmarks and tests. *)
+val set_global_domains : int -> unit
+
+(** [env_domains ()] is the domain count [create] would pick by default. *)
+val env_domains : unit -> int

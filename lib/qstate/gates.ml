@@ -50,29 +50,52 @@ let u3 theta phi lambda =
 let known_names =
   [
     "h"; "x"; "y"; "z"; "s"; "sdg"; "t"; "tdg"; "sx"; "sy"; "sw"; "id";
-    "rx"; "ry"; "rz"; "p"; "u1"; "u3";
+    "rx"; "ry"; "rz"; "p"; "u1"; "u3"; "u2x2";
   ]
 
+(* Memo table for the parameterless gates: one shared, immutable matrix per
+   name, resolved with a single hash lookup on the hot path. Populated once
+   at module initialization and never mutated afterwards, so concurrent
+   lookups from parallel trajectory workers are safe. *)
+let fixed_table : (string, Cmat.t) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, m) -> Hashtbl.add tbl name m)
+    [
+      ("h", h); ("x", x); ("y", y); ("z", z); ("s", s); ("sdg", sdg);
+      ("t", t); ("tdg", tdg); ("sx", sx); ("sy", sy); ("sw", sw);
+      ("id", Cmat.identity 2);
+    ];
+  tbl
+
+(* "u2x2" carries an arbitrary 2x2 matrix as 8 row-major (re, im) params —
+   the representation the gate-fusion transpile pass produces. *)
+let u2x2 ps =
+  match ps with
+  | [ r00; i00; r01; i01; r10; i10; r11; i11 ] ->
+      Cmat.of_lists
+        [
+          [ Cx.make r00 i00; Cx.make r01 i01 ];
+          [ Cx.make r10 i10; Cx.make r11 i11 ];
+        ]
+  | _ -> invalid_arg "Gates.u2x2: expected 8 parameters"
+
 let by_name name params =
-  match (name, params) with
-  | "h", [] -> h
-  | "x", [] -> x
-  | "y", [] -> y
-  | "z", [] -> z
-  | "s", [] -> s
-  | "sdg", [] -> sdg
-  | "t", [] -> t
-  | "tdg", [] -> tdg
-  | "sx", [] -> sx
-  | "sy", [] -> sy
-  | "sw", [] -> sw
-  | "id", [] -> Cmat.identity 2
-  | "rx", [ th ] -> rx th
-  | "ry", [ th ] -> ry th
-  | "rz", [ th ] -> rz th
-  | ("p" | "u1"), [ l ] -> phase l
-  | "u3", [ th; ph; l ] -> u3 th ph l
-  | _ ->
-      invalid_arg
-        (Printf.sprintf "Gates.by_name: unknown gate %s/%d" name
-           (List.length params))
+  match params with
+  | [] -> (
+      match Hashtbl.find_opt fixed_table name with
+      | Some m -> m
+      | None ->
+          invalid_arg (Printf.sprintf "Gates.by_name: unknown gate %s/0" name))
+  | _ -> (
+      match (name, params) with
+      | "rx", [ th ] -> rx th
+      | "ry", [ th ] -> ry th
+      | "rz", [ th ] -> rz th
+      | ("p" | "u1"), [ l ] -> phase l
+      | "u3", [ th; ph; l ] -> u3 th ph l
+      | "u2x2", ps -> u2x2 ps
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Gates.by_name: unknown gate %s/%d" name
+               (List.length params)))

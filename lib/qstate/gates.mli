@@ -30,9 +30,15 @@ val phase : float -> Linalg.Cmat.t
 (** [u3 theta phi lambda] is the generic single-qubit rotation (OpenQASM u3). *)
 val u3 : float -> float -> float -> Linalg.Cmat.t
 
+(** [u2x2 params] decodes an arbitrary 2 x 2 matrix from 8 row-major
+    [(re, im)] parameters — the encoding used by the ["u2x2"] gate that the
+    single-qubit fusion pass ([Transpile.Passes.fuse_1q]) emits. *)
+val u2x2 : float list -> Linalg.Cmat.t
+
 (** [by_name name params] looks up a single-qubit gate by its QASM name,
-    e.g. ["h"], ["rx"] with one parameter. Raises [Invalid_argument] for
-    unknown names or wrong parameter counts. *)
+    e.g. ["h"], ["rx"] with one parameter. Parameterless gates resolve
+    through a precomputed memo table (one shared immutable matrix per name).
+    Raises [Invalid_argument] for unknown names or wrong parameter counts. *)
 val by_name : string -> float list -> Linalg.Cmat.t
 
 (** Names accepted by {!by_name}. *)

@@ -70,6 +70,21 @@ let check_u2 u =
   let r, c = Cmat.dims u in
   if r <> 2 || c <> 2 then invalid_arg "Statevec: expected 2x2 matrix"
 
+(* Gate kernels fan out over the global domain pool once the state reaches
+   [parallel_threshold] qubits; below it the sequential path avoids all
+   synchronization. Parallel chunks write disjoint amplitude pairs and
+   perform no reductions, so results are bit-identical for any domain count
+   and any chunking. *)
+let parallel_threshold = ref 14
+
+let kernel_chunk = 1 lsl 11
+
+let run_kernel st n body =
+  if st.n >= !parallel_threshold then
+    Parallel.Pool.parallel_for_chunks ~chunk:kernel_chunk
+      (Parallel.Pool.global ()) ~n body
+  else body 0 n
+
 let apply1 u q st =
   check_u2 u;
   if q < 0 || q >= st.n then invalid_arg "Statevec.apply1: qubit out of range";
@@ -78,20 +93,19 @@ let apply1 u q st =
   let u10r = u.Cmat.re.(2) and u10i = u.Cmat.im.(2) in
   let u11r = u.Cmat.re.(3) and u11i = u.Cmat.im.(3) in
   let bit = 1 lsl q in
-  let d = dim st in
-  let i = ref 0 in
-  while !i < d do
-    if !i land bit = 0 then begin
-      let j = !i lor bit in
-      let ar = st.re.(!i) and ai = st.im.(!i) in
-      let br = st.re.(j) and bi = st.im.(j) in
-      st.re.(!i) <- (u00r *. ar) -. (u00i *. ai) +. (u01r *. br) -. (u01i *. bi);
-      st.im.(!i) <- (u00r *. ai) +. (u00i *. ar) +. (u01r *. bi) +. (u01i *. br);
-      st.re.(j) <- (u10r *. ar) -. (u10i *. ai) +. (u11r *. br) -. (u11i *. bi);
-      st.im.(j) <- (u10r *. ai) +. (u10i *. ar) +. (u11r *. bi) +. (u11i *. br)
-    end;
-    incr i
-  done
+  let lowmask = bit - 1 in
+  (* iterate the d/2 pairs directly: m encodes the index with qubit q removed *)
+  run_kernel st (dim st lsr 1) (fun lo hi ->
+      for m = lo to hi - 1 do
+        let i = ((m land lnot lowmask) lsl 1) lor (m land lowmask) in
+        let j = i lor bit in
+        let ar = st.re.(i) and ai = st.im.(i) in
+        let br = st.re.(j) and bi = st.im.(j) in
+        st.re.(i) <- (u00r *. ar) -. (u00i *. ai) +. (u01r *. br) -. (u01i *. bi);
+        st.im.(i) <- (u00r *. ai) +. (u00i *. ar) +. (u01r *. bi) +. (u01i *. br);
+        st.re.(j) <- (u10r *. ar) -. (u10i *. ai) +. (u11r *. br) -. (u11i *. bi);
+        st.im.(j) <- (u10r *. ai) +. (u10i *. ar) +. (u11r *. bi) +. (u11i *. br)
+      done)
 
 let apply_controlled ~controls u q st =
   check_u2 u;
@@ -108,18 +122,24 @@ let apply_controlled ~controls u q st =
   let u10r = u.Cmat.re.(2) and u10i = u.Cmat.im.(2) in
   let u11r = u.Cmat.re.(3) and u11i = u.Cmat.im.(3) in
   let bit = 1 lsl q in
-  let d = dim st in
-  for i = 0 to d - 1 do
-    if i land bit = 0 && i land cmask = cmask then begin
-      let j = i lor bit in
-      let ar = st.re.(i) and ai = st.im.(i) in
-      let br = st.re.(j) and bi = st.im.(j) in
-      st.re.(i) <- (u00r *. ar) -. (u00i *. ai) +. (u01r *. br) -. (u01i *. bi);
-      st.im.(i) <- (u00r *. ai) +. (u00i *. ar) +. (u01r *. bi) +. (u01i *. br);
-      st.re.(j) <- (u10r *. ar) -. (u10i *. ai) +. (u11r *. br) -. (u11i *. bi);
-      st.im.(j) <- (u10r *. ai) +. (u10i *. ar) +. (u11r *. bi) +. (u11i *. br)
-    end
-  done
+  (* each pair (i, i|bit) is owned by the chunk containing i, so chunked
+     writes never overlap even when j lands in another chunk *)
+  run_kernel st (dim st) (fun lo hi ->
+      for i = lo to hi - 1 do
+        if i land bit = 0 && i land cmask = cmask then begin
+          let j = i lor bit in
+          let ar = st.re.(i) and ai = st.im.(i) in
+          let br = st.re.(j) and bi = st.im.(j) in
+          st.re.(i) <-
+            (u00r *. ar) -. (u00i *. ai) +. (u01r *. br) -. (u01i *. bi);
+          st.im.(i) <-
+            (u00r *. ai) +. (u00i *. ar) +. (u01r *. bi) +. (u01i *. br);
+          st.re.(j) <-
+            (u10r *. ar) -. (u10i *. ai) +. (u11r *. br) -. (u11i *. bi);
+          st.im.(j) <-
+            (u10r *. ai) +. (u10i *. ar) +. (u11r *. bi) +. (u11i *. br)
+        end
+      done)
 
 let apply2 u q0 q1 st =
   let r, c = Cmat.dims u in
@@ -127,27 +147,27 @@ let apply2 u q0 q1 st =
   if q0 = q1 || q0 < 0 || q1 < 0 || q0 >= st.n || q1 >= st.n then
     invalid_arg "Statevec.apply2: bad qubits";
   let b0 = 1 lsl q0 and b1 = 1 lsl q1 in
-  let d = dim st in
-  let tmp_re = Array.make 4 0. and tmp_im = Array.make 4 0. in
-  for i = 0 to d - 1 do
-    if i land b0 = 0 && i land b1 = 0 then begin
-      let idx = [| i; i lor b0; i lor b1; i lor b0 lor b1 |] in
-      for a = 0 to 3 do
-        tmp_re.(a) <- 0.;
-        tmp_im.(a) <- 0.;
-        for b = 0 to 3 do
-          let ur = u.Cmat.re.((a * 4) + b) and ui = u.Cmat.im.((a * 4) + b) in
-          let vr = st.re.(idx.(b)) and vi = st.im.(idx.(b)) in
-          tmp_re.(a) <- tmp_re.(a) +. (ur *. vr) -. (ui *. vi);
-          tmp_im.(a) <- tmp_im.(a) +. (ur *. vi) +. (ui *. vr)
-        done
-      done;
-      for a = 0 to 3 do
-        st.re.(idx.(a)) <- tmp_re.(a);
-        st.im.(idx.(a)) <- tmp_im.(a)
-      done
-    end
-  done
+  run_kernel st (dim st) (fun lo hi ->
+      let tmp_re = Array.make 4 0. and tmp_im = Array.make 4 0. in
+      for i = lo to hi - 1 do
+        if i land b0 = 0 && i land b1 = 0 then begin
+          let idx = [| i; i lor b0; i lor b1; i lor b0 lor b1 |] in
+          for a = 0 to 3 do
+            tmp_re.(a) <- 0.;
+            tmp_im.(a) <- 0.;
+            for b = 0 to 3 do
+              let ur = u.Cmat.re.((a * 4) + b) and ui = u.Cmat.im.((a * 4) + b) in
+              let vr = st.re.(idx.(b)) and vi = st.im.(idx.(b)) in
+              tmp_re.(a) <- tmp_re.(a) +. (ur *. vr) -. (ui *. vi);
+              tmp_im.(a) <- tmp_im.(a) +. (ur *. vi) +. (ui *. vr)
+            done
+          done;
+          for a = 0 to 3 do
+            st.re.(idx.(a)) <- tmp_re.(a);
+            st.im.(idx.(a)) <- tmp_im.(a)
+          done
+        end
+      done)
 
 let prob1 st q =
   if q < 0 || q >= st.n then invalid_arg "Statevec.prob1: qubit out of range";
@@ -207,12 +227,57 @@ let sample rng st =
    with Exit -> ());
   !result
 
-let counts rng st ~shots =
-  let tbl = Hashtbl.create 64 in
-  for _ = 1 to shots do
-    let k = sample rng st in
-    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+(* cumulative Born distribution; cdf.(k) = sum of probabilities up to k *)
+let cdf st =
+  let d = dim st in
+  let c = Array.make d 0. in
+  let acc = ref 0. in
+  for k = 0 to d - 1 do
+    acc := !acc +. (st.re.(k) *. st.re.(k)) +. (st.im.(k) *. st.im.(k));
+    c.(k) <- !acc
   done;
+  c
+
+(* smallest k with c.(k) > r (falls back to the last index when rounding
+   leaves the total below r, matching [sample]'s behaviour) *)
+let search_cdf c r =
+  let d = Array.length c in
+  if r >= c.(d - 1) then d - 1
+  else begin
+    let lo = ref 0 and hi = ref (d - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if c.(mid) > r then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+(* Sampling is O(shots log d) over the cumulative distribution instead of an
+   O(d) scan per shot. With a pool, shots are drawn in fixed 4096-shot blocks
+   with one split child generator each, so the drawn indices are independent
+   of the pool's domain count. *)
+let counts ?pool rng st ~shots =
+  let c = cdf st in
+  let tbl = Hashtbl.create 64 in
+  let bump k n =
+    Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  (match pool with
+  | None ->
+      for _ = 1 to shots do
+        bump (search_cdf c (Stats.Rng.float rng 1.)) 1
+      done
+  | Some pool ->
+      let block = 4096 in
+      let blocks = (shots + block - 1) / block in
+      let rngs = Array.init blocks (Stats.Rng.split rng) in
+      let drawn = Array.make shots 0 in
+      Parallel.Pool.parallel_for pool ~n:blocks (fun b ->
+          let r = rngs.(b) in
+          for s = b * block to min shots ((b + 1) * block) - 1 do
+            drawn.(s) <- search_cdf c (Stats.Rng.float r 1.)
+          done);
+      Array.iter (fun k -> bump k 1) drawn);
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 

@@ -34,6 +34,14 @@ val fidelity_pure : t -> t -> float
     index bits. *)
 val kron : t -> t -> t
 
+(** Qubit count at and above which gate kernels ({!apply1},
+    {!apply_controlled}, {!apply2}) fan their amplitude sweeps out over
+    [Parallel.Pool.global ()]. Chunks write disjoint amplitude pairs and
+    never reduce, so results are bit-identical for any domain count. Smaller
+    states keep the synchronization-free sequential path. Exposed mainly so
+    tests and benchmarks can force either path. *)
+val parallel_threshold : int ref
+
 (** [apply1 u q st] applies the 2 x 2 unitary [u] to qubit [q]. *)
 val apply1 : Linalg.Cmat.t -> int -> t -> unit
 
@@ -64,9 +72,13 @@ val measure : Stats.Rng.t -> t -> int -> int
 (** [sample rng st] draws one basis-state index from the Born distribution. *)
 val sample : Stats.Rng.t -> t -> int
 
-(** [counts rng st ~shots] samples [shots] indices and returns sorted
-    [(index, count)] pairs. *)
-val counts : Stats.Rng.t -> t -> shots:int -> (int * int) list
+(** [counts ?pool rng st ~shots] samples [shots] indices and returns sorted
+    [(index, count)] pairs. Draws are binary searches over the cumulative
+    distribution — O(shots log d + d) total rather than O(shots d). With
+    [?pool], shots are drawn in fixed-size blocks seeded by
+    [Stats.Rng.split], so the result is independent of the pool's domain
+    count (but differs from the sequential no-pool draw order). *)
+val counts : ?pool:Parallel.Pool.t -> Stats.Rng.t -> t -> shots:int -> (int * int) list
 
 (** [expectation_pauli p st] is [<st| P |st>]. *)
 val expectation_pauli : Pauli.t -> t -> float

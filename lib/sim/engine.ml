@@ -95,25 +95,55 @@ let is_deterministic c =
       | _ -> true)
     (Circuit.instrs c)
 
-let tracepoint_states ?rng ?(noise = Noise.ideal) ?(trajectories = 64) ?initial
-    ?meter c =
+let get_pool = function
+  | Some p -> p
+  | None -> Parallel.Pool.global ()
+
+(* Fan [count] independent jobs over the pool, each with its own split child
+   generator and (when metered) its own private cost meter, then merge the
+   meters in index order. Child generators are derived sequentially before
+   the fan-out and the merge order is fixed, so results are bit-identical
+   for any domain count. *)
+let fan_out pool rng ~meter ~count job =
+  let rngs = Array.init count (Stats.Rng.split rng) in
+  let metered = meter <> None in
+  let results =
+    Parallel.Pool.map_init pool count (fun i ->
+        let m = if metered then Some (Cost.create ()) else None in
+        (job rngs.(i) m, m))
+  in
+  (match meter with
+  | Some m ->
+      Array.iter
+        (fun (_, mi) -> match mi with Some mi -> Cost.add m mi | None -> ())
+        results
+  | None -> ());
+  Array.map fst results
+
+let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
+    ?initial ?meter c =
   if is_deterministic c && Noise.is_ideal noise then
     (run ?rng ~noise ?initial ?meter c).traces
   else begin
     let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+    let per_traj =
+      fan_out (get_pool pool) rng ~meter ~count:trajectories
+        (fun rng m -> (run ~rng ~noise ?initial ?meter:m c).traces)
+    in
+    (* commutative trace merge, in trajectory order *)
     let acc = Hashtbl.create 8 in
     let order = ref [] in
-    for _ = 1 to trajectories do
-      let { traces; _ } = run ~rng ~noise ?initial ?meter c in
-      List.iter
-        (fun (id, m) ->
-          match Hashtbl.find_opt acc id with
-          | None ->
-              order := id :: !order;
-              Hashtbl.add acc id m
-          | Some prev -> Hashtbl.replace acc id (Linalg.Cmat.add prev m))
-        traces
-    done;
+    Array.iter
+      (fun traces ->
+        List.iter
+          (fun (id, m) ->
+            match Hashtbl.find_opt acc id with
+            | None ->
+                order := id :: !order;
+                Hashtbl.add acc id m
+            | Some prev -> Hashtbl.replace acc id (Linalg.Cmat.add prev m))
+          traces)
+      per_traj;
     List.rev_map
       (fun id ->
         ( id,
@@ -122,37 +152,36 @@ let tracepoint_states ?rng ?(noise = Noise.ideal) ?(trajectories = 64) ?initial
       !order
   end
 
-let sample_counts ?rng ?(noise = Noise.ideal) ?initial ?meter ~shots c =
+let sample_counts ?pool ?rng ?(noise = Noise.ideal) ?initial ?meter ~shots c =
   let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  let pool = get_pool pool in
   let tbl = Hashtbl.create 64 in
-  let bump k =
-    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  let bump k n =
+    Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
   in
   if is_deterministic c && Noise.is_ideal noise then begin
     let { state; _ } = run ~rng ~noise ?initial c in
     (match meter with
     | Some m -> Cost.record_circuit m c ~shots
     | None -> ());
-    List.iter
-      (fun (k, n) ->
-        for _ = 1 to n do
-          bump k
-        done)
-      (Statevec.counts rng state ~shots)
+    List.iter (fun (k, n) -> bump k n) (Statevec.counts ~pool rng state ~shots)
   end
-  else
-    for _ = 1 to shots do
-      let { state; _ } = run ~rng ~noise ?initial ?meter c in
-      bump (Statevec.sample rng state)
-    done;
+  else begin
+    let sampled =
+      fan_out pool rng ~meter ~count:shots (fun rng m ->
+          let { state; _ } = run ~rng ~noise ?initial ?meter:m c in
+          Statevec.sample rng state)
+    in
+    Array.iter (fun k -> bump k 1) sampled
+  end;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let unitary c =
+let unitary ?pool c =
   let n = Circuit.num_qubits c in
   let d = 1 lsl n in
   let u = Linalg.Cmat.create d d in
-  for k = 0 to d - 1 do
+  let column k =
     let st = Statevec.basis n k in
     List.iter
       (fun instr ->
@@ -162,5 +191,12 @@ let unitary c =
         | _ -> invalid_arg "Engine.unitary: non-unitary instruction")
       (Circuit.instrs c);
     Linalg.Cmat.set_col u k (Statevec.to_cvec st)
-  done;
+  in
+  (* columns are independent and write disjoint slices of [u]; small
+     matrices stay sequential to skip the fan-out handshake *)
+  if d >= 256 then Parallel.Pool.parallel_for (get_pool pool) ~n:d column
+  else
+    for k = 0 to d - 1 do
+      column k
+    done;
   u

@@ -33,11 +33,15 @@ val run :
     states. *)
 val is_deterministic : Circuit.t -> bool
 
-(** [tracepoint_states ?rng ?noise ?trajectories ?initial ?meter c] returns
-    the expected reduced density matrix at every tracepoint. Deterministic
-    ideal circuits use one pass; otherwise [trajectories] (default 64) runs
-    are averaged. *)
+(** [tracepoint_states ?pool ?rng ?noise ?trajectories ?initial ?meter c]
+    returns the expected reduced density matrix at every tracepoint.
+    Deterministic ideal circuits use one pass; otherwise [trajectories]
+    (default 64) runs are averaged, fanned out over [pool] (default
+    [Parallel.Pool.global ()]) with one [Stats.Rng.split] child per
+    trajectory and an in-order merge — results are bit-identical for any
+    domain count under a fixed seed. *)
 val tracepoint_states :
+  ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
   ?noise:Noise.t ->
   ?trajectories:int ->
@@ -46,11 +50,14 @@ val tracepoint_states :
   Circuit.t ->
   (int * Linalg.Cmat.t) list
 
-(** [sample_counts ?rng ?noise ?initial ?meter ~shots c] samples the final
-    computational-basis distribution. Measurement-free ideal circuits run
-    once and sample; otherwise each shot is a fresh trajectory. Returns
+(** [sample_counts ?pool ?rng ?noise ?initial ?meter ~shots c] samples the
+    final computational-basis distribution. Measurement-free ideal circuits
+    run once and draw shots from the cumulative distribution; otherwise each
+    shot is a fresh trajectory run on the pool with its own split child
+    generator (domain-count independent, like {!tracepoint_states}). Returns
     sorted [(basis_index, count)] pairs over the full register. *)
 val sample_counts :
+  ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
   ?noise:Noise.t ->
   ?initial:Qstate.Statevec.t ->
@@ -59,6 +66,7 @@ val sample_counts :
   Circuit.t ->
   (int * int) list
 
-(** [unitary c] materializes the circuit unitary column by column (intended
-    for tests and small circuits; fails on non-unitary instructions). *)
-val unitary : Circuit.t -> Linalg.Cmat.t
+(** [unitary ?pool c] materializes the circuit unitary column by column
+    (columns are fanned out over the pool for dimension >= 256; fails on
+    non-unitary instructions). *)
+val unitary : ?pool:Parallel.Pool.t -> Circuit.t -> Linalg.Cmat.t

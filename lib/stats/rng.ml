@@ -1,7 +1,20 @@
 type t = Random.State.t
 
 let make seed = Random.State.make [| seed; 0x9e3779b9 |]
-let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+(* SplitMix64-style avalanche finalizer, with the multiplier constants
+   truncated to OCaml's native int range. Only used to derive seeds, so the
+   exact constants matter less than good bit diffusion across indices. *)
+let mix i =
+  let z = (i + 0x1e3779b97f4a7c15) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 30)) * 0x14d049bb133111eb in
+  let z = (z lxor (z lsr 27)) * 0x2545f4914f6cdd1d in
+  z lxor (z lsr 31)
+
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: negative index";
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; mix (b lxor mix i); mix (i lxor (a lsl 17)) |]
 let float t bound = Random.State.float t bound
 let int t bound = Random.State.int t bound
 let bool t = Random.State.bool t

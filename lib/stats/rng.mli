@@ -9,8 +9,17 @@ type t
 (** [make seed] creates a generator from an integer seed. *)
 val make : int -> t
 
-(** [split t] derives an independent generator from [t]. *)
-val split : t -> t
+(** [split t i] derives an independent child generator for index [i] by seed
+    derivation (SplitMix-style index mixing over entropy drawn from [t]).
+    Children for distinct indices are statistically independent of each other
+    and of [t]'s continuation.
+
+    Determinism contract: [split] advances [t], so children must be derived
+    {e sequentially on the thread that owns [t]} — e.g.
+    [Array.init n (split t)] before fanning work out to a pool. Done that
+    way, child streams depend only on [t]'s state and the index, never on
+    how many domains later consume them. *)
+val split : t -> int -> t
 
 (** [float t bound] is uniform in [0, bound). *)
 val float : t -> float -> float

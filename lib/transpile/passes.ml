@@ -100,6 +100,63 @@ let run_pass ~do_cancel ~do_merge c =
 let cancel_inverses c = run_pass ~do_cancel:true ~do_merge:false c
 let merge_rotations c = run_pass ~do_cancel:false ~do_merge:true c
 
+(* ----------------- adjacent single-qubit gate fusion ------------------ *)
+
+(* any uncontrolled single-target gate has a 2x2 matrix we can multiply out *)
+let fusable (g : Circuit.Gate.t) =
+  g.Circuit.Gate.controls = []
+  && (match g.Circuit.Gate.targets with [ _ ] -> true | _ -> false)
+  && g.Circuit.Gate.name <> "swap"
+
+let gate_matrix (g : Circuit.Gate.t) =
+  Qstate.Gates.by_name g.Circuit.Gate.name g.Circuit.Gate.params
+
+let fused_gate target (m : Linalg.Cmat.t) =
+  let p k = (m.Linalg.Cmat.re.(k), m.Linalg.Cmat.im.(k)) in
+  let (r00, i00) = p 0 and (r01, i01) = p 1 in
+  let (r10, i10) = p 2 and (r11, i11) = p 3 in
+  Circuit.Gate.make
+    ~params:[ r00; i00; r01; i01; r10; i10; r11; i11 ]
+    "u2x2" [ target ]
+
+let place_fused g res =
+  if not (fusable g) then Circuit.Instr.Gate g :: res
+  else
+    let gq = Circuit.Gate.qubits g in
+    let rec scan acc = function
+      | [] -> None
+      | item :: rest -> (
+          if disjoint (qubits_of_instr item) gq then scan (item :: acc) rest
+          else
+            match item with
+            | Circuit.Instr.Gate g'
+              when fusable g'
+                   && g'.Circuit.Gate.targets = g.Circuit.Gate.targets ->
+                (* g runs after g', so the fused matrix is U_g * U_g' *)
+                let m = Linalg.Cmat.mul (gate_matrix g) (gate_matrix g') in
+                let f = fused_gate (List.hd g.Circuit.Gate.targets) m in
+                Some (List.rev_append acc (Circuit.Instr.Gate f :: rest))
+            | _ -> None)
+    in
+    match scan [] res with
+    | Some res' -> res'
+    | None -> Circuit.Instr.Gate g :: res
+
+let fuse_1q c =
+  let res =
+    List.fold_left
+      (fun res instr ->
+        match instr with
+        | Circuit.Instr.Gate g -> place_fused g res
+        | fence -> fence :: res)
+      []
+      (Circuit.instrs c)
+  in
+  List.fold_left
+    (fun c i -> Circuit.add i c)
+    (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+    (List.rev res)
+
 let drop_identities ?(eps = 1e-12) c =
   Circuit.map_gates
     (fun g ->
