@@ -1,10 +1,22 @@
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test test-fast test-full bench bench-smoke clean
 
 build:
 	dune build
 
 test:
 	dune build @runtest
+
+# Quick iteration loop: same tests, QCheck case counts lowered. --force
+# reruns cached tests (dune does not see env vars as dependencies).
+test-fast:
+	QCHECK_COUNT=15 dune build @runtest --force
+
+# Full sweep: default QCheck counts plus the fuzz experiment (pass/fail
+# counts land in BENCH_results.json). Override MORPHQPV_SEED / QCHECK_COUNT
+# / MORPHQPV_FUZZ_N to reproduce a reported failure.
+test-full: build
+	dune build @runtest --force
+	dune exec bench/main.exe -- fuzz --no-bechamel
 
 bench: build
 	dune exec bench/main.exe

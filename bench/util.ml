@@ -20,13 +20,22 @@ let row fmt = Printf.printf (fmt ^^ "\n%!")
 
 (* ------------- machine-readable results (BENCH_results.json) ------------- *)
 
-(* rows of (name, wall seconds, speedup vs sequential, domain count),
-   recorded by the driver and the perf experiment, written once per run so
-   the perf trajectory is tracked across PRs *)
-let bench_rows : (string * float * float option * int) list ref = ref []
+(* rows of (name, wall seconds, speedup vs sequential, domain count, and —
+   for the fuzz experiment — passed/failed case counts), recorded by the
+   driver and the perf/fuzz experiments, written once per run so the perf
+   and correctness trajectories are tracked across PRs *)
+type bench_row = {
+  name : string;
+  seconds : float;
+  speedup : float option;
+  domains : int;
+  cases : (int * int) option;  (** (passed, failed) *)
+}
 
-let record name ~seconds ?speedup ~domains () =
-  bench_rows := (name, seconds, speedup, domains) :: !bench_rows
+let bench_rows : bench_row list ref = ref []
+
+let record name ~seconds ?speedup ?cases ~domains () =
+  bench_rows := { name; seconds; speedup; domains; cases } :: !bench_rows
 
 let write_bench_json path =
   let rows = List.rev !bench_rows in
@@ -36,14 +45,20 @@ let write_bench_json path =
     (Parallel.Pool.env_domains ());
   let last = List.length rows - 1 in
   List.iteri
-    (fun i (name, seconds, speedup, domains) ->
+    (fun i { name; seconds; speedup; domains; cases } ->
+      let cases_field =
+        match cases with
+        | Some (passed, failed) ->
+            Printf.sprintf ", \"passed\": %d, \"failed\": %d" passed failed
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d}%s\n"
+        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d%s}%s\n"
         name seconds
         (match speedup with
         | Some s -> Printf.sprintf "%.3f" s
         | None -> "null")
-        domains
+        domains cases_field
         (if i = last then "" else ","))
     rows;
   output_string oc "  ]\n}\n";

@@ -34,8 +34,15 @@ let inverse g =
     | "sdg", [] -> ("s", [])
     | "t", [] -> ("tdg", [])
     | "tdg", [] -> ("t", [])
-    | "sx", [] -> ("rx", [ -.Float.pi /. 2. ])
-    | "sy", [] -> ("ry", [ -.Float.pi /. 2. ])
+    (* sx^dagger is rx(-pi/2) only up to a global phase e^{i pi/4}; under
+       controls that phase is relative, so return the exact adjoint matrix
+       (entries are +-1/2, exactly representable). Same for sy. *)
+    | "sx", [] ->
+        ("u2x2", [ 0.5; -0.5; 0.5; 0.5; 0.5; 0.5; 0.5; -0.5 ])
+    | "sy", [] ->
+        ("u2x2", [ 0.5; -0.5; 0.5; -0.5; -0.5; 0.5; 0.5; -0.5 ])
+    | "u2x2", [ r00; i00; r01; i01; r10; i10; r11; i11 ] ->
+        ("u2x2", [ r00; -.i00; r10; -.i10; r01; -.i01; r11; -.i11 ])
     | ("rx" | "ry" | "rz" | "p" | "u1"), [ a ] -> (g.name, [ -.a ])
     | "u3", [ th; ph; l ] -> ("u3", [ -.th; -.l; -.ph ])
     | name, _ ->

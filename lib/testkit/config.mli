@@ -1,0 +1,27 @@
+(** Seed and case-count plumbing for the randomized test harness.
+
+    Both knobs come from the environment so a failure seen anywhere (CI, a
+    teammate's machine, the fuzz bench) is reproducible with a one-line
+    command:
+
+    - [QCHECK_COUNT] — cases per property (default 100). [make test-fast]
+      lowers it; [make test-full] keeps the default.
+    - [MORPHQPV_SEED] — the root seed of the QCheck generator state. *)
+
+(** [count ()] is the per-property case count ([QCHECK_COUNT], default 100). *)
+val count : ?default:int -> unit -> int
+
+(** [seed ()] is the root random seed ([MORPHQPV_SEED], default 4231). *)
+val seed : ?default:int -> unit -> int
+
+(** [rand ()] is a fresh [Random.State.t] seeded from {!seed} — pass it to
+    [QCheck_alcotest.to_alcotest] or [QCheck.Gen.generate]. *)
+val rand : unit -> Random.State.t
+
+(** [repro ~exe] is the one-line command that replays the current
+    seed/count configuration against the given executable. *)
+val repro : exe:string -> string
+
+(** [announce ~exe] prints the active seed, count and repro command (call
+    once at test-binary startup, before the alcotest runner takes over). *)
+val announce : exe:string -> unit

@@ -1,0 +1,86 @@
+let eps = 1e-9
+
+let fidelity_pure_dm psi rho =
+  let v = Qstate.Statevec.to_cvec psi in
+  let rv = Linalg.Cmat.apply (Qstate.Density.mat rho) v in
+  Linalg.Cx.re (Linalg.Cvec.dot v rv)
+
+let traces_match ?(eps = eps) a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (id_a, m_a) (id_b, m_b) ->
+         id_a = id_b && Linalg.Cmat.frob_norm (Linalg.Cmat.sub m_a m_b) <= eps)
+       a b
+
+let statevec_vs_dm circ =
+  let c = Gen.build circ in
+  let sv = Sim.Engine.run c in
+  let dm = Sim.Dm_engine.run c in
+  fidelity_pure_dm sv.Sim.Engine.state (Sim.Dm_engine.final_density dm)
+  >= 1.0 -. eps
+  && traces_match sv.Sim.Engine.traces dm.Sim.Dm_engine.traces
+
+let statevec_vs_tableau circ =
+  let c = Gen.build circ in
+  let tab = Stabilizer.Tableau.run c in
+  let sv = (Sim.Engine.run c).Sim.Engine.state in
+  let rho_tab = Stabilizer.Tableau.density tab in
+  let rho_sv = Qstate.Statevec.density sv in
+  Linalg.Cmat.frob_norm (Linalg.Cmat.sub rho_tab rho_sv) <= eps
+  && List.for_all
+       (fun q ->
+         let ez_tab = float_of_int (Stabilizer.Tableau.expectation_z tab q) in
+         let ez_sv = 1.0 -. (2.0 *. Qstate.Statevec.prob1 sv q) in
+         Float.abs (ez_tab -. ez_sv) <= eps)
+       (List.init (Circuit.num_qubits c) Fun.id)
+
+let statevec_vs_sparse ?(input = 0) circ =
+  let c = Gen.build circ in
+  let input = input mod (1 lsl Circuit.num_qubits c) in
+  let sparse = Baselines.Sparse_sim.run c ~input in
+  let initial = Qstate.Statevec.basis (Circuit.num_qubits c) input in
+  let dense = (Sim.Engine.run ~initial c).Sim.Engine.state in
+  Qstate.Statevec.fidelity_pure (Baselines.Sparse_sim.to_statevec sparse) dense
+  >= 1.0 -. eps
+
+let gates_agree (a : Circuit.Gate.t) (b : Circuit.Gate.t) =
+  a.Circuit.Gate.name = b.Circuit.Gate.name
+  && a.Circuit.Gate.controls = b.Circuit.Gate.controls
+  && a.Circuit.Gate.targets = b.Circuit.Gate.targets
+  && List.length a.Circuit.Gate.params = List.length b.Circuit.Gate.params
+  && List.for_all2
+       (fun x y -> Float.abs (x -. y) <= eps)
+       a.Circuit.Gate.params b.Circuit.Gate.params
+
+let instrs_agree (a : Circuit.Instr.t) (b : Circuit.Instr.t) =
+  match (a, b) with
+  | Gate g, Gate g' -> gates_agree g g'
+  | Tracepoint t, Tracepoint t' -> t.id = t'.id && t.qubits = t'.qubits
+  | Measure m, Measure m' -> m.qubit = m'.qubit && m.clbit = m'.clbit
+  | Reset q, Reset q' -> q = q'
+  | If_gate i, If_gate i' ->
+      i.clbits = i'.clbits && i.value = i'.value && gates_agree i.gate i'.gate
+  | Barrier qs, Barrier qs' -> qs = qs'
+  | _ -> false
+
+let qasm_roundtrip circ =
+  let c = Gen.build circ in
+  let c' = Qasm.parse (Qasm.to_string c) in
+  Circuit.num_qubits c = Circuit.num_qubits c'
+  && Circuit.num_clbits c = Circuit.num_clbits c'
+  &&
+  let is_a = Circuit.instrs c and is_b = Circuit.instrs c' in
+  List.length is_a = List.length is_b && List.for_all2 instrs_agree is_a is_b
+
+let transpile_preserves pass circ =
+  let c = Gen.build circ in
+  Transpile.Equiv.unitaries_equal c (pass c)
+
+let all_passes =
+  [
+    ("cancel_inverses", Transpile.Passes.cancel_inverses);
+    ("merge_rotations", Transpile.Passes.merge_rotations);
+    ("drop_identities", fun c -> Transpile.Passes.drop_identities c);
+    ("fuse_1q", Transpile.Passes.fuse_1q);
+    ("optimize", fun c -> Transpile.Passes.optimize c);
+  ]

@@ -1,0 +1,53 @@
+(** Differential oracles: run the same circuit through two independent
+    implementations and demand agreement. Each oracle returns [true] on
+    agreement so it can sit directly inside a QCheck property; on
+    disagreement the QCheck shrinker (see {!Gen.shrink_circ}) minimizes the
+    circuit before reporting.
+
+    Oracle matrix (engine pair x circuit class):
+    - {!statevec_vs_dm} — pure circuits: final state and tracepoint states.
+    - {!statevec_vs_tableau} — Clifford circuits: full density matrix and
+      per-qubit stabilizer [<Z>] expectations.
+    - {!statevec_vs_sparse} — pure circuits from any basis input.
+    - {!qasm_roundtrip} — any program: [parse (to_string c)] is [c].
+    - {!transpile_preserves} — pure circuits: each peephole pass keeps the
+      unitary (up to global phase). *)
+
+val eps : float
+(** Agreement threshold, [1e-9]. *)
+
+(** [fidelity_pure_dm psi rho] is [<psi| rho |psi>] computed directly (no
+    eigendecomposition, so accurate to ~1e-14 — safe against {!eps}). *)
+val fidelity_pure_dm : Qstate.Statevec.t -> Qstate.Density.t -> float
+
+(** [traces_match ?eps a b] — same tracepoint ids in the same order, with
+    reduced density matrices within [eps] in Frobenius norm. *)
+val traces_match :
+  ?eps:float -> (int * Linalg.Cmat.t) list -> (int * Linalg.Cmat.t) list -> bool
+
+(** [statevec_vs_dm c] — trajectory statevec vs exact density matrix on a
+    measurement-free circuit: final-state fidelity [>= 1 - eps] and
+    tracepoint agreement. *)
+val statevec_vs_dm : Gen.circ -> bool
+
+(** [statevec_vs_tableau c] — statevec vs CHP tableau on a Clifford
+    circuit: exact density matrices within [eps] and [<Z_q>] agreement for
+    every qubit. *)
+val statevec_vs_tableau : Gen.circ -> bool
+
+(** [statevec_vs_sparse ?input c] — dense vs sparse state vector from basis
+    state [input] (default 0), compared up to global phase. *)
+val statevec_vs_sparse : ?input:int -> Gen.circ -> bool
+
+(** [qasm_roundtrip c] — [parse (to_string c)] reproduces the circuit
+    structurally (gate names canonicalized, params within [eps] to absorb
+    the printer's [%.12g]). *)
+val qasm_roundtrip : Gen.circ -> bool
+
+(** [transpile_preserves pass c] — the pass keeps the circuit unitary up to
+    global phase ([Transpile.Equiv.unitaries_equal]). *)
+val transpile_preserves : (Circuit.t -> Circuit.t) -> Gen.circ -> bool
+
+(** All peephole passes by name — [transpile_preserves] is property-tested
+    against each. *)
+val all_passes : (string * (Circuit.t -> Circuit.t)) list

@@ -164,6 +164,97 @@ let test_automa_supports () =
   assert (not (Baselines.Automa.supports qnn_prog));
   assert (not (Baselines.Automa.supports (Program.make (Benchmarks.Teleport.single ()))))
 
+(* ---------------- edge cases: degenerate sizes and budgets ----------- *)
+
+let empty_program () = Program.make (Circuit.empty 2)
+
+let test_stat_zero_shots_holds () =
+  (* 0 shots = no evidence: the chi-square statistic degenerates to 0, so
+     the assertion must HOLD rather than crash or spuriously fail *)
+  let prog = Program.make Circuit.(empty 1 |> h 0) in
+  let holds, result =
+    Baselines.Stat_assert.check ~rng:(rng ()) ~shots:0
+      ~expected:[| 0.5; 0.5 |] prog ~input:0 ()
+  in
+  assert holds;
+  assert (not result.Baselines.Verifier.bug_found);
+  Alcotest.(check int) "no shots spent" 0
+    result.Baselines.Verifier.cost.Sim.Cost.shots
+
+let test_stat_zero_shots_chi_square () =
+  Alcotest.(check (float 0.)) "zero statistic" 0.
+    (Baselines.Stat_assert.chi_square ~expected:[| 0.5; 0.5 |] ~counts:[]
+       ~shots:0)
+
+let test_quito_empty_circuits () =
+  (* both programs are gateless identities over 2 qubits: no bug, and the
+     full test budget is consumed without early exit *)
+  let r =
+    Baselines.Quito.check ~rng:(rng ()) ~tests:4 ~reference:(empty_program ())
+      ~candidate:(empty_program ()) ()
+  in
+  assert (not r.Baselines.Verifier.bug_found);
+  Alcotest.(check int) "used all tests" 4 r.Baselines.Verifier.tests_used
+
+let test_quito_empty_never_detects () =
+  match
+    Baselines.Quito.executions_to_find ~rng:(rng ())
+      ~reference:(empty_program ()) ~candidate:(empty_program ()) ()
+  with
+  | None -> ()
+  | Some n -> Alcotest.failf "no bug exists, yet found after %d executions" n
+
+let test_automa_empty_circuits () =
+  assert (Baselines.Automa.supports (empty_program ()));
+  let r =
+    Baselines.Automa.check ~rng:(rng ()) ~tests:4
+      ~reference:(empty_program ()) ~candidate:(empty_program ()) ()
+  in
+  assert (not r.Baselines.Verifier.bug_found)
+
+let test_automa_empty_vs_x () =
+  (* an empty reference against a bit flip: exact sparse comparison must
+     still detect on the very first basis input *)
+  let flip = Program.make Circuit.(empty 2 |> x 0 |> x 1) in
+  let r =
+    Baselines.Automa.check ~rng:(rng ()) ~tests:1
+      ~reference:(empty_program ()) ~candidate:flip ()
+  in
+  assert r.Baselines.Verifier.bug_found
+
+let one_qubit_program () =
+  Program.make Circuit.(empty 1 |> h 0 |> tracepoint 1 [ 0 ])
+
+let test_ndd_one_qubit_clean () =
+  let r =
+    Baselines.Ndd.check ~rng:(rng ()) ~tests:2 ~kind:Baselines.Ndd.General
+      ~tracepoint:1 ~reference:(one_qubit_program ())
+      ~candidate:(one_qubit_program ()) ()
+  in
+  assert (not r.Baselines.Verifier.bug_found)
+
+let test_ndd_one_qubit_detects () =
+  (* phase flip after the Hadamard is state-visible at the tracepoint *)
+  let broken = Program.make Circuit.(empty 1 |> h 0 |> z 0 |> tracepoint 1 [ 0 ]) in
+  let r =
+    Baselines.Ndd.check ~rng:(rng ()) ~tests:2 ~kind:Baselines.Ndd.General
+      ~tracepoint:1 ~reference:(one_qubit_program ()) ~candidate:broken ()
+  in
+  assert r.Baselines.Verifier.bug_found;
+  match
+    Baselines.Ndd.executions_to_find ~rng:(rng ()) ~tracepoint:1
+      ~reference:(one_qubit_program ()) ~candidate:broken ()
+  with
+  | Some n -> assert (n >= 1 && n <= 2)
+  | None -> Alcotest.fail "1-qubit phase flip should be detectable"
+
+let test_ndd_one_qubit_cost () =
+  (* the 4^n overhead model at its smallest size *)
+  Alcotest.(check int) "general 1q" 72
+    (Baselines.Ndd.discrimination_gates ~kind:Baselines.Ndd.General ~n_t:1);
+  Alcotest.(check int) "classical 1q" 2
+    (Baselines.Ndd.discrimination_gates ~kind:Baselines.Ndd.Classical ~n_t:1)
+
 (* ---------------- Twist ---------------- *)
 
 let test_twist_purity_vector () =
@@ -232,6 +323,18 @@ let () =
           Alcotest.test_case "finds phase" `Quick test_automa_finds_phase;
           Alcotest.test_case "clean" `Quick test_automa_clean;
           Alcotest.test_case "supports" `Quick test_automa_supports;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "stat 0 shots holds" `Quick test_stat_zero_shots_holds;
+          Alcotest.test_case "stat 0 shots chi-square" `Quick test_stat_zero_shots_chi_square;
+          Alcotest.test_case "quito empty circuits" `Quick test_quito_empty_circuits;
+          Alcotest.test_case "quito empty never detects" `Quick test_quito_empty_never_detects;
+          Alcotest.test_case "automa empty circuits" `Quick test_automa_empty_circuits;
+          Alcotest.test_case "automa empty vs x" `Quick test_automa_empty_vs_x;
+          Alcotest.test_case "ndd 1-qubit clean" `Quick test_ndd_one_qubit_clean;
+          Alcotest.test_case "ndd 1-qubit detects" `Quick test_ndd_one_qubit_detects;
+          Alcotest.test_case "ndd 1-qubit cost" `Quick test_ndd_one_qubit_cost;
         ] );
       ( "twist",
         [

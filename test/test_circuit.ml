@@ -80,9 +80,27 @@ let test_gate_inverse () =
         Alcotest.failf "inverse wrong for %s" name)
     [
       ("h", []); ("x", []); ("s", []); ("t", []); ("sdg", []); ("tdg", []);
+      ("sx", []); ("sy", []);
       ("rx", [ 0.3 ]); ("ry", [ -0.8 ]); ("rz", [ 2.5 ]); ("p", [ 1.1 ]);
       ("u3", [ 0.3; 0.9; -0.2 ]);
+      ("u2x2", [ 0.6; 0.0; 0.0; 0.8; 0.0; 0.8; 0.6; 0.0 ]);
     ]
+
+let test_controlled_sx_inverse () =
+  (* Regression (found by the differential harness): sx^dagger used to be
+     implemented as rx(-pi/2), off by a global phase — harmless alone but a
+     relative phase once controlled, so csx; inverse(csx) was not the
+     identity. *)
+  let g = Circuit.Gate.make ~controls:[ 1 ] "sx" [ 0 ] in
+  let c =
+    Circuit.(
+      empty 2
+      |> add (Circuit.Instr.Gate g)
+      |> add (Circuit.Instr.Gate (Circuit.Gate.inverse g)))
+  in
+  let u = Sim.Engine.unitary c in
+  if not (Linalg.Cmat.equal ~eps:1e-10 u (Linalg.Cmat.identity 4)) then
+    Alcotest.fail "controlled-sx inverse is not exact"
 
 let test_gate_remap () =
   let g = Circuit.Gate.make ~controls:[ 0 ] "x" [ 1 ] in
@@ -118,6 +136,8 @@ let () =
           Alcotest.test_case "adjoint rejects measure" `Quick test_adjoint_rejects_measure;
           Alcotest.test_case "map_gates prune" `Quick test_map_gates_prune;
           Alcotest.test_case "gate inverse" `Quick test_gate_inverse;
+          Alcotest.test_case "controlled sx inverse" `Quick
+            test_controlled_sx_inverse;
           Alcotest.test_case "gate remap" `Quick test_gate_remap;
           Alcotest.test_case "mcz symmetry" `Quick test_mcz_symmetry;
         ] );

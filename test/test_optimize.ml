@@ -83,6 +83,76 @@ let test_maximize_dispatch () =
           sol.Solvers.value)
     [ `Adam; `Anneal; `Genetic; `Qp ]
 
+(* ---------------- convergence on the shared quadratic fixture -----------
+
+   Every solver, several fixed seeds, explicit budgets. [scale] multiplies
+   the iteration budget so the same closure can check both "converges at
+   full budget" and "more budget never materially hurts". *)
+
+let convergence_cases :
+    (string * (int -> int -> Solvers.solution) * float * float) list =
+  [
+    ( "adam",
+      (fun seed scale ->
+        Solvers.adam ~iters:(150 * scale) ~restarts:2 (Stats.Rng.make seed)
+          quadratic),
+      1e-3,
+      0.05 );
+    ( "anneal",
+      (fun seed scale ->
+        Solvers.anneal ~iters:(400 * scale) ~restarts:2 (Stats.Rng.make seed)
+          quadratic),
+      0.03,
+      0.3 );
+    ( "genetic",
+      (fun seed scale ->
+        Solvers.genetic ~generations:(15 * scale) ~population:24
+          (Stats.Rng.make seed) quadratic),
+      0.03,
+      0.3 );
+    ( "qp",
+      (fun seed scale ->
+        Solvers.qp ~iters:(25 * scale) ~restarts:2 (Stats.Rng.make seed)
+          quadratic),
+      1e-6,
+      1e-2 );
+  ]
+
+let convergence_seeds = [ 11; 222; 3333 ]
+
+let test_convergence_all_solvers () =
+  List.iter
+    (fun (name, run, vtol, xtol) ->
+      List.iter
+        (fun seed ->
+          let sol = run seed 4 in
+          if Float.abs (sol.Solvers.value -. 3.) > vtol then
+            Alcotest.failf "%s (seed %d) value %.6f not within %g of 3" name
+              seed sol.Solvers.value vtol;
+          if
+            Float.abs (sol.Solvers.x.(0) -. 0.5) > xtol
+            || Float.abs (sol.Solvers.x.(1) +. 0.25) > xtol
+          then
+            Alcotest.failf "%s (seed %d) converged to (%.3f, %.3f), not (0.5, -0.25)"
+              name seed sol.Solvers.x.(0) sol.Solvers.x.(1))
+        convergence_seeds)
+    convergence_cases
+
+let test_convergence_budget_monotone () =
+  (* quadrupling the budget on the same seed must not materially lose value
+     (stochastic solvers consume randomness differently per budget, hence
+     the tolerance rather than strict monotonicity) *)
+  List.iter
+    (fun (name, run, _, _) ->
+      List.iter
+        (fun seed ->
+          let lo = run seed 1 and hi = run seed 4 in
+          if hi.Solvers.value < lo.Solvers.value -. 0.05 then
+            Alcotest.failf "%s (seed %d) got worse with budget: %.4f -> %.4f"
+              name seed lo.Solvers.value hi.Solvers.value)
+        convergence_seeds)
+    convergence_cases
+
 (* constrained: max x + y subject to x + y <= 1 -> value 1 *)
 let test_constrained_active () =
   let problem =
@@ -153,6 +223,13 @@ let () =
           Alcotest.test_case "eval counting" `Quick test_evals_counted;
           Alcotest.test_case "dispatch" `Quick test_maximize_dispatch;
           Alcotest.test_case "qp exact" `Quick test_qp_exact_on_quadratic;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "all solvers, fixed seeds" `Quick
+            test_convergence_all_solvers;
+          Alcotest.test_case "budget monotone" `Quick
+            test_convergence_budget_monotone;
         ] );
       ( "constrained",
         [

@@ -289,36 +289,16 @@ let test_fusion_fenced_by_tracepoint () =
   let c = Circuit.(empty 1 |> h 0 |> tracepoint 1 [ 0 ] |> h 0) in
   Alcotest.(check int) "kept" 2 (Circuit.gate_count (Transpile.Passes.fuse_1q c))
 
+(* Random circuits come from the shared testkit generator (shrinking
+   included); failures print mini-QASM plus a repro command. *)
 let prop_fusion_preserves_unitary =
   QCheck.Test.make ~name:"fuse_1q preserves unitary" ~count:40
-    QCheck.(int_range 0 100_000)
-    (fun seed ->
-      let r = Stats.Rng.make seed in
-      let n = 1 + Stats.Rng.int r 3 in
-      let c = ref (Circuit.empty n) in
-      for _ = 1 to 20 do
-        match Stats.Rng.int r 7 with
-        | 0 -> c := Circuit.h (Stats.Rng.int r n) !c
-        | 1 -> c := Circuit.t_gate (Stats.Rng.int r n) !c
-        | 2 -> c := Circuit.sx (Stats.Rng.int r n) !c
-        | 3 -> c := Circuit.rz (Stats.Rng.uniform r (-3.) 3.) (Stats.Rng.int r n) !c
-        | 4 ->
-            c :=
-              Circuit.u3 (Stats.Rng.uniform r 0. 3.)
-                (Stats.Rng.uniform r (-3.) 3.)
-                (Stats.Rng.uniform r (-3.) 3.)
-                (Stats.Rng.int r n) !c
-        | 5 -> c := Circuit.tracepoint 1 [ Stats.Rng.int r n ] !c
-        | _ ->
-            if n >= 2 then begin
-              let a = Stats.Rng.int r n in
-              let b = (a + 1) mod n in
-              c := Circuit.cx a b !c
-            end
-      done;
-      let fused = Transpile.Passes.fuse_1q !c in
-      Circuit.gate_count fused <= Circuit.gate_count !c
-      && frob_diff (Sim.Engine.unitary !c) (Sim.Engine.unitary fused) <= 1e-9)
+    (Testkit.Gen.pure ~max_qubits:3 ())
+    (fun circ ->
+      let c = Testkit.Gen.build circ in
+      let fused = Transpile.Passes.fuse_1q c in
+      Circuit.gate_count fused <= Circuit.gate_count c
+      && frob_diff (Sim.Engine.unitary c) (Sim.Engine.unitary fused) <= 1e-9)
 
 let () =
   Alcotest.run "parallel"

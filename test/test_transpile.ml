@@ -95,29 +95,15 @@ let test_optimize_cascade () =
   Alcotest.(check int) "cascade" 0 (Circuit.gate_count (Passes.optimize c))
 
 let test_optimize_preserves_random_circuits () =
-  let r = rng () in
-  for _ = 1 to 10 do
-    let n = 1 + Stats.Rng.int r 3 in
-    let c = ref (Circuit.empty n) in
-    for _ = 1 to 25 do
-      match Stats.Rng.int r 6 with
-      | 0 -> c := Circuit.h (Stats.Rng.int r n) !c
-      | 1 -> c := Circuit.s (Stats.Rng.int r n) !c
-      | 2 -> c := Circuit.rz (Stats.Rng.uniform r (-3.) 3.) (Stats.Rng.int r n) !c
-      | 3 -> c := Circuit.rx (Stats.Rng.uniform r (-3.) 3.) (Stats.Rng.int r n) !c
-      | 4 -> c := Circuit.x (Stats.Rng.int r n) !c
-      | _ ->
-          if n >= 2 then begin
-            let a = Stats.Rng.int r n in
-            let b = (a + 1) mod n in
-            c := Circuit.cx a b !c
-          end
-    done;
-    let before = !c in
-    let after = Passes.optimize before in
-    check_equiv "random circuit" before after;
-    assert (Circuit.gate_count after <= Circuit.gate_count before)
-  done
+  (* deterministic sweep over the shared testkit generator *)
+  let rand = Random.State.make [| 7171 |] in
+  List.iter
+    (fun circ ->
+      let before = Testkit.Gen.build circ in
+      let after = Passes.optimize before in
+      check_equiv "random circuit" before after;
+      assert (Circuit.gate_count after <= Circuit.gate_count before))
+    (QCheck.Gen.generate ~rand ~n:10 (Testkit.Gen.gen_pure ~max_qubits:3 ()))
 
 let test_optimize_reduces_redundant () =
   let r = rng () in
@@ -158,24 +144,10 @@ let test_equiv_sampling_agrees () =
 
 let prop_optimize_preserves =
   QCheck.Test.make ~name:"optimize preserves unitary" ~count:25
-    QCheck.(int_range 0 10_000)
-    (fun seed ->
-      let r = Stats.Rng.make seed in
-      let n = 1 + Stats.Rng.int r 3 in
-      let c = ref (Circuit.empty n) in
-      for _ = 1 to 15 do
-        match Stats.Rng.int r 4 with
-        | 0 -> c := Circuit.h (Stats.Rng.int r n) !c
-        | 1 -> c := Circuit.t_gate (Stats.Rng.int r n) !c
-        | 2 -> c := Circuit.rz (Stats.Rng.uniform r (-3.) 3.) (Stats.Rng.int r n) !c
-        | _ ->
-            if n >= 2 then begin
-              let a = Stats.Rng.int r n in
-              let b = (a + 1) mod n in
-              c := Circuit.cz a b !c
-            end
-      done;
-      Equiv.unitaries_equal !c (Passes.optimize !c))
+    (Testkit.Gen.pure ~max_qubits:3 ())
+    (fun circ ->
+      let c = Testkit.Gen.build circ in
+      Equiv.unitaries_equal c (Passes.optimize c))
 
 let () =
   Alcotest.run "transpile"
