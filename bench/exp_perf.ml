@@ -13,7 +13,13 @@
 
    Workload 3 — small-n regression guard: the 3-qubit quantum-lock
    characterization, timed with 1 and 4 domains; small workloads must not
-   slow down when a pool is available. *)
+   slow down when a pool is available.
+
+   Workload 4 — segment compilation + batched characterization on the fig5
+   workload (3-payload teleportation, 256 samples): the segment compiler's
+   fused operator count vs the source gate count, and [Characterize.run]
+   under [`Batched] vs [`Sequential], checked for trace agreement and
+   recorded with the per-sample operator-application reduction. *)
 
 open Morphcore
 
@@ -121,4 +127,52 @@ let run () =
   Util.record "perf/characterize-lock-3q/domains=1" ~seconds:s1 ~speedup:1.0
     ~domains:1 ();
   Util.record "perf/characterize-lock-3q/domains=4" ~seconds:s4
-    ~speedup:(s1 /. s4) ~domains:4 ()
+    ~speedup:(s1 /. s4) ~domains:4 ();
+
+  (* ---- workload 4: batched vs sequential characterization (fig5) ---- *)
+  let hops = 3 in
+  let teleport = Benchmarks.Teleport.multi hops in
+  let plan = Transpile.Segments.compile teleport in
+  let ops_before = plan.Sim.Batch.source_ops in
+  let ops_after = Sim.Batch.ops plan in
+  Util.row "segments: teleport x%d   %d gates -> %d fused operators (%.1fx)"
+    hops ops_before ops_after
+    (float_of_int ops_before /. float_of_int (max 1 ops_after));
+  let program =
+    Program.make
+      ~input_qubits:(Benchmarks.Teleport.input_qubits hops)
+      teleport
+  in
+  let samples = 256 in
+  let characterize_engine engine =
+    let pool = Parallel.Pool.create ~domains:1 () in
+    let r =
+      Util.time (fun () ->
+          Characterize.run ~pool ~rng:(Stats.Rng.make 21) ~trajectories:8
+            ~engine program ~count:samples)
+    in
+    Parallel.Pool.shutdown pool;
+    r
+  in
+  let seq, t_seq = characterize_engine `Sequential in
+  let bat, t_bat = characterize_engine `Batched in
+  Array.iter2
+    (fun (a : Characterize.sample) (b : Characterize.sample) ->
+      let ta = a.Characterize.traces and tb = b.Characterize.traces in
+      if
+        not
+          (List.length ta = List.length tb
+          && List.for_all2
+               (fun (ia, ma) (ib, mb) -> ia = ib && frob_diff ma mb <= 1e-9)
+               ta tb)
+      then failwith "perf: batched characterization diverged from sequential")
+    seq.Characterize.samples bat.Characterize.samples;
+  Util.row
+    "characterize teleport x%d n=%d   sequential %7.3fs   batched %7.3fs (%.2fx)   traces agree: yes"
+    hops samples t_seq t_bat (t_seq /. t_bat);
+  Util.record "perf/characterize-teleport-fig5/sequential" ~seconds:t_seq
+    ~speedup:1.0 ~ops:(ops_before, ops_before) ~domains:1 ();
+  Util.record "perf/characterize-teleport-fig5/batched" ~seconds:t_bat
+    ~speedup:(t_seq /. t_bat)
+    ~ops:(ops_before, ops_after)
+    ~domains:1 ()

@@ -30,12 +30,15 @@ type bench_row = {
   speedup : float option;
   domains : int;
   cases : (int * int) option;  (** (passed, failed) *)
+  ops : (int * int) option;
+      (** (before, after) operator applications per sample, for the
+          segment-fusion rows *)
 }
 
 let bench_rows : bench_row list ref = ref []
 
-let record name ~seconds ?speedup ?cases ~domains () =
-  bench_rows := { name; seconds; speedup; domains; cases } :: !bench_rows
+let record name ~seconds ?speedup ?cases ?ops ~domains () =
+  bench_rows := { name; seconds; speedup; domains; cases; ops } :: !bench_rows
 
 let write_bench_json path =
   let rows = List.rev !bench_rows in
@@ -45,20 +48,27 @@ let write_bench_json path =
     (Parallel.Pool.env_domains ());
   let last = List.length rows - 1 in
   List.iteri
-    (fun i { name; seconds; speedup; domains; cases } ->
+    (fun i { name; seconds; speedup; domains; cases; ops } ->
       let cases_field =
         match cases with
         | Some (passed, failed) ->
             Printf.sprintf ", \"passed\": %d, \"failed\": %d" passed failed
         | None -> ""
       in
+      let ops_field =
+        match ops with
+        | Some (before, after) ->
+            Printf.sprintf ", \"ops_before\": %d, \"ops_after\": %d" before
+              after
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d%s}%s\n"
+        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d%s%s}%s\n"
         name seconds
         (match speedup with
         | Some s -> Printf.sprintf "%.3f" s
         | None -> "null")
-        domains cases_field
+        domains cases_field ops_field
         (if i = last then "" else ","))
     rows;
   output_string oc "  ]\n}\n";

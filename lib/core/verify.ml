@@ -209,14 +209,37 @@ let minimize_counterexample ?rng ?(tol = 0.02) program assertion
 let probe_accuracies ?rng ?(count = 20) approx program ~tracepoint =
   let rng = match rng with Some r -> r | None -> Stats.Rng.make 23 in
   let k = Program.num_input_qubits program in
-  Array.init count (fun _ ->
-      let input = Clifford.Sampling.haar_state rng k in
-      let truth =
-        List.assoc tracepoint (Program.run_traces ~rng program ~input)
-      in
-      let v = Qstate.Statevec.to_cvec input in
-      let rho_in = Cmat.outer v v in
-      let approx_state =
-        Approx.state_at approx ~tracepoint rho_in
-      in
-      Approx.accuracy approx_state truth)
+  let accuracy_of input truth =
+    let v = Qstate.Statevec.to_cvec input in
+    let rho_in = Cmat.outer v v in
+    Approx.accuracy (Approx.state_at approx ~tracepoint rho_in) truth
+  in
+  if Sim.Engine.is_deterministic program.Program.circuit then begin
+    (* measurement-free probes consume no generator draws beyond the input
+       sampling, so all inputs can be drawn up front (same stream as the
+       interleaved loop below) and the ground truth computed in one
+       segment-compiled batch *)
+    let inputs =
+      Array.init count (fun _ -> Clifford.Sampling.haar_state rng k)
+    in
+    let plan = Transpile.Segments.compile program.Program.circuit in
+    let traces =
+      Sim.Batch.run_traces plan ~count ~init:(fun i ->
+          Program.embed program inputs.(i))
+    in
+    Array.init count (fun i ->
+        let truth =
+          if tracepoint = 0 then
+            let v = Qstate.Statevec.to_cvec inputs.(i) in
+            Cmat.outer v v
+          else List.assoc tracepoint traces.(i)
+        in
+        accuracy_of inputs.(i) truth)
+  end
+  else
+    Array.init count (fun _ ->
+        let input = Clifford.Sampling.haar_state rng k in
+        let truth =
+          List.assoc tracepoint (Program.run_traces ~rng program ~input)
+        in
+        accuracy_of input truth)

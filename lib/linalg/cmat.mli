@@ -36,6 +36,16 @@ val rscale : float -> t -> t
 (** [mul a b] is the matrix product [a * b]. *)
 val mul : t -> t -> t
 
+(** [mul_into ~dst a b] writes the product [a * b] into the preallocated
+    matrix [dst] (overwriting it) without allocating. The kernel is
+    cache-blocked (i-k-j loop order with the [j] loop tiled) and skips
+    entries of [a] that are exactly zero; for each output entry the
+    accumulation order over [k] is ascending regardless of tiling, so the
+    result is reproducible bit-for-bit across tile sizes. [dst] must not
+    alias [a] or [b]. Raises [Invalid_argument] on dimension mismatch or
+    aliasing. *)
+val mul_into : dst:t -> t -> t -> unit
+
 (** [mul3 a b c] is [a * b * c]. *)
 val mul3 : t -> t -> t -> t
 

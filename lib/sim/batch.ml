@@ -1,0 +1,427 @@
+open Qstate
+module Cmat = Linalg.Cmat
+
+(* Batched execution of segment-compiled circuits.
+
+   A [plan] (normally built by [Transpile.Segments.compile]) is a circuit
+   whose purely-unitary segments have been fused into block operators,
+   interleaved with the fences (tracepoints, measurements, resets,
+   classical feedback) that delimited them. [run] packs N input state
+   vectors as the columns of one row-major matrix pair, so row [i] holds
+   amplitude [i] of every column contiguously, and applies each fused
+   operator to the whole batch with allocation-free kernels that stream
+   those rows. Fences are interpreted per column with a per-column
+   generator.
+
+   Determinism: every kernel touches each column independently with a
+   k-ascending accumulation order that does not depend on how many columns
+   sit in the buffer or which worker processes them, so a packed run is
+   bit-identical to running each column alone through [run_seq] — for any
+   batch size, column-block size and pool domain count. *)
+
+type block = { qubits : int array; u : Cmat.t }
+
+type item =
+  | Block of block
+  | Direct of Circuit.Gate.t
+  | Fence of Circuit.Instr.t
+
+type plan = {
+  num_qubits : int;
+  num_clbits : int;
+  items : item list;
+  source_ops : int;
+}
+
+let ops plan =
+  List.fold_left
+    (fun n item -> match item with Block _ | Direct _ -> n + 1 | Fence _ -> n)
+    0 plan.items
+
+let is_deterministic plan =
+  List.for_all
+    (function
+      | Fence
+          ( Circuit.Instr.Measure _ | Circuit.Instr.Reset _
+          | Circuit.Instr.If_gate _ ) ->
+          false
+      | _ -> true)
+    plan.items
+
+(* ------------------------------------------------------------------ *)
+(* The packed batch: [d x w] column-major state storage plus an equally
+   sized gather workspace, both allocated once and reused across every
+   operator and column block. *)
+
+type batch = { n : int; w : int; buf : Cmat.t; ws : Cmat.t }
+
+let make_batch n w =
+  let d = 1 lsl n in
+  { n; w; buf = Cmat.create d w; ws = Cmat.create d w }
+
+(* ------------------------------------------------------------------ *)
+(* Operator kernels over a column range [lo, hi). Distinct ranges touch
+   disjoint elements of both [buf] and [ws], so pool workers can run the
+   whole item list over their own ranges concurrently. *)
+
+let apply_block bt (blk : block) lo hi =
+  let n = bt.n and w = bt.w in
+  let d = 1 lsl n in
+  let k = Array.length blk.qubits in
+  let m = 1 lsl k in
+  let u = blk.u in
+  if k = n && lo = 0 && hi = w then begin
+    (* full-width segment over the whole buffer: plain GEMM. Bit-identical
+       to the gather path below (same k-ascending, zero-skipping
+       accumulation), just without the copy. *)
+    Cmat.mul_into ~dst:bt.ws u bt.buf;
+    Array.blit bt.ws.Cmat.re 0 bt.buf.Cmat.re 0 (d * w);
+    Array.blit bt.ws.Cmat.im 0 bt.buf.Cmat.im 0 (d * w)
+  end
+  else begin
+    let bre = bt.buf.Cmat.re and bim = bt.buf.Cmat.im in
+    let wre = bt.ws.Cmat.re and wim = bt.ws.Cmat.im in
+    let ure = u.Cmat.re and uim = u.Cmat.im in
+    let width = hi - lo in
+    let block_mask =
+      Array.fold_left (fun acc q -> acc lor (1 lsl q)) 0 blk.qubits
+    in
+    (* offset.(a): global index bits contributed by local sub-index [a]
+       (local bit j lives on global qubit [qubits.(j)]) *)
+    let offset =
+      Array.init m (fun a ->
+          let idx = ref 0 in
+          Array.iteri
+            (fun j q -> if (a lsr j) land 1 = 1 then idx := !idx lor (1 lsl q))
+            blk.qubits;
+          !idx)
+    in
+    for base = 0 to d - 1 do
+      if base land block_mask = 0 then begin
+        (* gather the m involved rows of this group into the workspace,
+           then accumulate u * ws back into the batch rows *)
+        for a = 0 to m - 1 do
+          let row = (base lor offset.(a)) * w in
+          Array.blit bre (row + lo) wre ((a * w) + lo) width;
+          Array.blit bim (row + lo) wim ((a * w) + lo) width
+        done;
+        for a = 0 to m - 1 do
+          let drow = (base lor offset.(a)) * w in
+          Array.fill bre (drow + lo) width 0.;
+          Array.fill bim (drow + lo) width 0.;
+          for b = 0 to m - 1 do
+            let ur = ure.((a * m) + b) and ui = uim.((a * m) + b) in
+            if ur <> 0. || ui <> 0. then begin
+              let srow = b * w in
+              for j = lo to hi - 1 do
+                let xr = wre.(srow + j) and xi = wim.(srow + j) in
+                bre.(drow + j) <- bre.(drow + j) +. (ur *. xr) -. (ui *. xi);
+                bim.(drow + j) <- bim.(drow + j) +. (ur *. xi) +. (ui *. xr)
+              done
+            end
+          done
+        done
+      end
+    done
+  end
+
+(* controlled single-target gate, mirroring [Statevec.apply_controlled]'s
+   update expressions so a plan run agrees with the gate-by-gate engine *)
+let apply_cgate bt ~controls u tgt lo hi =
+  let d = 1 lsl bt.n and w = bt.w in
+  let bre = bt.buf.Cmat.re and bim = bt.buf.Cmat.im in
+  let cmask = List.fold_left (fun m c -> m lor (1 lsl c)) 0 controls in
+  let u00r = u.Cmat.re.(0) and u00i = u.Cmat.im.(0) in
+  let u01r = u.Cmat.re.(1) and u01i = u.Cmat.im.(1) in
+  let u10r = u.Cmat.re.(2) and u10i = u.Cmat.im.(2) in
+  let u11r = u.Cmat.re.(3) and u11i = u.Cmat.im.(3) in
+  let bit = 1 lsl tgt in
+  for i = 0 to d - 1 do
+    if i land bit = 0 && i land cmask = cmask then begin
+      let p = i * w and q = (i lor bit) * w in
+      for j = lo to hi - 1 do
+        let ar = bre.(p + j) and ai = bim.(p + j) in
+        let br = bre.(q + j) and bi = bim.(q + j) in
+        bre.(p + j) <- (u00r *. ar) -. (u00i *. ai) +. (u01r *. br) -. (u01i *. bi);
+        bim.(p + j) <- (u00r *. ai) +. (u00i *. ar) +. (u01r *. bi) +. (u01i *. br);
+        bre.(q + j) <- (u10r *. ar) -. (u10i *. ai) +. (u11r *. br) -. (u11i *. bi);
+        bim.(q + j) <- (u10r *. ai) +. (u10i *. ar) +. (u11r *. bi) +. (u11i *. br)
+      done
+    end
+  done
+
+let apply_swap bt qa qb lo hi =
+  let d = 1 lsl bt.n and w = bt.w in
+  let bre = bt.buf.Cmat.re and bim = bt.buf.Cmat.im in
+  let ba = 1 lsl qa and bb = 1 lsl qb in
+  for i = 0 to d - 1 do
+    if i land ba <> 0 && i land bb = 0 then begin
+      let p = i * w and q = (i lxor (ba lor bb)) * w in
+      for j = lo to hi - 1 do
+        let xr = bre.(p + j) and xi = bim.(p + j) in
+        bre.(p + j) <- bre.(q + j);
+        bim.(p + j) <- bim.(q + j);
+        bre.(q + j) <- xr;
+        bim.(q + j) <- xi
+      done
+    end
+  done
+
+let apply_direct bt (g : Circuit.Gate.t) lo hi =
+  match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
+  | "swap", [ qa; qb ] ->
+      if g.Circuit.Gate.controls <> [] then
+        invalid_arg "Batch: controlled swap unsupported";
+      apply_swap bt qa qb lo hi
+  | name, [ tgt ] ->
+      let u = Gates.by_name name g.Circuit.Gate.params in
+      apply_cgate bt ~controls:g.Circuit.Gate.controls u tgt lo hi
+  | _ -> invalid_arg "Batch: malformed gate"
+
+(* ------------------------------------------------------------------ *)
+(* Fence interpretation. Per-column access to the packed buffer walks a
+   column with a [w]-float stride — one cache line per amplitude — which
+   dominates wall time on measurement-heavy circuits. So runs of
+   consecutive fences are executed on contiguous copies instead: a tile
+   of columns is transposed out of the buffer (walking ROWS, which are
+   contiguous), each column's fences run on its own scratch [Statevec.t]
+   with the engine's statevec kernels, and the tile is transposed back.
+   The copies are exact and the per-column fence order is unchanged, so
+   the results are bit-identical to interpreting the packed columns in
+   place — and the fence arithmetic is exactly [Engine.run]'s. *)
+
+(* gate application inside a fence ([If_gate] bodies), mirroring
+   [Engine.apply_gate_ideal] *)
+let sv_apply_gate (g : Circuit.Gate.t) st =
+  match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
+  | "swap", [ qa; qb ] ->
+      if g.Circuit.Gate.controls <> [] then
+        invalid_arg "Batch: controlled swap unsupported";
+      (* exact amplitude permutation *)
+      let d = Statevec.dim st in
+      let ba = 1 lsl qa and bb = 1 lsl qb in
+      for i = 0 to d - 1 do
+        if i land ba <> 0 && i land bb = 0 then begin
+          let q = i lxor (ba lor bb) in
+          let xr = st.Statevec.re.(i) and xi = st.Statevec.im.(i) in
+          st.Statevec.re.(i) <- st.Statevec.re.(q);
+          st.Statevec.im.(i) <- st.Statevec.im.(q);
+          st.Statevec.re.(q) <- xr;
+          st.Statevec.im.(q) <- xi
+        end
+      done
+  | name, [ tgt ] ->
+      let u = Gates.by_name name g.Circuit.Gate.params in
+      Statevec.apply_controlled ~controls:g.Circuit.Gate.controls u tgt st
+  | _ -> invalid_arg "Batch: malformed gate"
+
+let fence_tile = 16
+
+(* a run of read-only fences (tracepoints, barriers) leaves the scratch
+   columns untouched, so transposing them back would be an exact no-op *)
+let fences_mutate fences =
+  List.exists
+    (function
+      | Circuit.Instr.Measure _ | Circuit.Instr.Reset _
+      | Circuit.Instr.If_gate _ ->
+          true
+      | _ -> false)
+    fences
+
+let exec_fences fences bt ~col0 ~rng_for ~clbits ~traces lo hi =
+  let mutate = fences_mutate fences in
+  let d = 1 lsl bt.n and w = bt.w in
+  let bre = bt.buf.Cmat.re and bim = bt.buf.Cmat.im in
+  let scratch =
+    Array.init (min fence_tile (hi - lo)) (fun _ -> Statevec.zero bt.n)
+  in
+  let t0 = ref lo in
+  while !t0 < hi do
+    let t1 = min hi (!t0 + fence_tile) in
+    for k = 0 to d - 1 do
+      let row = k * w in
+      for j = !t0 to t1 - 1 do
+        let st = scratch.(j - !t0) in
+        st.Statevec.re.(k) <- bre.(row + j);
+        st.Statevec.im.(k) <- bim.(row + j)
+      done
+    done;
+    for j = !t0 to t1 - 1 do
+      let g = col0 + j in
+      let st = scratch.(j - !t0) in
+      List.iter
+        (fun instr ->
+          match instr with
+          | Circuit.Instr.Tracepoint { id; qubits } ->
+              traces.(g) <-
+                (id, Statevec.reduced_density st qubits) :: traces.(g)
+          | Circuit.Instr.Measure { qubit; clbit } ->
+              clbits.(g).(clbit) <- Statevec.measure (rng_for g) st qubit
+          | Circuit.Instr.Reset q ->
+              if Statevec.measure (rng_for g) st q = 1 then
+                Statevec.apply1 Gates.x q st
+          | Circuit.Instr.If_gate { clbits = cbs; value; gate } ->
+              let read =
+                List.fold_left
+                  (fun (acc, k) b -> (acc lor (clbits.(g).(b) lsl k), k + 1))
+                  (0, 0) cbs
+                |> fst
+              in
+              if read = value then sv_apply_gate gate st
+          | Circuit.Instr.Barrier _ -> ()
+          | Circuit.Instr.Gate _ ->
+              invalid_arg "Batch: raw gate used as a fence")
+        fences
+    done;
+    if mutate then
+      for k = 0 to d - 1 do
+        let row = k * w in
+        for j = !t0 to t1 - 1 do
+          let st = scratch.(j - !t0) in
+          bre.(row + j) <- st.Statevec.re.(k);
+          bim.(row + j) <- st.Statevec.im.(k)
+        done
+      done;
+    t0 := t1
+  done
+
+(* ------------------------------------------------------------------ *)
+
+(* item list with runs of consecutive fences pre-grouped, so each run
+   costs one tile transpose in and out instead of one strided column
+   walk per fence *)
+type step = Apply of item | Interpret of Circuit.Instr.t list
+
+let group_items items =
+  let rev_steps =
+    List.fold_left
+      (fun acc item ->
+        match (item, acc) with
+        | Fence i, Interpret fs :: rest -> Interpret (i :: fs) :: rest
+        | Fence i, _ -> Interpret [ i ] :: acc
+        | (Block _ | Direct _), _ -> Apply item :: acc)
+      [] items
+  in
+  List.rev_map
+    (function Interpret fs -> Interpret (List.rev fs) | step -> step)
+    rev_steps
+
+(* run the whole grouped item list over columns [lo, hi) of the buffer.
+   [col0] is the global index of the buffer's first column; per-column
+   outputs go to disjoint slots of [clbits]/[traces]. *)
+let exec_items groups bt ~col0 ~rng_for ~clbits ~traces lo hi =
+  List.iter
+    (fun step ->
+      match step with
+      | Apply (Block b) -> apply_block bt b lo hi
+      | Apply (Direct g) -> apply_direct bt g lo hi
+      | Apply (Fence _) -> assert false
+      | Interpret fences ->
+          exec_fences fences bt ~col0 ~rng_for ~clbits ~traces lo hi)
+    groups
+
+(* Column blocking bounds peak memory: a buffer (plus workspace) never
+   exceeds ~[max_block_floats] amplitudes per component, whatever the
+   sample count. Columns are independent, so blocking cannot change any
+   column's result. *)
+let max_block_floats = 1 lsl 21
+let chunk_cols = 16
+
+let exec ?pool ?rngs plan ~count ~init ~want_states =
+  let n = plan.num_qubits in
+  let d = 1 lsl n in
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
+  let col_rngs =
+    match rngs with
+    | Some a ->
+        if Array.length a <> count then
+          invalid_arg "Batch: rngs length must equal the column count";
+        a
+    | None ->
+        if is_deterministic plan then [||]
+        else
+          (* same per-trajectory default seed policy as [Engine.run]: a
+             fresh generator per column, never a shared one *)
+          Array.init count (fun _ -> Stats.Rng.make 0xC0FFEE)
+  in
+  let rng_for g = col_rngs.(g) in
+  let traces = Array.make count [] in
+  let clbits = Array.init count (fun _ -> Array.make plan.num_clbits 0) in
+  let states = Array.make (if want_states then count else 0) None in
+  if count > 0 then begin
+    let groups = group_items plan.items in
+    let block_w = max 1 (min count (max_block_floats / d)) in
+    let bt = make_batch n block_w in
+    let w = bt.w in
+    let bre = bt.buf.Cmat.re and bim = bt.buf.Cmat.im in
+    let col0 = ref 0 in
+    while !col0 < count do
+      let used = min block_w (count - !col0) in
+      (* pack/unpack a tile of columns at a time, walking the buffer's
+         contiguous rows rather than one strided column per state *)
+      let j0 = ref 0 in
+      while !j0 < used do
+        let j1 = min used (!j0 + fence_tile) in
+        let sts =
+          Array.init (j1 - !j0) (fun t ->
+              let st = init (!col0 + !j0 + t) in
+              if Statevec.num_qubits st <> n then
+                invalid_arg "Batch: input state qubit count mismatch";
+              st)
+        in
+        for k = 0 to d - 1 do
+          let row = k * w in
+          for j = !j0 to j1 - 1 do
+            let st = sts.(j - !j0) in
+            bre.(row + j) <- st.Statevec.re.(k);
+            bim.(row + j) <- st.Statevec.im.(k)
+          done
+        done;
+        j0 := j1
+      done;
+      let base = !col0 in
+      Parallel.Pool.parallel_for_chunks ~chunk:chunk_cols pool ~n:used
+        (exec_items groups bt ~col0:base ~rng_for ~clbits ~traces);
+      if want_states then begin
+        let j0 = ref 0 in
+        while !j0 < used do
+          let j1 = min used (!j0 + fence_tile) in
+          let sts =
+            Array.init (j1 - !j0) (fun _ -> Statevec.zero n)
+          in
+          for k = 0 to d - 1 do
+            let row = k * w in
+            for j = !j0 to j1 - 1 do
+              let st = sts.(j - !j0) in
+              st.Statevec.re.(k) <- bre.(row + j);
+              st.Statevec.im.(k) <- bim.(row + j)
+            done
+          done;
+          Array.iteri (fun t st -> states.(base + !j0 + t) <- Some st) sts;
+          j0 := j1
+        done
+      end;
+      col0 := base + used
+    done
+  end;
+  (traces, clbits, states)
+
+let run ?pool ?rngs plan states =
+  let count = Array.length states in
+  let traces, clbits, out =
+    exec ?pool ?rngs plan ~count ~init:(fun i -> states.(i)) ~want_states:true
+  in
+  Array.init count (fun i ->
+      {
+        Engine.state = Option.get out.(i);
+        clbits = clbits.(i);
+        traces = List.rev traces.(i);
+      })
+
+let run_traces ?pool ?rngs plan ~count ~init =
+  let traces, _, _ = exec ?pool ?rngs plan ~count ~init ~want_states:false in
+  Array.map List.rev traces
+
+let run_seq ?rng plan st =
+  let rngs = Option.map (fun r -> [| r |]) rng in
+  (run ?rngs plan [| st |]).(0)

@@ -1,0 +1,95 @@
+(** Batched execution of segment-compiled circuits.
+
+    A {!plan} — normally produced by [Transpile.Segments.compile] — is a
+    circuit whose purely-unitary segments have been fused into block
+    operators, interleaved with the fences (tracepoints, measurements,
+    resets, classical feedback) that delimited them. {!run} packs N input
+    state vectors as the columns of one row-major
+    [Linalg.Cmat]-backed buffer (row [i] = amplitude [i] of every column,
+    contiguous) and applies each fused operator to the entire batch with
+    allocation-free kernels: a gather/GEMM kernel for k-qubit blocks (the
+    full-width case is a plain cache-blocked [Cmat.mul_into]) and a
+    row-sweeping kernel for single controlled gates. Both the buffer and
+    its gather workspace are allocated once per column block and reused
+    across every operator — no per-gate allocation.
+
+    {b Determinism.} Every kernel processes each column independently with
+    a fixed k-ascending accumulation order that depends neither on the
+    number of columns packed together nor on which pool worker handles the
+    column, and stochastic fences draw only from that column's own
+    generator. A packed {!run} is therefore bit-identical, per column, to
+    running each column alone through {!run_seq} — for any batch size,
+    column-block size and domain count. Agreement with the gate-by-gate
+    [Engine.run] is exact in structure (clbits, trace ids) and ~1e-15 in
+    amplitudes: fusing a segment into one operator reorders its
+    floating-point arithmetic.
+
+    {b Memory.} Batches are processed in bounded column blocks (at most
+    ~2^21 amplitudes per component array), so peak memory does not grow
+    with the sample count. *)
+
+(** A fused segment operator: [u] is the [2^k x 2^k] unitary of the
+    segment restricted to [qubits] (sorted ascending; local index bit [j]
+    corresponds to global qubit [qubits.(j)]). *)
+type block = { qubits : int array; u : Linalg.Cmat.t }
+
+type item =
+  | Block of block  (** apply a fused segment operator *)
+  | Direct of Circuit.Gate.t
+      (** apply one gate via the row-sweeping kernel (used when a gate's
+          support is too wide to fuse profitably, e.g. a many-control
+          Toffoli) *)
+  | Fence of Circuit.Instr.t
+      (** a non-unitary instruction, interpreted per column; never
+          [Instr.Gate], and [Barrier] is a no-op *)
+
+(** A compiled execution plan. [source_ops] records how many unitary gate
+    applications the source circuit performed per run; compare with
+    {!ops} for the fusion ratio. The representation is deliberately fully
+    exposed so tests can build (deliberately broken) plans by hand. *)
+type plan = {
+  num_qubits : int;
+  num_clbits : int;
+  items : item list;
+  source_ops : int;
+}
+
+(** [ops plan] is the number of operator applications ({!Block} plus
+    {!Direct}) one column performs — the batched counterpart of the
+    source circuit's gate count. *)
+val ops : plan -> int
+
+(** [is_deterministic plan] holds when the plan has no measurement, reset
+    or feedback fence (mirrors [Engine.is_deterministic]). *)
+val is_deterministic : plan -> bool
+
+(** [run ?pool ?rngs plan states] executes the plan once per input state,
+    all packed into one batch, and returns per-column outcomes in input
+    order. [rngs], when given, must hold one generator per column (used
+    for that column's measurements/resets); when absent each column gets a
+    fresh default generator, like [Engine.run]. Columns are fanned out
+    over [pool] (default [Parallel.Pool.global ()]) in chunks; results are
+    bit-identical for any domain count. *)
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?rngs:Stats.Rng.t array ->
+  plan ->
+  Qstate.Statevec.t array ->
+  Engine.outcome array
+
+(** [run_traces ?pool ?rngs plan ~count ~init] is {!run} with the input
+    column [i] produced on demand by [init i] and only the tracepoint
+    snapshots kept — final states are never materialized, so memory stays
+    bounded for large [count]. *)
+val run_traces :
+  ?pool:Parallel.Pool.t ->
+  ?rngs:Stats.Rng.t array ->
+  plan ->
+  count:int ->
+  init:(int -> Qstate.Statevec.t) ->
+  (int * Linalg.Cmat.t) list array
+
+(** [run_seq ?rng plan st] executes one column alone — the reference
+    "sequential path" that batched runs are tested bit-identical
+    against. *)
+val run_seq : ?rng:Stats.Rng.t -> plan -> Qstate.Statevec.t -> Engine.outcome

@@ -40,10 +40,16 @@ let apply_gate ?rng ?noise g st =
       inject_noise rng noise g st
   | _ -> ()
 
-let default_rng = lazy (Stats.Rng.make 0xC0FFEE)
+(* A fresh generator per call, NOT one shared global: a single mutable
+   generator shared across every no-[?rng] call would make results depend
+   on call history and would race when callers fan out over
+   [Parallel.Pool] domains. Each call without [?rng] therefore starts from
+   the same fixed seed — deterministic, and callers that want independent
+   streams pass their own generator (usually a [Stats.Rng.split] child). *)
+let default_rng () = Stats.Rng.make 0xC0FFEE
 
 let run ?rng ?(noise = Noise.ideal) ?initial ?meter c =
-  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  let rng = match rng with Some r -> r | None -> default_rng () in
   let st =
     match initial with
     | Some s ->
@@ -125,7 +131,7 @@ let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
   if is_deterministic c && Noise.is_ideal noise then
     (run ?rng ~noise ?initial ?meter c).traces
   else begin
-    let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+    let rng = match rng with Some r -> r | None -> default_rng () in
     let per_traj =
       fan_out (get_pool pool) rng ~meter ~count:trajectories
         (fun rng m -> (run ~rng ~noise ?initial ?meter:m c).traces)
@@ -153,7 +159,7 @@ let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
   end
 
 let sample_counts ?pool ?rng ?(noise = Noise.ideal) ?initial ?meter ~shots c =
-  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  let rng = match rng with Some r -> r | None -> default_rng () in
   let pool = get_pool pool in
   let tbl = Hashtbl.create 64 in
   let bump k n =

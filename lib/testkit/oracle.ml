@@ -84,3 +84,126 @@ let all_passes =
     ("fuse_1q", Transpile.Passes.fuse_1q);
     ("optimize", fun c -> Transpile.Passes.optimize c);
   ]
+
+(* ---- segment-compiled batch execution vs the gate-by-gate engine ---- *)
+
+let outcomes_close (a : Sim.Engine.outcome) (b : Sim.Engine.outcome) =
+  a.Sim.Engine.clbits = b.Sim.Engine.clbits
+  && Qstate.Statevec.equal ~eps a.Sim.Engine.state b.Sim.Engine.state
+  && traces_match a.Sim.Engine.traces b.Sim.Engine.traces
+
+let cmat_bits a b =
+  a.Linalg.Cmat.re = b.Linalg.Cmat.re && a.Linalg.Cmat.im = b.Linalg.Cmat.im
+
+let outcomes_bit_identical (a : Sim.Engine.outcome) (b : Sim.Engine.outcome) =
+  a.Sim.Engine.clbits = b.Sim.Engine.clbits
+  && a.Sim.Engine.state.Qstate.Statevec.re = b.Sim.Engine.state.Qstate.Statevec.re
+  && a.Sim.Engine.state.Qstate.Statevec.im = b.Sim.Engine.state.Qstate.Statevec.im
+  && List.length a.Sim.Engine.traces = List.length b.Sim.Engine.traces
+  && List.for_all2
+       (fun (ia, ma) (ib, mb) -> ia = ib && cmat_bits ma mb)
+       a.Sim.Engine.traces b.Sim.Engine.traces
+
+let run_pair ?cutoff ?block_cutoff c =
+  let plan = Transpile.Segments.compile ?cutoff ?block_cutoff c in
+  let seed = 0x5EED in
+  let eng = Sim.Engine.run ~rng:(Stats.Rng.make seed) c in
+  let bat =
+    Sim.Batch.run_seq ~rng:(Stats.Rng.make seed) plan
+      (Qstate.Statevec.zero (Circuit.num_qubits c))
+  in
+  (eng, bat)
+
+let batch_vs_engine circ =
+  let eng, bat = run_pair (Gen.build circ) in
+  outcomes_close eng bat
+
+let batch_vs_engine_packed circ =
+  (* tiny cutoffs force the greedy packing and Direct-gate compile paths *)
+  let eng, bat = run_pair ~cutoff:2 ~block_cutoff:2 (Gen.build circ) in
+  outcomes_close eng bat
+
+(* pseudorandom (unnormalized-then-normalized) input column, so batched
+   kernels see dense amplitudes rather than sparse basis states *)
+let random_state rng n =
+  let d = 1 lsl n in
+  let re = Array.init d (fun _ -> Stats.Rng.float rng 2. -. 1.) in
+  let im = Array.init d (fun _ -> Stats.Rng.float rng 2. -. 1.) in
+  let st = Qstate.Statevec.of_cvec n (Linalg.Cvec.of_arrays re im) in
+  Qstate.Statevec.normalize st;
+  st
+
+let batch_columns = 23
+
+let batch_bit_identical ?pool circ =
+  let c = Gen.build circ in
+  let n = Circuit.num_qubits c in
+  let plan = Transpile.Segments.compile c in
+  let states =
+    Array.init batch_columns (fun i -> random_state (Stats.Rng.make (77 + i)) n)
+  in
+  let rngs () =
+    Array.init batch_columns (fun i -> Stats.Rng.make (1000 + i))
+  in
+  let packed = Sim.Batch.run ?pool ~rngs:(rngs ()) plan states in
+  let ok = ref true in
+  Array.iteri
+    (fun i st ->
+      let solo = Sim.Batch.run_seq ~rng:(Stats.Rng.make (1000 + i)) plan st in
+      if not (outcomes_bit_identical packed.(i) solo) then ok := false)
+    states;
+  !ok
+
+(* Deliberately broken segmentation: shift every tracepoint fence past the
+   operator that follows it, so the snapshot observes a state one segment
+   too late. Running this through [batch_vs_engine]-style comparison MUST
+   fail on any circuit where a traced state changes across the next
+   operator — the shrinker smoke test relies on it. *)
+let delay_tracepoint_fences (plan : Sim.Batch.plan) =
+  let rec go = function
+    | Sim.Batch.Fence (Circuit.Instr.Tracepoint _ as tp)
+      :: ((Sim.Batch.Block _ | Sim.Batch.Direct _) as op)
+      :: rest ->
+        op :: Sim.Batch.Fence tp :: go rest
+    | item :: rest -> item :: go rest
+    | [] -> []
+  in
+  { plan with Sim.Batch.items = go plan.items }
+
+let batch_fence_respected circ =
+  let c = Gen.build circ in
+  let plan = delay_tracepoint_fences (Transpile.Segments.compile c) in
+  let seed = 0x5EED in
+  let eng = Sim.Engine.run ~rng:(Stats.Rng.make seed) c in
+  let bat =
+    Sim.Batch.run_seq ~rng:(Stats.Rng.make seed) plan
+      (Qstate.Statevec.zero (Circuit.num_qubits c))
+  in
+  outcomes_close eng bat
+
+(* ---- characterization: batched engine vs sequential engine ---- *)
+
+let costs_equal (a : Sim.Cost.t) (b : Sim.Cost.t) =
+  a.Sim.Cost.executions = b.Sim.Cost.executions
+  && a.Sim.Cost.shots = b.Sim.Cost.shots
+  && a.Sim.Cost.gate_ops = b.Sim.Cost.gate_ops
+  && a.Sim.Cost.one_qubit_gates = b.Sim.Cost.one_qubit_gates
+  && a.Sim.Cost.two_qubit_gates = b.Sim.Cost.two_qubit_gates
+  && a.Sim.Cost.measurements = b.Sim.Cost.measurements
+
+let characterize_engines_agree ?pool circ =
+  let program = Morphcore.Program.make (Gen.build circ) in
+  let run engine =
+    Morphcore.Characterize.run ?pool ~rng:(Stats.Rng.make 99) ~trajectories:6
+      ~engine program ~count:4
+  in
+  let a = run `Batched and b = run `Sequential in
+  costs_equal a.Morphcore.Characterize.cost b.Morphcore.Characterize.cost
+  && Array.for_all2
+       (fun (sa : Morphcore.Characterize.sample)
+            (sb : Morphcore.Characterize.sample) ->
+         cmat_bits sa.Morphcore.Characterize.input_dm
+           sb.Morphcore.Characterize.input_dm
+         && traces_match sa.Morphcore.Characterize.traces
+              sb.Morphcore.Characterize.traces)
+       a.Morphcore.Characterize.samples b.Morphcore.Characterize.samples

@@ -51,3 +51,39 @@ val transpile_preserves : (Circuit.t -> Circuit.t) -> Gen.circ -> bool
 (** All peephole passes by name — [transpile_preserves] is property-tested
     against each. *)
 val all_passes : (string * (Circuit.t -> Circuit.t)) list
+
+(** [batch_vs_engine c] — segment-compile the circuit and run it once
+    through [Sim.Batch.run_seq] against [Sim.Engine.run] with identically
+    seeded generators: classical bits must agree exactly, state and
+    tracepoint snapshots within {!eps} (fused segments reorder the
+    floating-point arithmetic by ~1e-15). *)
+val batch_vs_engine : Gen.circ -> bool
+
+(** [batch_vs_engine_packed c] — same oracle with [cutoff = 2] and
+    [block_cutoff = 2], forcing the greedy-packing and [Direct]-gate
+    compile paths that wide default cutoffs rarely exercise. *)
+val batch_vs_engine_packed : Gen.circ -> bool
+
+(** [batch_bit_identical ?pool c] — the batched path's determinism
+    contract: packing 23 dense pseudorandom columns into one
+    [Sim.Batch.run] is bit-for-bit identical, per column, to running each
+    column alone through [Sim.Batch.run_seq] with the same per-column
+    generator (classical bits, final amplitudes and trace matrices compared
+    with [=], no tolerance). *)
+val batch_bit_identical : ?pool:Parallel.Pool.t -> Gen.circ -> bool
+
+(** [delay_tracepoint_fences plan] — a deliberately broken segmentation
+    that moves every tracepoint fence past the operator that follows it.
+    Used by the shrinker smoke test: {!batch_fence_respected} must fail on
+    any circuit whose traced state changes across that operator. *)
+val delay_tracepoint_fences : Sim.Batch.plan -> Sim.Batch.plan
+
+(** [batch_fence_respected c] — {!batch_vs_engine} but with the plan's
+    tracepoint fences deliberately delayed ({!delay_tracepoint_fences});
+    holds only when the misplaced fences happen to be unobservable. *)
+val batch_fence_respected : Gen.circ -> bool
+
+(** [characterize_engines_agree ?pool c] — [Morphcore.Characterize.run]
+    under [`Batched] vs [`Sequential] on the same seed: identical cost
+    meters and input density matrices (bitwise), traces within {!eps}. *)
+val characterize_engines_agree : ?pool:Parallel.Pool.t -> Gen.circ -> bool

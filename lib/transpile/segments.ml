@@ -1,0 +1,137 @@
+module IntSet = Set.Make (Int)
+
+let default_cutoff = 6
+let default_block_cutoff = 3
+
+let support gates =
+  List.fold_left
+    (fun acc g ->
+      List.fold_left
+        (fun acc q -> IntSet.add q acc)
+        acc (Circuit.Gate.qubits g))
+    IntSet.empty gates
+
+(* Fuse [gates] (whose union support is [sup]) into one block operator:
+   remap them onto a local register ordered by ascending global qubit and
+   materialize the sub-circuit unitary column by column. *)
+let block_of sup gates =
+  let qubits = Array.of_list (IntSet.elements sup) in
+  let k = Array.length qubits in
+  let local q =
+    let rec go i = if qubits.(i) = q then i else go (i + 1) in
+    go 0
+  in
+  let sub =
+    List.fold_left
+      (fun c g -> Circuit.add (Circuit.Instr.Gate (Circuit.Gate.remap local g)) c)
+      (Circuit.empty k) gates
+  in
+  { Sim.Batch.qubits; u = Sim.Engine.unitary sub }
+
+(* Cost-aware fusion. A fused block is applied as a dense, zero-skipping
+   [m x m] operator costing [nnz(u) / m] complex multiply-accumulates per
+   amplitude; the batch engine's row-sweeping kernels apply a controlled
+   single-target gate for [2 / 2^controls] per amplitude and a swap as
+   pure moves. A candidate block is kept only when it is at least as
+   cheap as replaying its gates directly — true for long narrow segments
+   (the characterization hot path), false for short dense ones (random
+   circuits where barely two gates share a support). Gates the direct
+   kernels cannot express (multi-target non-swap) force fusion. *)
+let direct_cost (g : Circuit.Gate.t) =
+  match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
+  | "swap", [ _; _ ] when g.Circuit.Gate.controls = [] -> Some 0.5
+  | _, [ _ ] ->
+      let nc = List.length g.Circuit.Gate.controls in
+      Some (2.0 /. float_of_int (1 lsl nc))
+  | _ -> None
+
+let block_cost (blk : Sim.Batch.block) =
+  let m = 1 lsl Array.length blk.Sim.Batch.qubits in
+  let re = blk.Sim.Batch.u.Linalg.Cmat.re
+  and im = blk.Sim.Batch.u.Linalg.Cmat.im in
+  let nnz = ref 0 in
+  Array.iteri (fun i x -> if x <> 0. || im.(i) <> 0. then incr nnz) re;
+  float_of_int !nnz /. float_of_int m
+
+let emit_fused emit sup gates =
+  let blk = block_of sup gates in
+  let dcost =
+    List.fold_left
+      (fun acc g ->
+        match (acc, direct_cost g) with
+        | Some a, Some c -> Some (a +. c)
+        | _ -> None)
+      (Some 0.) gates
+  in
+  match dcost with
+  | Some total when block_cost blk > total ->
+      List.iter (fun g -> emit (Sim.Batch.Direct g)) gates
+  | _ -> emit (Sim.Batch.Block blk)
+
+let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff) c =
+  if cutoff < 1 || block_cutoff < 1 then
+    invalid_arg "Segments.compile: cutoffs must be >= 1";
+  let items = ref [] in
+  let pending = ref [] in
+  let source_ops = ref 0 in
+  let emit item = items := item :: !items in
+  (* flush the pending unitary run as fused operators *)
+  let flush_segment () =
+    match List.rev !pending with
+    | [] -> ()
+    | gates ->
+        pending := [];
+        let sup = support gates in
+        if IntSet.cardinal sup <= cutoff then
+          (* narrow segment: one block over its whole support *)
+          emit_fused emit sup gates
+        else begin
+          (* wide segment: greedily pack consecutive gates while the
+             running support stays within [block_cutoff] qubits *)
+          let cur = ref [] and cur_sup = ref IntSet.empty in
+          let flush_cur () =
+            match List.rev !cur with
+            | [] -> ()
+            | [ g ] when IntSet.cardinal !cur_sup > block_cutoff ->
+                (* a single gate too wide to fuse (e.g. a many-control
+                   Toffoli): the row-sweeping kernel beats a huge block *)
+                emit (Sim.Batch.Direct g)
+            | gs -> emit_fused emit !cur_sup gs
+          in
+          List.iter
+            (fun g ->
+              let gsup = support [ g ] in
+              let u = IntSet.union !cur_sup gsup in
+              if !cur = [] || IntSet.cardinal u <= block_cutoff then begin
+                cur := g :: !cur;
+                cur_sup := u
+              end
+              else begin
+                flush_cur ();
+                cur := [ g ];
+                cur_sup := gsup
+              end)
+            gates;
+          flush_cur ()
+        end
+  in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Instr.Gate g ->
+          incr source_ops;
+          pending := g :: !pending
+      | Circuit.Instr.Barrier _ ->
+          (* a barrier fences fusion but emits nothing at run time *)
+          flush_segment ()
+      | fence ->
+          flush_segment ();
+          emit (Sim.Batch.Fence fence))
+    (Circuit.instrs c);
+  flush_segment ();
+  {
+    Sim.Batch.num_qubits = Circuit.num_qubits c;
+    num_clbits = Circuit.num_clbits c;
+    items = List.rev !items;
+    source_ops = !source_ops;
+  }

@@ -1,0 +1,45 @@
+(** Segment compiler: split a circuit at its fences and fuse each
+    purely-unitary segment into block operators for [Sim.Batch].
+
+    Fences are the non-unitary instructions — tracepoints, measurements,
+    resets and classical feedback — plus barriers: no fusion crosses them,
+    so every snapshot and every classically-dependent branch sees exactly
+    the state the gate-by-gate engine would produce. Barriers fence fusion
+    but emit nothing into the plan.
+
+    Fusion policy (the qubit-cutoff heuristic):
+    - a segment whose whole support spans at most [cutoff] qubits is a
+      candidate for a single [2^k x 2^k] block operator over that support
+      (applying it costs one fused operator per run instead of one per
+      gate);
+    - a wider segment is greedily packed left to right: consecutive gates
+      are merged while their running union support stays within
+      [block_cutoff] qubits (this subsumes classic 1q-run fusion at
+      [block_cutoff = 1]);
+    - a single gate whose own support exceeds [block_cutoff] (e.g. a
+      many-control Toffoli) stays a [Direct] item — a sparse row sweep
+      beats materializing a huge, mostly-identity block;
+    - every candidate block is kept only if its dense (zero-skipping)
+      application — [nnz(u)/2^k] multiply-accumulates per amplitude — is
+      at least as cheap as replaying its gates through the direct
+      kernels ([2/2^controls] per amplitude each). Long narrow segments
+      fuse (the characterization hot path); short dense ones (e.g. two
+      random gates that barely share a support) stay [Direct].
+
+    Block unitaries are built once per compile by running the segment's
+    gates column by column ([Sim.Engine.unitary]), so a plan pays the
+    circuit walk once and every subsequent batch column reuses it. *)
+
+val default_cutoff : int
+(** [6]: full-segment fusion up to 64-dimensional blocks. Beyond this the
+    [O(4^k)] block application overtakes per-gate sweeps. *)
+
+val default_block_cutoff : int
+(** [3]: greedy packing inside wide segments stops at 8x8 blocks. *)
+
+(** [compile ?cutoff ?block_cutoff c] compiles [c] into a batched
+    execution plan. [plan.source_ops] records the circuit's own unitary
+    gate count; [Sim.Batch.ops] on the result counts the fused operators
+    actually applied per run. Raises [Invalid_argument] if a cutoff is
+    [< 1]. *)
+val compile : ?cutoff:int -> ?block_cutoff:int -> Circuit.t -> Sim.Batch.plan
