@@ -1,4 +1,4 @@
-.PHONY: build test test-fast test-full bench bench-smoke clean
+.PHONY: build test test-fast test-full lint bench bench-smoke clean
 
 build:
 	dune build
@@ -17,6 +17,11 @@ test-fast:
 test-full: build
 	dune build @runtest --force
 	dune exec bench/main.exe -- fuzz --no-bechamel
+
+# Static-analysis diagnostics over the example corpus; --strict makes any
+# warning fail the target, so the shipped examples must stay lint-clean.
+lint: build
+	dune exec bin/main.exe -- lint --strict examples/qasm/*.qasm
 
 bench: build
 	dune exec bench/main.exe

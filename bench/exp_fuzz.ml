@@ -25,6 +25,12 @@ let checks () =
       Gen.gen_pure (),
       fun c -> Oracle.statevec_vs_sparse c );
     ("qasm-roundtrip", Gen.gen_program (), Oracle.qasm_roundtrip);
+    ("prune-preserves-traces", Gen.gen_pure (), Oracle.prune_preserves_traces);
+    ("lightcone-restrict", Gen.gen_pure (), Oracle.lightcone_restrict_matches);
+    ("stabilizer-traces", Gen.gen_clifford (), Oracle.stabilizer_traces_agree);
+    ( "characterize-auto-pinned",
+      Gen.gen_program (),
+      fun c -> Oracle.characterize_auto_unchanged c );
     ("adjoint-cancels", Gen.gen_pure (), Metamorph.adjoint_cancels);
     ("global-phase", Gen.gen_pure (), Metamorph.global_phase_invariant);
     ("fused-traces", Gen.gen_pure (), Metamorph.fused_traces_agree);
@@ -70,5 +76,27 @@ let run () =
           Util.row "%s" (Gen.print_circ c)
       | None -> ())
     (checks ());
+  (* lint-diagnostic census over the same program distribution: how many
+     random programs the linter flags at all (any severity). Recorded as
+     (clean, flagged) so the diagnostic rate is tracked across PRs — a
+     sudden jump means either the generator or a lint check drifted. *)
+  let rand = Random.State.make [| seed |] in
+  let circs = QCheck.Gen.generate ~rand ~n (Gen.gen_program ()) in
+  let flagged = ref 0 and diagnostics = ref 0 in
+  let (), dt =
+    Util.time (fun () ->
+        List.iter
+          (fun c ->
+            match Analysis.Lint.check (Gen.build c) with
+            | [] -> ()
+            | ds ->
+                incr flagged;
+                diagnostics := !diagnostics + List.length ds)
+          circs)
+  in
+  Util.record "fuzz/lint-diagnostics" ~seconds:dt
+    ~cases:(n - !flagged, !flagged) ~domains ();
+  Util.row "%-28s %4d/%-4d clean   (%d diagnostics, %.2fs)" "lint-diagnostics"
+    (n - !flagged) n !diagnostics dt;
   if !total_failed = 0 then Util.row "all oracles agree on every circuit"
   else Util.row "TOTAL FAILURES: %d (repro: MORPHQPV_SEED=%d)" !total_failed seed

@@ -19,8 +19,17 @@ open Morphcore
 
 let read_circuit path =
   try Ok (Qasm.parse_file path) with
-  | Qasm.Parse_error { line; message } ->
-      Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Qasm.Parse_error { line; column; message; _ } ->
+      Error
+        (if column > 0 then
+           Printf.sprintf "%s:%d:%d: %s" path line column message
+         else Printf.sprintf "%s:%d: %s" path line message)
+  | Circuit.Error { code; message; loc } ->
+      Error
+        (match loc with
+        | Some (line, col) ->
+            Printf.sprintf "%s:%d:%d: [%s] %s" path line col code message
+        | None -> Printf.sprintf "%s: [%s] %s" path code message)
   | Sys_error msg -> Error msg
 
 let qubits_of_tracepoint circuit tp =
@@ -253,6 +262,35 @@ let optimize_cmd file output =
           close_out oc);
       0
 
+(* ------------------------------- lint -------------------------------- *)
+
+(* morph-lint: run the static-analysis diagnostics (Analysis.Lint) over one
+   or more mini-QASM files. Exit status 1 when any error-severity diagnostic
+   is found (or any warning under --strict), 0 on a clean corpus. *)
+let lint_cmd files strict quiet =
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      match Analysis.Lint.lint_file file with
+      | exception Sys_error msg ->
+          prerr_endline msg;
+          failed := true
+      | diags ->
+          List.iter
+            (fun d ->
+              let fails =
+                match d.Analysis.Lint.severity with
+                | Analysis.Lint.Error -> true
+                | Analysis.Lint.Warning -> strict
+                | Analysis.Lint.Info -> false
+              in
+              if fails then failed := true;
+              if not (quiet && not fails) then
+                Format.printf "%a@." (Analysis.Lint.pp ~file) d)
+            diags)
+    files;
+  if !failed then 1 else 0
+
 (* ----------------------------- cmdliner ------------------------------ *)
 
 open Cmdliner
@@ -283,6 +321,18 @@ let optimize_term =
   in
   Term.(const optimize_cmd $ file_arg $ output)
 
+let lint_term =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"mini-QASM programs to lint")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"treat warnings as errors")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"print only failing diagnostics")
+  in
+  Term.(const lint_cmd $ files $ strict $ quiet)
+
 let verify_term =
   let assumes =
     Arg.(value & opt_all string [] & info [ "assume" ] ~docv:"SPEC" ~doc:"assumption predicate")
@@ -307,6 +357,9 @@ let cmds =
     Cmd.v
       (Cmd.info "optimize" ~doc:"transpile a program and check equivalence")
       optimize_term;
+    Cmd.v
+      (Cmd.info "lint" ~doc:"run static-analysis diagnostics over programs")
+      lint_term;
   ]
 
 let () =

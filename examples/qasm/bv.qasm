@@ -1,0 +1,20 @@
+// Bernstein-Vazirani with secret string 101 (q0 and q2 coupled to the
+// phase-kickback ancilla q3). T 1 observes the recovered secret before
+// readout.
+OPENQASM 2.0;
+qreg q[4];
+creg c[3];
+x q[3];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+cx q[0],q[3];
+cx q[2],q[3];
+h q[0];
+h q[1];
+h q[2];
+T 1 q[0,1,2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];

@@ -1,0 +1,8 @@
+// GHZ state preparation; the tracepoint observes the full entangled
+// register, so the lightcone of T 1 is all three qubits.
+OPENQASM 2.0;
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+T 1 q[0,1,2];

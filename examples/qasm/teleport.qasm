@@ -1,0 +1,18 @@
+// Quantum teleportation with MorphQPV tracepoint pragmas.
+// T 1 = payload input (alice), T 3 = alice after measurement,
+// T 4 = bob before corrections, T 2 = corrected output (bob).
+OPENQASM 2.0;
+qreg q[3];
+creg c[2];
+T 1 q[0];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+T 3 q[0];
+T 4 q[2];
+if (c[1]==1) x q[2];
+if (c[0]==1) z q[2];
+T 2 q[2];

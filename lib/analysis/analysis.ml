@@ -1,0 +1,4 @@
+module Lightcone = Lightcone
+module Classify = Classify
+module Dataflow = Dataflow
+module Lint = Lint

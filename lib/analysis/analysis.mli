@@ -1,0 +1,108 @@
+(** Static analyses over the circuit IR: lightcone (cone of influence),
+    Clifford classification, classical def/use dataflow, and a diagnostics
+    linter built on all three.
+
+    All analyses are purely syntactic — no simulation — and run in one or
+    two passes over [Circuit.instrs]. Consumers: [Transpile.Passes.
+    prune_lightcone] (delete gates outside the observable cone),
+    [Sim.Engine]/[Characterize] (auto-route Clifford programs to the
+    stabilizer tableau, restrict tomography to each tracepoint's cone),
+    and the [morph-lint] CLI subcommand. *)
+
+module Lightcone : sig
+  type cone = {
+    id : int;  (** tracepoint id *)
+    position : int;  (** instruction index of the tracepoint *)
+    qubits : int list;  (** minimal qubit set, sorted ascending *)
+    keep : bool array;
+        (** per-instruction cone membership; [false] at/after [position] *)
+  }
+
+  (** [cones c] computes one backward cone of influence per tracepoint:
+      the minimal set of qubits (and the instructions on them) that can
+      affect the tracepoint's unconditional reduced state. Feedback is
+      tracked through the measurements that wrote the condition bits;
+      resets sever the cone on their qubit. *)
+  val cones : Circuit.t -> cone list
+
+  val cone_of_tracepoint : Circuit.t -> id:int -> cone option
+
+  (** [union_keep c] marks the instructions inside the union cone of all
+      tracepoints and measurements. Deleting unmarked instructions
+      preserves every tracepoint state and the joint measurement
+      distribution (but not the final state on unobserved qubits). *)
+  val union_keep : Circuit.t -> bool array
+
+  (** [restrict c cone] is the cone's subcircuit, remapped onto the cone
+      qubits (sorted ascending, local index [j] = global
+      [List.nth cone.qubits j]), ending with the tracepoint itself.
+      Sound when non-cone qubits start unentangled with cone qubits. *)
+  val restrict : Circuit.t -> cone -> Circuit.t * int list
+end
+
+module Classify : sig
+  type t = Clifford | Near_clifford of int | General
+
+  (** Matches [Stabilizer.Tableau.apply_gate]'s dispatch exactly: a [true]
+      gate is guaranteed to execute on the tableau engine. *)
+  val gate_is_clifford : Circuit.Gate.t -> bool
+
+  (** Number of non-Clifford gates ([If_gate] bodies included). *)
+  val non_clifford_count : Circuit.t -> int
+
+  (** [circuit ?cutoff c] classifies the whole circuit; [Near_clifford k]
+      for [0 < k <= cutoff] (default 8) non-Clifford gates. *)
+  val circuit : ?cutoff:int -> Circuit.t -> t
+
+  (** [gates gs] classifies a gate list (e.g. one fusion segment). *)
+  val gates : ?cutoff:int -> Circuit.Gate.t list -> t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Dataflow : sig
+  type report = {
+    unwritten_reads : (int * int list) list;
+        (** ([If_gate] instruction index, clbits read before any write) *)
+    dead_writes : (int * int) list;
+        (** (shadowed [Measure] instruction index, its clbit) *)
+  }
+
+  (** Def/use liveness over the classical register in one forward pass. *)
+  val clbits : Circuit.t -> report
+end
+
+module Lint : sig
+  type severity = Error | Warning | Info
+
+  type diagnostic = {
+    severity : severity;
+    code : string;
+    message : string;
+    loc : (int * int) option;  (** (line, column) in the QASM source *)
+    instr : int option;  (** index in [Circuit.instrs] order *)
+  }
+
+  (** The diagnostic table: (code, severity, description). *)
+  val codes : (string * severity * string) list
+
+  val severity_of_code : string -> severity
+  val severity_string : severity -> string
+
+  (** [check ?locs c] runs the semantic checks (MQ004-MQ012) over a
+      well-formed circuit; [locs] from {!Qasm.parse_with_locs} attaches
+      source positions. Diagnostics are sorted by instruction index. *)
+  val check : ?locs:(int * int) array -> Circuit.t -> diagnostic list
+
+  (** [lint_qasm src] parses and checks QASM text; syntax errors (MQ000)
+      and construction errors (MQ001-MQ003, MQ013-MQ016) are returned as
+      located diagnostics instead of raising. *)
+  val lint_qasm : string -> diagnostic list
+
+  val lint_file : string -> diagnostic list
+
+  (** [pp ?file ppf d] prints [file:line:col: severity[CODE]: message]. *)
+  val pp : ?file:string -> Format.formatter -> diagnostic -> unit
+
+  val has_errors : diagnostic list -> bool
+end

@@ -1,0 +1,52 @@
+(* Clifford classification of gates, instruction lists and circuits.
+
+   [gate_is_clifford] must match Stabilizer.Tableau.apply_gate's dispatch
+   exactly (pinned by a test): whatever we classify as Clifford is
+   guaranteed to run on the tableau engine without error. Gates such as
+   rz(pi/2) are mathematically Clifford but are classified General here
+   because the tableau cannot execute them. *)
+
+type t = Clifford | Near_clifford of int | General
+
+let gate_is_clifford (g : Circuit.Gate.t) =
+  match (g.Circuit.Gate.name, g.Circuit.Gate.controls, g.Circuit.Gate.targets)
+  with
+  | ("h" | "s" | "sdg" | "x" | "y" | "z" | "id"), [], [ _ ] -> true
+  | ("x" | "z"), [ _ ], [ _ ] -> true
+  | "swap", [], [ _; _ ] -> true
+  | _ -> false
+
+(* count of non-Clifford gates among gate instructions (feedback gates
+   included); measurements, resets, tracepoints and barriers are all
+   representable in the stabilizer formalism and do not count *)
+let non_clifford_count c =
+  List.fold_left
+    (fun acc instr ->
+      match instr with
+      | Circuit.Instr.Gate g | Circuit.Instr.If_gate { gate = g; _ } ->
+          if gate_is_clifford g then acc else acc + 1
+      | Circuit.Instr.Tracepoint _ | Circuit.Instr.Measure _
+      | Circuit.Instr.Reset _ | Circuit.Instr.Barrier _ ->
+          acc)
+    0 (Circuit.instrs c)
+
+let of_count ~cutoff k =
+  if k = 0 then Clifford
+  else if k <= cutoff then Near_clifford k
+  else General
+
+(* [cutoff] bounds the Near_clifford band: k non-Clifford gates cost a
+   2^k branching overhead in gadget-based stabilizer methods, so only
+   small k is worth reporting separately *)
+let circuit ?(cutoff = 8) c = of_count ~cutoff (non_clifford_count c)
+
+let gates ?(cutoff = 8) gs =
+  of_count ~cutoff
+    (List.fold_left
+       (fun acc g -> if gate_is_clifford g then acc else acc + 1)
+       0 gs)
+
+let pp ppf = function
+  | Clifford -> Format.pp_print_string ppf "Clifford"
+  | Near_clifford k -> Format.fprintf ppf "NearClifford(%d)" k
+  | General -> Format.pp_print_string ppf "General"

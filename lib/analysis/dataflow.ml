@@ -1,0 +1,41 @@
+(* Classical def/use dataflow over the clbit register.
+
+   A [Measure] *defines* its clbit; an [If_gate] *uses* its condition
+   clbits. One forward walk finds:
+
+   - reads of clbits never defined by any earlier measurement
+     (feedback-before-measure, lint code MQ005);
+   - definitions overwritten by a later measurement before any read
+     (dead measurement, lint code MQ006). A final unread measurement is
+     NOT dead — measured bits are the program's output. *)
+
+type report = {
+  unwritten_reads : (int * int list) list;
+      (** (instruction index of the [If_gate], clbits read before any
+          write), in program order *)
+  dead_writes : (int * int) list;
+      (** (instruction index of the shadowed [Measure], its clbit), in
+          program order *)
+}
+
+let clbits c =
+  let m = Circuit.num_clbits c in
+  let written = Array.make m false in
+  (* index of the last measurement writing each clbit, cleared on read *)
+  let last_unread = Array.make m (-1) in
+  let unwritten = ref [] and dead = ref [] in
+  List.iteri
+    (fun i instr ->
+      match instr with
+      | Circuit.Instr.Measure { clbit; _ } ->
+          if last_unread.(clbit) >= 0 then
+            dead := (last_unread.(clbit), clbit) :: !dead;
+          last_unread.(clbit) <- i;
+          written.(clbit) <- true
+      | Circuit.Instr.If_gate { clbits; _ } ->
+          let missing = List.filter (fun b -> not written.(b)) clbits in
+          if missing <> [] then unwritten := (i, missing) :: !unwritten;
+          List.iter (fun b -> last_unread.(b) <- -1) clbits
+      | _ -> ())
+    (Circuit.instrs c);
+  { unwritten_reads = List.rev !unwritten; dead_writes = List.rev !dead }

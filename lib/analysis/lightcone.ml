@@ -1,0 +1,155 @@
+(* Backward cone-of-influence dataflow.
+
+   For a sink (a tracepoint's qubit set, or every tracepoint + measurement
+   for whole-program pruning) we walk the instruction list backwards
+   maintaining a live qubit set S and a live clbit set L:
+
+   - [Gate g] is in the cone iff it touches S; joining the cone joins all
+     its qubits to S (a unitary propagates influence both ways).
+   - [If_gate] is in the cone iff its gate touches S; joining the cone also
+     adds its condition clbits to L (the gate fires depending on earlier
+     measurement results).
+   - [Measure {qubit; clbit}] with [clbit] in L joins the cone, adds
+     [qubit] to S, and removes [clbit] from L (this write defines the bit;
+     earlier writes are shadowed). A measure whose qubit is in S also joins
+     the cone — measurement dephases the qubit and so changes the
+     trajectory-averaged state on S — but adds no qubits (it acts on one).
+   - [Reset q] with [q] in S joins the cone and then removes [q] from S:
+     the reset output is |0> regardless of history, and by no-signalling a
+     unitary acting only on the pre-reset [q] cannot change the marginal on
+     the remaining cone qubits.
+   - Tracepoints and barriers never affect the state.
+
+   Soundness is with respect to the *unconditional* (trajectory-averaged)
+   reduced state at the sink, which is what MorphQPV characterizes. *)
+
+type cone = {
+  id : int;  (** tracepoint id *)
+  position : int;  (** instruction index of the tracepoint *)
+  qubits : int list;  (** minimal qubit set, sorted ascending *)
+  keep : bool array;
+      (** per-instruction membership over the whole circuit; instructions
+          at or after [position] are [false] *)
+}
+
+(* one backward step over instruction [instr]; mutates [s]/[l], returns
+   whether the instruction is in the cone *)
+let step ~s ~l instr =
+  let touches_s qs = List.exists (fun q -> s.(q)) qs in
+  match instr with
+  | Circuit.Instr.Gate g ->
+      let qs = Circuit.Gate.qubits g in
+      if touches_s qs then begin
+        List.iter (fun q -> s.(q) <- true) qs;
+        true
+      end
+      else false
+  | Circuit.Instr.If_gate { clbits; gate; _ } ->
+      let qs = Circuit.Gate.qubits gate in
+      if touches_s qs then begin
+        List.iter (fun q -> s.(q) <- true) qs;
+        List.iter (fun b -> l.(b) <- true) clbits;
+        true
+      end
+      else false
+  | Circuit.Instr.Measure { qubit; clbit } ->
+      if l.(clbit) then begin
+        s.(qubit) <- true;
+        l.(clbit) <- false;
+        true
+      end
+      else s.(qubit)
+  | Circuit.Instr.Reset q ->
+      if s.(q) then begin
+        s.(q) <- false;
+        true
+      end
+      else false
+  | Circuit.Instr.Tracepoint _ | Circuit.Instr.Barrier _ -> false
+
+let ever_live instrs keep ~seed_qubits n =
+  let live = Array.make n false in
+  List.iter (fun q -> live.(q) <- true) seed_qubits;
+  Array.iteri
+    (fun i kept ->
+      if kept then
+        List.iter (fun q -> live.(q) <- true) (Circuit.Instr.qubits instrs.(i)))
+    keep;
+  List.filter (fun q -> live.(q)) (List.init n (fun q -> q))
+
+let cone_at instrs ~n ~m ~id ~position ~seed_qubits =
+  let s = Array.make n false and l = Array.make m false in
+  List.iter (fun q -> s.(q) <- true) seed_qubits;
+  let keep = Array.make (Array.length instrs) false in
+  for i = position - 1 downto 0 do
+    keep.(i) <- step ~s ~l instrs.(i)
+  done;
+  { id; position; qubits = ever_live instrs keep ~seed_qubits n; keep }
+
+let cones c =
+  let instrs = Array.of_list (Circuit.instrs c) in
+  let n = Circuit.num_qubits c and m = Circuit.num_clbits c in
+  let out = ref [] in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Circuit.Instr.Tracepoint { id; qubits } ->
+          out := cone_at instrs ~n ~m ~id ~position:i ~seed_qubits:qubits :: !out
+      | _ -> ())
+    instrs;
+  List.rev !out
+
+let cone_of_tracepoint c ~id =
+  List.find_opt (fun cone -> cone.id = id) (cones c)
+
+(* Whole-program liveness for pruning: sinks are every tracepoint and every
+   measurement (observable outputs). Tracepoints, measures and barriers are
+   always kept; gates, feedback gates and resets are kept iff live. The
+   result preserves all tracepoint states and the joint measurement
+   distribution — NOT the final state on unobserved qubits. *)
+let union_keep c =
+  let instrs = Array.of_list (Circuit.instrs c) in
+  let n = Circuit.num_qubits c and m = Circuit.num_clbits c in
+  let s = Array.make n false and l = Array.make m false in
+  let keep = Array.make (Array.length instrs) false in
+  for i = Array.length instrs - 1 downto 0 do
+    match instrs.(i) with
+    | Circuit.Instr.Tracepoint { qubits; _ } ->
+        List.iter (fun q -> s.(q) <- true) qubits;
+        keep.(i) <- true
+    | Circuit.Instr.Measure { qubit; clbit } ->
+        s.(qubit) <- true;
+        l.(clbit) <- false;
+        keep.(i) <- true
+    | Circuit.Instr.Barrier _ -> keep.(i) <- true
+    | Circuit.Instr.Gate _ | Circuit.Instr.If_gate _ | Circuit.Instr.Reset _
+      ->
+        keep.(i) <- step ~s ~l instrs.(i)
+  done;
+  keep
+
+(* [restrict c cone] builds the cone's subcircuit: kept instructions
+   remapped onto the cone qubits (sorted ascending -> 0..k-1), ending with
+   the tracepoint itself. The classical register is kept at full width.
+   Simulating it from |0...0> (or any state that is a product between cone
+   and non-cone qubits, prepared per-qubit) reproduces the tracepoint's
+   reduced state. Returns the subcircuit and the cone qubit list (local
+   qubit j corresponds to global qubit [List.nth qubits j]). *)
+let restrict c cone =
+  let qubits = cone.qubits in
+  let k = List.length qubits in
+  let map = Hashtbl.create 8 in
+  List.iteri (fun local global -> Hashtbl.replace map global local) qubits;
+  let f q = Hashtbl.find map q in
+  let instrs = Array.of_list (Circuit.instrs c) in
+  let sub = ref (Circuit.empty ~clbits:(Circuit.num_clbits c) (max k 1)) in
+  Array.iteri
+    (fun i instr -> if cone.keep.(i) then sub := Circuit.add (Circuit.Instr.remap f instr) !sub)
+    instrs;
+  let tp_qubits =
+    match instrs.(cone.position) with
+    | Circuit.Instr.Tracepoint { qubits; _ } -> qubits
+    | _ -> invalid_arg "Lightcone.restrict: position is not a tracepoint"
+  in
+  sub := Circuit.add (Circuit.Instr.Tracepoint { id = cone.id; qubits = List.map f tp_qubits }) !sub;
+  (!sub, qubits)

@@ -1,0 +1,254 @@
+(* Diagnostics linter over the circuit IR.
+
+   Structural validity (MQ000-MQ003, MQ013-MQ016) is enforced by the
+   parser and [Circuit]'s constructors and surfaces here via [lint_qasm];
+   [check] itself runs the semantic checks MQ004-MQ012 that need the
+   lightcone / classical-dataflow analyses. *)
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  severity : severity;
+  code : string;
+  message : string;
+  loc : (int * int) option;  (** (line, column) in the QASM source *)
+  instr : int option;  (** instruction index in [Circuit.instrs] order *)
+}
+
+(* the full diagnostic table; keep in sync with DESIGN.md section 10 *)
+let codes =
+  [
+    ("MQ000", Error, "syntax error");
+    ("MQ001", Error, "qubit index out of range");
+    ("MQ002", Error, "clbit index out of range");
+    ("MQ003", Error, "duplicate qubit among gate operands");
+    ("MQ004", Error, "duplicate tracepoint id");
+    ("MQ005", Error, "feedback reads a clbit never written by a measurement");
+    ("MQ006", Warning, "measurement result overwritten before any read");
+    ("MQ007", Warning, "operation on a qubit after its final measurement");
+    ("MQ008", Warning, "unused qubit");
+    ("MQ009", Warning, "unreachable feedback condition value");
+    ("MQ010", Info, "no-op barrier");
+    ("MQ011", Info, "program has no tracepoints");
+    ("MQ012", Info, "tracepoint observes a qubit no operation has touched");
+    ("MQ013", Error, "register mismatch");
+    ("MQ014", Error, "adjoint of a non-unitary instruction");
+    ("MQ015", Error, "unknown or malformed gate");
+    ("MQ016", Error, "invalid register declaration");
+  ]
+
+let severity_of_code code =
+  match List.find_opt (fun (c, _, _) -> c = code) codes with
+  | Some (_, sev, _) -> sev
+  | None -> Error
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp ?file ppf d =
+  (match (file, d.loc) with
+  | Some f, Some (line, col) -> Format.fprintf ppf "%s:%d:%d: " f line col
+  | Some f, None -> Format.fprintf ppf "%s: " f
+  | None, Some (line, col) -> Format.fprintf ppf "%d:%d: " line col
+  | None, None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_string d.severity) d.code d.message
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let int_list_string qs = String.concat "," (List.map string_of_int qs)
+
+(* semantic checks over a well-formed circuit; [locs] (from
+   [Qasm.parse_with_locs]) attaches source positions to per-instruction
+   diagnostics *)
+let check ?locs c =
+  let instrs = Array.of_list (Circuit.instrs c) in
+  let n = Circuit.num_qubits c in
+  let loc_of i =
+    match locs with
+    | Some a when i >= 0 && i < Array.length a -> Some a.(i)
+    | _ -> None
+  in
+  let out = ref [] in
+  let emit ?instr severity code fmt =
+    Format.kasprintf
+      (fun message ->
+        out :=
+          { severity; code; message; loc = Option.bind instr loc_of; instr }
+          :: !out)
+      fmt
+  in
+
+  (* MQ004: duplicate tracepoint ids *)
+  let seen_tp = Hashtbl.create 8 in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Circuit.Instr.Tracepoint { id; _ } ->
+          (match Hashtbl.find_opt seen_tp id with
+          | Some first ->
+              emit ~instr:i Error "MQ004"
+                "duplicate tracepoint id %d (first declared at instruction %d)"
+                id first
+          | None -> Hashtbl.replace seen_tp id i)
+      | _ -> ())
+    instrs;
+
+  (* MQ005 / MQ006: classical dataflow *)
+  let df = Dataflow.clbits c in
+  List.iter
+    (fun (i, missing) ->
+      emit ~instr:i Error "MQ005"
+        "feedback reads clbit%s %s never written by a measurement"
+        (if List.length missing > 1 then "s" else "")
+        (int_list_string missing))
+    df.Dataflow.unwritten_reads;
+  List.iter
+    (fun (i, clbit) ->
+      emit ~instr:i Warning "MQ006"
+        "measurement into clbit %d is overwritten before any read" clbit)
+    df.Dataflow.dead_writes;
+
+  (* MQ007: operations on a qubit after its final measurement, with no
+     intervening reset (the state is collapsed; later gates usually
+     indicate a forgotten reset or a mis-ordered measure) *)
+  let last_measure = Array.make n (-1) in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Circuit.Instr.Measure { qubit; _ } -> last_measure.(qubit) <- i
+      | _ -> ())
+    instrs;
+  for q = 0 to n - 1 do
+    if last_measure.(q) >= 0 then begin
+      let i = ref (last_measure.(q) + 1) in
+      let stop = ref false in
+      while (not !stop) && !i < Array.length instrs do
+        (match instrs.(!i) with
+        | Circuit.Instr.Reset r when r = q -> stop := true
+        | Circuit.Instr.Gate g when List.mem q (Circuit.Gate.qubits g) ->
+            emit ~instr:!i Warning "MQ007"
+              "gate on qubit %d after its final measurement (no reset)" q;
+            stop := true
+        | Circuit.Instr.If_gate { gate; _ }
+          when List.mem q (Circuit.Gate.qubits gate) ->
+            (* conditioned gates after measurement are the usual feedback
+               idiom on *other* qubits; on the measured qubit itself they
+               are fine too (e.g. teleport corrections) — only flag
+               unconditioned gates *)
+            stop := true
+        | _ -> incr i)
+      done
+    end
+  done;
+
+  (* MQ008: qubits referenced by no instruction at all *)
+  let used = Array.make n false in
+  Array.iter
+    (fun instr ->
+      List.iter (fun q -> used.(q) <- true) (Circuit.Instr.qubits instr))
+    instrs;
+  let unused = List.filter (fun q -> not used.(q)) (List.init n Fun.id) in
+  if unused <> [] then
+    emit Warning "MQ008" "unused qubit%s %s"
+      (if List.length unused > 1 then "s" else "")
+      (int_list_string unused);
+
+  (* MQ009: feedback value not representable in the condition's bit mask *)
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Circuit.Instr.If_gate { clbits; value; _ } ->
+          let width = List.length clbits in
+          if value < 0 || (width < 62 && value >= 1 lsl width) then
+            emit ~instr:i Warning "MQ009"
+              "feedback value %d is unreachable for a %d-bit condition" value
+              width
+      | _ -> ())
+    instrs;
+
+  (* MQ010: barriers that fence nothing *)
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Circuit.Instr.Barrier qs ->
+          if qs = [] then emit ~instr:i Info "MQ010" "barrier lists no qubits"
+          else if i = 0 || i = Array.length instrs - 1 then
+            emit ~instr:i Info "MQ010"
+              "barrier at the %s of the program fences nothing"
+              (if i = 0 then "start" else "end")
+      | _ -> ())
+    instrs;
+
+  (* MQ011: nothing for MorphQPV to characterize *)
+  if Circuit.tracepoints c = [] then
+    emit Info "MQ011" "program has no tracepoints (nothing to characterize)";
+
+  (* MQ012: tracepoint qubits no earlier operation has touched — the
+     reduced state there is |0><0| and tomography on them is wasted. The
+     circuit's first tracepoint is exempt: a leading tracepoint on
+     untouched qubits is the standard input-pragma idiom (the qubits are
+     prepared with sampled inputs at characterization time). *)
+  let touched = Array.make n false in
+  let first_tp = ref true in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Circuit.Instr.Tracepoint { qubits; _ } ->
+          let idle = List.filter (fun q -> not touched.(q)) qubits in
+          if idle <> [] && not !first_tp then
+            emit ~instr:i Info "MQ012"
+              "tracepoint observes untouched qubit%s %s (state is |0>)"
+              (if List.length idle > 1 then "s" else "")
+              (int_list_string idle);
+          first_tp := false
+      | Circuit.Instr.Barrier _ -> ()
+      | _ ->
+          List.iter (fun q -> touched.(q) <- true) (Circuit.Instr.qubits instr))
+    instrs;
+
+  (* stable order: by instruction index, then code; circuit-wide
+     diagnostics (no index) last *)
+  List.stable_sort
+    (fun a b ->
+      match (a.instr, b.instr) with
+      | Some i, Some j -> if i <> j then compare i j else compare a.code b.code
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | None, None -> compare a.code b.code)
+    (List.rev !out)
+
+(* lint QASM text: parse errors and construction errors become located
+   diagnostics instead of exceptions *)
+let lint_qasm src =
+  match Qasm.parse_with_locs src with
+  | c, locs -> check ~locs c
+  | exception Qasm.Parse_error { line; column; token; message } ->
+      [
+        {
+          severity = Error;
+          code = "MQ000";
+          message =
+            (if token = "" then message
+             else Printf.sprintf "%s (at %S)" message token);
+          loc = Some (line, column);
+          instr = None;
+        };
+      ]
+  | exception Circuit.Error { code; message; loc } ->
+      [
+        {
+          severity = severity_of_code code;
+          code;
+          message;
+          loc;
+          instr = None;
+        };
+      ]
+
+let lint_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> lint_qasm (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,24 @@
+(* Structured construction/validation errors for the circuit layer.
+
+   Every validation failure in [Gate]/[Circuit] raises one exception
+   carrying a stable diagnostic code shared with [Analysis.Lint]
+   (MQ001 qubit range, MQ002 clbit range, MQ003 duplicate operand,
+   MQ013 register mismatch, MQ014 non-unitary adjoint, MQ015 malformed
+   gate, MQ016 invalid register declaration), so front ends can surface
+   source-located diagnostics instead of opaque [Invalid_argument]
+   strings. [loc] is [None] at raise time; the QASM parser re-raises
+   with the offending statement's (line, column). *)
+
+type info = { code : string; message : string; loc : (int * int) option }
+
+exception Circuit_error of info
+
+let error ?loc code fmt =
+  Printf.ksprintf
+    (fun message -> raise (Circuit_error { code; message; loc }))
+    fmt
+
+let to_string { code; message; loc } =
+  match loc with
+  | Some (line, col) -> Printf.sprintf "%d:%d: [%s] %s" line col code message
+  | None -> Printf.sprintf "[%s] %s" code message

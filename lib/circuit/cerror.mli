@@ -1,0 +1,12 @@
+(** Structured validation errors shared by [Gate] and [Circuit] (re-exported
+    as [Circuit.Error]); codes match the [Analysis.Lint] diagnostic table. *)
+
+type info = { code : string; message : string; loc : (int * int) option }
+
+exception Circuit_error of info
+
+(** [error ?loc code fmt ...] raises {!Circuit_error} with a formatted
+    message. *)
+val error : ?loc:int * int -> string -> ('a, unit, string, 'b) format4 -> 'a
+
+val to_string : info -> string

@@ -1,11 +1,21 @@
 module Gate = Gate
 module Instr = Instr
 
+type error = Cerror.info = {
+  code : string;
+  message : string;
+  loc : (int * int) option;
+}
+
+exception Error = Cerror.Circuit_error
+
 type t = { num_qubits : int; num_clbits : int; rev_instrs : Instr.t list }
 
 let empty ?(clbits = 0) n =
-  if n <= 0 then invalid_arg "Circuit.empty: need at least one qubit";
-  if clbits < 0 then invalid_arg "Circuit.empty: negative clbits";
+  if n <= 0 then
+    Cerror.error "MQ016" "Circuit.empty: need at least one qubit (got %d)" n;
+  if clbits < 0 then
+    Cerror.error "MQ016" "Circuit.empty: negative clbit count %d" clbits;
   { num_qubits = n; num_clbits = clbits; rev_instrs = [] }
 
 let num_qubits c = c.num_qubits
@@ -14,11 +24,13 @@ let instrs c = List.rev c.rev_instrs
 
 let check_qubit c q =
   if q < 0 || q >= c.num_qubits then
-    invalid_arg (Printf.sprintf "Circuit: qubit %d out of range" q)
+    Cerror.error "MQ001" "Circuit: qubit %d out of range (register has %d)" q
+      c.num_qubits
 
 let check_clbit c b =
   if b < 0 || b >= c.num_clbits then
-    invalid_arg (Printf.sprintf "Circuit: clbit %d out of range" b)
+    Cerror.error "MQ002" "Circuit: clbit %d out of range (register has %d)" b
+      c.num_clbits
 
 let add i c =
   List.iter (check_qubit c) (Instr.qubits i);
@@ -30,7 +42,9 @@ let add i c =
 
 let append a b =
   if a.num_qubits <> b.num_qubits || a.num_clbits <> b.num_clbits then
-    invalid_arg "Circuit.append: register mismatch";
+    Cerror.error "MQ013"
+      "Circuit.append: register mismatch (%dq+%dc vs %dq+%dc)" a.num_qubits
+      a.num_clbits b.num_qubits b.num_clbits;
   { a with rev_instrs = b.rev_instrs @ a.rev_instrs }
 
 let gate ?params ?controls name targets c =
@@ -64,7 +78,7 @@ let mcx controls tgt c = gate ~controls "x" [ tgt ] c
 
 let mcz qubits c =
   match List.rev qubits with
-  | [] -> invalid_arg "Circuit.mcz: empty qubit list"
+  | [] -> Cerror.error "MQ015" "Circuit.mcz: empty qubit list"
   | tgt :: rev_controls -> gate ~controls:(List.rev rev_controls) "z" [ tgt ] c
 
 let mcp l controls tgt c = gate ~params:[ l ] ~controls "p" [ tgt ] c
@@ -125,8 +139,10 @@ let adjoint c =
         | Instr.Gate g -> Instr.Gate (Gate.inverse g)
         | Instr.Barrier qs -> Instr.Barrier qs
         | Instr.Tracepoint _ as tp -> tp
-        | Instr.Measure _ | Instr.Reset _ | Instr.If_gate _ ->
-            invalid_arg "Circuit.adjoint: non-unitary instruction")
+        | (Instr.Measure _ | Instr.Reset _ | Instr.If_gate _) as i ->
+            Cerror.error "MQ014"
+              "Circuit.adjoint: non-unitary instruction (%s)"
+              (Format.asprintf "%a" Instr.pp i))
       c.rev_instrs
   in
   { c with rev_instrs = List.rev rev_gates }

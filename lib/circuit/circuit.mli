@@ -12,6 +12,19 @@ module Gate : module type of Gate
 
 module Instr : module type of Instr
 
+(** Structured validation error. [code] is a stable diagnostic code shared
+    with [Analysis.Lint] (e.g. ["MQ001"] qubit out of range, ["MQ013"]
+    register mismatch, ["MQ014"] adjoint of non-unitary); [loc] is a
+    [(line, column)] source location when the error was raised while
+    elaborating parsed text (the QASM front end fills it in), [None] for
+    programmatically built circuits. *)
+type error = { code : string; message : string; loc : (int * int) option }
+
+(** Raised by every construction/validation failure in [Gate] and
+    [Circuit] (range checks, malformed gates, register mismatch, adjoint
+    of non-unitary instructions). *)
+exception Error of error
+
 type t = private {
   num_qubits : int;
   num_clbits : int;

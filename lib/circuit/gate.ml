@@ -13,14 +13,14 @@ let rec distinct = function
 
 let make ?(params = []) ?(controls = []) name targets =
   if not (List.mem name base_names) then
-    invalid_arg (Printf.sprintf "Gate.make: unknown base gate %S" name);
+    Cerror.error "MQ015" "Gate.make: unknown base gate %S" name;
   (match (name, targets) with
   | "swap", [ _; _ ] -> ()
-  | "swap", _ -> invalid_arg "Gate.make: swap needs two targets"
+  | "swap", _ -> Cerror.error "MQ015" "Gate.make: swap needs two targets"
   | _, [ _ ] -> ()
-  | _ -> invalid_arg (Printf.sprintf "Gate.make: %s needs one target" name));
+  | _ -> Cerror.error "MQ015" "Gate.make: %s needs one target" name);
   if not (distinct (controls @ targets)) then
-    invalid_arg "Gate.make: duplicate qubit in gate";
+    Cerror.error "MQ003" "Gate.make: duplicate qubit in gate %s" name;
   { name; params; controls; targets }
 
 let qubits g = g.controls @ g.targets

@@ -120,18 +120,57 @@ let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
       Array.init n (fun i -> average_traces t (Array.sub per_col (i * t) t))
     end
   in
-  let batched_traces = if batched then Some (batch_traces ()) else None in
+  (* Stabilizer auto-routing: with basis-state inputs on an ideal,
+     deterministic, all-Clifford program whose tracepoint lightcones are
+     narrow (Sim.Engine.stabilizer_applicable), each sample is a tableau
+     run restricted to each cone instead of a full state-vector pass. The
+     decision is purely static — never a function of sampled values — so
+     programs outside the condition take exactly the code path (and
+     generator streams) they did before this routing existed. Basis inputs
+     embed to exact one-hot amplitudes, so recovering the preparation
+     index below is exact. *)
+  let stabilizer_route =
+    (match engine with `Auto -> true | `Batched | `Sequential -> false)
+    && Option.is_none inputs
+    && kind = Clifford.Sampling.Basis && ideal
+    && Sim.Engine.stabilizer_applicable program.Program.circuit
+  in
+  let basis_index st =
+    let d = Qstate.Statevec.dim st in
+    let rec go k found =
+      if k = d then found
+      else
+        match Qstate.Statevec.amplitude st k with
+        | { Complex.re = 1.0; im = 0.0 } -> (
+            match found with None -> go (k + 1) (Some k) | Some _ -> None)
+        | { Complex.re = 0.0; im = 0.0 } -> go (k + 1) found
+        | _ -> None
+    in
+    go 0 None
+  in
+  let batched_traces =
+    if batched && not stabilizer_route then Some (batch_traces ()) else None
+  in
   let samples =
     Parallel.Pool.map_init pool n (fun i ->
         let rng = rngs.(i) in
         let sample_cost = Sim.Cost.create () in
         let input_state = inputs_arr.(i) in
+        let stabilizer_prep =
+          if stabilizer_route then
+            basis_index (Program.embed program input_state)
+          else None
+        in
         let traces =
-          match batched_traces with
-          | Some all ->
+          match (stabilizer_prep, batched_traces) with
+          | Some prep, _ ->
+              let v = Qstate.Statevec.to_cvec input_state in
+              (0, Cmat.outer v v)
+              :: Sim.Engine.stabilizer_traces ~prep program.Program.circuit
+          | None, Some all ->
               let v = Qstate.Statevec.to_cvec input_state in
               (0, Cmat.outer v v) :: all.(i)
-          | None ->
+          | None, None ->
               Program.run_traces ~pool ?noise ?trajectories ~rng program
                 ~input:input_state
         in

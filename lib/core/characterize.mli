@@ -30,7 +30,14 @@ type t = {
     inputs — and, for stochastic programs, all their trajectories — as
     columns of one packed [Sim.Batch] buffer; it requires ideal noise.
     [`Sequential] re-walks the circuit per sample with [Engine]. [`Auto]
-    (the default) picks batched exactly when the noise model is ideal. *)
+    (the default) picks batched exactly when the noise model is ideal —
+    except that [Basis]-kind sampling of an ideal, deterministic,
+    all-Clifford program with narrow tracepoint lightcones
+    ([Sim.Engine.stabilizer_applicable]) routes each sample to the
+    stabilizer tableau restricted to each tracepoint's cone. The routing
+    condition is purely static (program text only, never sampled values);
+    programs outside it take exactly the pre-routing code path and
+    generator streams. *)
 type engine = [ `Auto | `Batched | `Sequential ]
 
 (** [run ?pool ?rng ?kind ?mode ?noise ?trajectories ?engine ?inputs program

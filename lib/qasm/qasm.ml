@@ -1,7 +1,15 @@
-exception Parse_error of { line : int; message : string }
+exception
+  Parse_error of {
+    line : int;
+    column : int;  (** 1-based; 0 when no precise column is known *)
+    token : string;  (** offending token text; [""] when not token-level *)
+    message : string;
+  }
 
-let fail line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail ?(column = 0) ?(token = "") line fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line; column; token; message }))
+    fmt
 
 (* ---------------- lexer ---------------- *)
 
@@ -24,19 +32,43 @@ type token =
   | Rbrace
   | Str of string
 
-type lexed = { token : token; line : int }
+let token_text = function
+  | Ident s -> s
+  | Number f -> Printf.sprintf "%g" f
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Arrow -> "->"
+  | Eqeq -> "=="
+  | Minus -> "-"
+  | Plus -> "+"
+  | Star -> "*"
+  | Slash -> "/"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Str s -> "\"" ^ s ^ "\""
+
+type lexed = { token : token; line : int; col : int }
 
 let tokenize src =
   let tokens = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
   let n = String.length src in
   let i = ref 0 in
-  let push t = tokens := { token = t; line = !line } :: !tokens in
   while !i < n do
     let c = src.[!i] in
+    let start = !i in
+    let push t =
+      tokens := { token = t; line = !line; col = start - !bol + 1 } :: !tokens
+    in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
@@ -75,7 +107,9 @@ let tokenize src =
       let text = String.sub src start (!i - start) in
       match float_of_string_opt text with
       | Some f -> push (Number f)
-      | None -> fail !line "bad number %S" text
+      | None ->
+          fail ~column:(start - !bol + 1) ~token:text !line "bad number %S"
+            text
     end
     else if c = '"' then begin
       incr i;
@@ -83,7 +117,8 @@ let tokenize src =
       while !i < n && src.[!i] <> '"' do
         incr i
       done;
-      if !i >= n then fail !line "unterminated string";
+      if !i >= n then
+        fail ~column:(start - !bol + 1) !line "unterminated string";
       push (Str (String.sub src start (!i - start)));
       incr i
     end
@@ -106,13 +141,16 @@ let tokenize src =
             push Eqeq;
             incr i
           end
-          else fail !line "unexpected '='"
+          else
+            fail ~column:(start - !bol + 1) ~token:"=" !line "unexpected '='"
       | '+' -> push Plus
       | '*' -> push Star
       | '/' -> push Slash
       | '{' -> push Lbrace
       | '}' -> push Rbrace
-      | c -> fail !line "unexpected character %C" c);
+      | c ->
+          fail ~column:(start - !bol + 1) ~token:(String.make 1 c) !line
+            "unexpected character %C" c);
       incr i
     end
   done;
@@ -124,6 +162,10 @@ type state = { mutable toks : lexed list }
 
 let peek st = match st.toks with [] -> None | t :: _ -> Some t
 
+(* fail at a specific token, reporting its position and text *)
+let fail_at (t : lexed) fmt =
+  fail ~column:t.col ~token:(token_text t.token) t.line fmt
+
 let next st =
   match st.toks with
   | [] -> fail 0 "unexpected end of input"
@@ -133,19 +175,19 @@ let next st =
 
 let expect st token what =
   let t = next st in
-  if t.token <> token then fail t.line "expected %s" what
+  if t.token <> token then fail_at t "expected %s" what
 
 let expect_ident st =
   let t = next st in
   match t.token with
   | Ident s -> s
-  | _ -> fail t.line "expected identifier"
+  | _ -> fail_at t "expected identifier"
 
 let expect_int st =
   let t = next st in
   match t.token with
   | Number f when Float.is_integer f -> int_of_float f
-  | _ -> fail t.line "expected integer"
+  | _ -> fail_at t "expected integer"
 
 (* expression grammar for gate parameters; [env] binds the formal
    parameters of user gate definitions *)
@@ -182,7 +224,7 @@ and parse_factor ~env st =
       let v = parse_expr ~env st in
       expect st Rparen ")";
       v
-  | _ -> fail t.line "expected parameter expression"
+  | _ -> fail_at t "expected parameter expression"
 
 (* q[i] or q[i,j,k]; returns index list *)
 let parse_qref st =
@@ -232,10 +274,13 @@ let starts_with prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-(* map a parsed gate statement to Gate.t values *)
-let rec build_gates line name params args =
-  try build_gates_unchecked line name params args
-  with Invalid_argument msg -> fail line "%s" msg
+(* map a parsed gate statement to Gate.t values; [loc] is the (line, col)
+   of the statement's leading token, stamped onto validation errors *)
+let rec build_gates ((line, col) as loc) name params args =
+  try build_gates_unchecked line name params args with
+  | Circuit.Error e when e.Circuit.loc = None ->
+      raise (Circuit.Error { e with Circuit.loc = Some loc })
+  | Invalid_argument msg -> fail ~column:col line "%s" msg
 
 and build_gates_unchecked line name params args =
   let single = function
@@ -312,7 +357,8 @@ let rec expand_def ~lookup ~depth line (def : gate_def) ~env ~qmap =
   let rec stmts () =
     match peek st with
     | None -> ()
-    | Some { token = Ident name; line } ->
+    | Some ({ token = Ident name; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         let params = parse_params ~env st in
         let args = parse_ident_list st in
@@ -339,18 +385,23 @@ let rec expand_def ~lookup ~depth line (def : gate_def) ~env ~qmap =
               @ expand_def ~lookup ~depth:(depth + 1) line inner ~env:env'
                   ~qmap:qmap'
         | None ->
-            out := !out @ build_gates line name params (List.map (fun q -> [ q ]) qubits));
+            out :=
+              !out
+              @ build_gates (tk.line, tk.col) name params
+                  (List.map (fun q -> [ q ]) qubits));
         stmts ()
-    | Some { token = _; line } -> fail line "expected gate statement in body"
+    | Some tk -> fail_at tk "expected gate statement in body"
   in
   stmts ();
   !out
 
-let parse src =
+let parse_with_locs src =
   let st = { toks = tokenize src } in
   let qreg = ref None and creg = ref 0 in
+  let qreg_loc = ref (0, 0) in
   let defs : (string, gate_def) Hashtbl.t = Hashtbl.create 8 in
-  let pending = ref [] in
+  (* each pending instruction carries the (line, col) of its statement *)
+  let pending : (Circuit.Instr.t * (int * int)) list ref = ref [] in
   let require_circuit line =
     match !qreg with
     | Some n -> n
@@ -369,7 +420,8 @@ let parse src =
         ignore (next st);
         expect st Semicolon ";";
         stmt ()
-    | Some { token = Ident "qreg"; line } ->
+    | Some ({ token = Ident "qreg"; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         let _name = expect_ident st in
         expect st Lbracket "[";
@@ -378,6 +430,7 @@ let parse src =
         expect st Semicolon ";";
         if !qreg <> None then fail line "only one qreg supported";
         qreg := Some n;
+        qreg_loc := (tk.line, tk.col);
         stmt ()
     | Some { token = Ident "creg"; _ } ->
         ignore (next st);
@@ -388,7 +441,7 @@ let parse src =
         expect st Semicolon ";";
         creg := max !creg n;
         stmt ()
-    | Some { token = Ident "gate"; line } ->
+    | Some { token = Ident "gate"; line; _ } ->
         ignore (next st);
         let name = expect_ident st in
         let formals =
@@ -416,15 +469,19 @@ let parse src =
         if Hashtbl.mem defs name then fail line "gate %s redefined" name;
         Hashtbl.replace defs name { formals; qargs; body = List.rev !body };
         stmt ()
-    | Some { token = Ident "T"; line } ->
+    | Some ({ token = Ident "T"; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         ignore (require_circuit line);
         let id = expect_int st in
         let qubits = parse_qref st in
         expect st Semicolon ";";
-        pending := Circuit.Instr.Tracepoint { id; qubits } :: !pending;
+        pending :=
+          (Circuit.Instr.Tracepoint { id; qubits }, (tk.line, tk.col))
+          :: !pending;
         stmt ()
-    | Some { token = Ident "measure"; line } ->
+    | Some ({ token = Ident "measure"; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         ignore (require_circuit line);
         let q = parse_qref st in
@@ -433,26 +490,35 @@ let parse src =
         expect st Semicolon ";";
         (match (q, c) with
         | [ qubit ], [ clbit ] ->
-            pending := Circuit.Instr.Measure { qubit; clbit } :: !pending
+            pending :=
+              (Circuit.Instr.Measure { qubit; clbit }, (tk.line, tk.col))
+              :: !pending
         | _ -> fail line "measure expects single indices");
         stmt ()
-    | Some { token = Ident "reset"; line } ->
+    | Some ({ token = Ident "reset"; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         ignore (require_circuit line);
         let q = parse_qref st in
         expect st Semicolon ";";
         (match q with
-        | [ qubit ] -> pending := Circuit.Instr.Reset qubit :: !pending
+        | [ qubit ] ->
+            pending :=
+              (Circuit.Instr.Reset qubit, (tk.line, tk.col)) :: !pending
         | _ -> fail line "reset expects a single index");
         stmt ()
-    | Some { token = Ident "barrier"; line } ->
+    | Some ({ token = Ident "barrier"; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         ignore (require_circuit line);
         let qs = parse_args st in
         expect st Semicolon ";";
-        pending := Circuit.Instr.Barrier (List.concat qs) :: !pending;
+        pending :=
+          (Circuit.Instr.Barrier (List.concat qs), (tk.line, tk.col))
+          :: !pending;
         stmt ()
-    | Some { token = Ident "if"; line } ->
+    | Some ({ token = Ident "if"; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         ignore (require_circuit line);
         expect st Lparen "(";
@@ -482,12 +548,15 @@ let parse src =
         let params = parse_params st in
         let args = parse_args st in
         expect st Semicolon ";";
-        (match build_gates line gname params args with
+        (match build_gates (tk.line, tk.col) gname params args with
         | [ gate ] ->
-            pending := Circuit.Instr.If_gate { clbits; value; gate } :: !pending
+            pending :=
+              (Circuit.Instr.If_gate { clbits; value; gate }, (tk.line, tk.col))
+              :: !pending
         | _ -> fail line "if-statement expects a single gate");
         stmt ()
-    | Some { token = Ident name; line } when Hashtbl.mem defs name ->
+    | Some ({ token = Ident name; _ } as tk) when Hashtbl.mem defs name ->
+        let line = tk.line in
         ignore (next st);
         ignore (require_circuit line);
         let def = Hashtbl.find defs name in
@@ -512,18 +581,25 @@ let parse src =
             ~env:(List.combine def.formals params)
             ~qmap:(List.combine def.qargs qubits)
         in
-        List.iter (fun g -> pending := Circuit.Instr.Gate g :: !pending) gates;
+        List.iter
+          (fun g ->
+            pending := (Circuit.Instr.Gate g, (tk.line, tk.col)) :: !pending)
+          gates;
         stmt ()
-    | Some { token = Ident name; line } ->
+    | Some ({ token = Ident name; _ } as tk) ->
+        let line = tk.line in
         ignore (next st);
         ignore (require_circuit line);
         let params = parse_params st in
         let args = parse_args st in
         expect st Semicolon ";";
-        let gates = build_gates line name params args in
-        List.iter (fun g -> pending := Circuit.Instr.Gate g :: !pending) gates;
+        let gates = build_gates (tk.line, tk.col) name params args in
+        List.iter
+          (fun g ->
+            pending := (Circuit.Instr.Gate g, (tk.line, tk.col)) :: !pending)
+          gates;
         stmt ()
-    | Some { token = _; line } -> fail line "expected statement"
+    | Some tk -> fail_at tk "expected statement"
   in
   stmt ();
   let n =
@@ -531,18 +607,30 @@ let parse src =
     | Some n -> n
     | None -> fail 0 "program declares no qreg"
   in
-  try
+  let items = List.rev !pending in
+  let with_loc loc f =
+    try f () with
+    | Circuit.Error e when e.Circuit.loc = None ->
+        raise (Circuit.Error { e with Circuit.loc = Some loc })
+    | Invalid_argument msg -> fail ~column:(snd loc) (fst loc) "%s" msg
+  in
+  let circuit =
     List.fold_left
-      (fun c i -> Circuit.add i c)
-      (Circuit.empty ~clbits:!creg n)
-      (List.rev !pending)
-  with Invalid_argument msg -> fail 0 "%s" msg
+      (fun c (i, loc) -> with_loc loc (fun () -> Circuit.add i c))
+      (with_loc !qreg_loc (fun () -> Circuit.empty ~clbits:!creg n))
+      items
+  in
+  (circuit, Array.of_list (List.map snd items))
 
-let parse_file path =
+let parse src = fst (parse_with_locs src)
+
+let parse_file_with_locs path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+    (fun () -> parse_with_locs (really_input_string ic (in_channel_length ic)))
+
+let parse_file path = fst (parse_file_with_locs path)
 
 (* ---------------- printer ---------------- *)
 

@@ -19,13 +19,30 @@
     Parameters accept float literals, [pi], unary minus and [* / + -]
     arithmetic. *)
 
-exception Parse_error of { line : int; message : string }
+exception
+  Parse_error of {
+    line : int;
+    column : int;  (** 1-based; 0 when no precise column is known *)
+    token : string;  (** offending token text; [""] when not token-level *)
+    message : string;
+  }
 
-(** [parse src] parses a program into a circuit. Raises {!Parse_error}. *)
+(** [parse src] parses a program into a circuit. Raises {!Parse_error} on
+    syntax errors and {!Circuit.Error} (with [loc] filled in) on semantic
+    validation errors such as out-of-range qubits. *)
 val parse : string -> Circuit.t
 
 (** [parse_file path] reads and parses a file. *)
 val parse_file : string -> Circuit.t
+
+(** [parse_with_locs src] additionally returns, for each instruction of the
+    circuit (in [Circuit.instrs] order), the [(line, column)] of the QASM
+    statement that produced it — gates expanded from a user gate definition
+    or broadcast from a multi-index argument all share their statement's
+    location. Used by [Analysis.Lint] to report [file:line:col]. *)
+val parse_with_locs : string -> Circuit.t * (int * int) array
+
+val parse_file_with_locs : string -> Circuit.t * (int * int) array
 
 (** [to_string c] renders a circuit back to mini-QASM; [parse (to_string c)]
     reproduces the circuit up to gate-name canonicalization. *)

@@ -126,9 +126,73 @@ let fan_out pool rng ~meter ~count job =
   | None -> ());
   Array.map fst results
 
+(* ------------------- stabilizer tracepoint evaluation ----------------- *)
+
+(* cap on lightcone width: [Tableau.density] materializes a [2^k x 2^k]
+   matrix per tracepoint, so only small cones are worth routing *)
+let stabilizer_cone_cap = 12
+
+(* [stabilizer_applicable c] — every tracepoint state of [c] is computable
+   on the tableau from a computational-basis start: no measurement/reset/
+   feedback, every gate in [Tableau.apply_gate]'s dispatch, and every
+   tracepoint's lightcone within [cap] qubits. Purely static, so routing
+   decisions never depend on runtime values. *)
+let stabilizer_applicable ?(cap = stabilizer_cone_cap) c =
+  is_deterministic c
+  && Analysis.Classify.circuit c = Analysis.Classify.Clifford
+  && List.for_all
+       (fun cone ->
+         List.length cone.Analysis.Lightcone.qubits <= cap)
+       (Analysis.Lightcone.cones c)
+
+(* [stabilizer_traces ?prep c] computes every tracepoint's reduced density
+   matrix on the stabilizer tableau, one lightcone-restricted run per
+   tracepoint: O(cone^2) per gate plus a [2^cone] density materialization,
+   independent of the full register width. [prep] is a computational-basis
+   index (bit q of [prep] = X on qubit q) — a basis start is a product
+   state, so restricting to the cone is sound. Only valid when
+   [stabilizer_applicable c]. *)
+let stabilizer_traces ?(prep = 0) ?meter c =
+  (match meter with
+  | Some m -> Cost.record_circuit m c ~shots:1
+  | None -> ());
+  List.map
+    (fun cone ->
+      let sub, qubits = Analysis.Lightcone.restrict c cone in
+      let t = Stabilizer.Tableau.make (Circuit.num_qubits sub) in
+      List.iteri
+        (fun local global ->
+          if (prep lsr global) land 1 = 1 then Stabilizer.Tableau.x t local)
+        qubits;
+      let tp_qubits = ref [] in
+      List.iter
+        (function
+          | Circuit.Instr.Gate g -> Stabilizer.Tableau.apply_gate g t
+          | Circuit.Instr.Tracepoint { qubits; _ } -> tp_qubits := qubits
+          | Circuit.Instr.Barrier _ -> ()
+          | _ -> invalid_arg "Engine.stabilizer_traces: non-Clifford program")
+        (Circuit.instrs sub);
+      let rho =
+        Qstate.Density.of_cmat (Circuit.num_qubits sub)
+          (Stabilizer.Tableau.density t)
+      in
+      let reduced = Qstate.Density.partial_trace ~keep:!tp_qubits rho in
+      (cone.Analysis.Lightcone.id, Qstate.Density.mat reduced))
+    (Analysis.Lightcone.cones c)
+
 let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
-    ?initial ?meter c =
-  if is_deterministic c && Noise.is_ideal noise then
+    ?initial ?(engine = `Auto) ?meter c =
+  let use_stabilizer =
+    match engine with
+    | `Statevec -> false
+    | `Stabilizer ->
+        if not (initial = None && Noise.is_ideal noise && stabilizer_applicable c)
+        then invalid_arg "Engine.tracepoint_states: stabilizer engine inapplicable";
+        true
+    | `Auto -> initial = None && Noise.is_ideal noise && stabilizer_applicable c
+  in
+  if use_stabilizer then stabilizer_traces ?meter c
+  else if is_deterministic c && Noise.is_ideal noise then
     (run ?rng ~noise ?initial ?meter c).traces
   else begin
     let rng = match rng with Some r -> r | None -> default_rng () in

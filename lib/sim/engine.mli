@@ -33,19 +33,40 @@ val run :
     states. *)
 val is_deterministic : Circuit.t -> bool
 
-(** [tracepoint_states ?pool ?rng ?noise ?trajectories ?initial ?meter c]
-    returns the expected reduced density matrix at every tracepoint.
-    Deterministic ideal circuits use one pass; otherwise [trajectories]
-    (default 64) runs are averaged, fanned out over [pool] (default
-    [Parallel.Pool.global ()]) with one [Stats.Rng.split] child per
-    trajectory and an in-order merge — results are bit-identical for any
-    domain count under a fixed seed. *)
+(** [stabilizer_applicable ?cap c] — true when every tracepoint state of
+    [c] can be computed on the stabilizer tableau: no measurement, reset or
+    feedback, all gates Clifford ({!Analysis.Classify}), and every
+    tracepoint's lightcone at most [cap] (default 12) qubits wide. The
+    check is purely static. *)
+val stabilizer_applicable : ?cap:int -> Circuit.t -> bool
+
+(** [stabilizer_traces ?prep ?meter c] computes every tracepoint's reduced
+    density matrix on the stabilizer tableau, lightcone-restricted: one
+    tableau run per tracepoint over only its cone qubits, so the cost is
+    independent of the full register width. [prep] (default 0) prepares the
+    computational-basis state with bit [q] of [prep] on qubit [q].
+    Precondition: {!stabilizer_applicable}. *)
+val stabilizer_traces :
+  ?prep:int -> ?meter:Cost.t -> Circuit.t -> (int * Linalg.Cmat.t) list
+
+(** [tracepoint_states ?pool ?rng ?noise ?trajectories ?initial ?engine
+    ?meter c] returns the expected reduced density matrix at every
+    tracepoint. [`Auto] (default) routes ideal deterministic Clifford
+    circuits starting from [|0...0>] to {!stabilizer_traces}; other
+    deterministic ideal circuits use one state-vector pass; everything else
+    averages [trajectories] (default 64) runs fanned out over [pool]
+    (default [Parallel.Pool.global ()]) with one [Stats.Rng.split] child
+    per trajectory and an in-order merge — results are bit-identical for
+    any domain count under a fixed seed. [`Stabilizer] forces the tableau
+    route and raises [Invalid_argument] when inapplicable; [`Statevec]
+    disables the routing entirely. *)
 val tracepoint_states :
   ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
   ?noise:Noise.t ->
   ?trajectories:int ->
   ?initial:Qstate.Statevec.t ->
+  ?engine:[ `Auto | `Statevec | `Stabilizer ] ->
   ?meter:Cost.t ->
   Circuit.t ->
   (int * Linalg.Cmat.t) list

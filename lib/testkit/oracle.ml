@@ -191,6 +191,94 @@ let costs_equal (a : Sim.Cost.t) (b : Sim.Cost.t) =
   && a.Sim.Cost.two_qubit_gates = b.Sim.Cost.two_qubit_gates
   && a.Sim.Cost.measurements = b.Sim.Cost.measurements
 
+(* ---- static analysis: lightcone pruning & stabilizer routing ---- *)
+
+(* [prune_preserves_traces] runs on *pure* sketches: pruning drops resets
+   outside the cone, which would shift the measurement generator stream of
+   a stochastic trajectory and make an exact single-run comparison
+   meaningless (only the trajectory *average* is preserved there). *)
+let prune_preserves_traces circ =
+  let c = Gen.build circ in
+  let full = (Sim.Engine.run c).Sim.Engine.traces in
+  let pruned = (Sim.Engine.run (Transpile.Passes.prune_lightcone c)).Sim.Engine.traces in
+  traces_match full pruned
+
+let prune_idempotent circ =
+  let c = Transpile.Passes.prune_lightcone (Gen.build circ) in
+  List.length (Circuit.instrs (Transpile.Passes.prune_lightcone c))
+  = List.length (Circuit.instrs c)
+
+let lightcone_restrict_matches circ =
+  let c = Gen.build circ in
+  let full = (Sim.Engine.run c).Sim.Engine.traces in
+  List.for_all
+    (fun cone ->
+      let sub, _ = Analysis.Lightcone.restrict c cone in
+      let restricted = (Sim.Engine.run sub).Sim.Engine.traces in
+      match
+        ( List.assoc_opt cone.Analysis.Lightcone.id restricted,
+          List.assoc_opt cone.Analysis.Lightcone.id full )
+      with
+      | Some a, Some b -> Linalg.Cmat.frob_norm (Linalg.Cmat.sub a b) <= eps
+      | _ -> false)
+    (Analysis.Lightcone.cones c)
+
+let stabilizer_traces_agree circ =
+  let c = Gen.build circ in
+  (not (Sim.Engine.stabilizer_applicable c))
+  || traces_match
+       (Sim.Engine.stabilizer_traces c)
+       (Sim.Engine.run c).Sim.Engine.traces
+
+let samples_agree ?(bitwise = false) (a : Morphcore.Characterize.t)
+    (b : Morphcore.Characterize.t) =
+  costs_equal a.Morphcore.Characterize.cost b.Morphcore.Characterize.cost
+  && Array.for_all2
+       (fun (sa : Morphcore.Characterize.sample)
+            (sb : Morphcore.Characterize.sample) ->
+         cmat_bits sa.Morphcore.Characterize.input_dm
+           sb.Morphcore.Characterize.input_dm
+         &&
+         if bitwise then
+           List.length sa.Morphcore.Characterize.traces
+           = List.length sb.Morphcore.Characterize.traces
+           && List.for_all2
+                (fun (ia, ma) (ib, mb) -> ia = ib && cmat_bits ma mb)
+                sa.Morphcore.Characterize.traces
+                sb.Morphcore.Characterize.traces
+         else
+           traces_match sa.Morphcore.Characterize.traces
+             sb.Morphcore.Characterize.traces)
+       a.Morphcore.Characterize.samples b.Morphcore.Characterize.samples
+
+(* the pinned regression for the stabilizer auto-routing: on any program
+   OUTSIDE the routing condition, [`Auto] must remain bit-for-bit the
+   [`Batched] path it was before the routing existed *)
+let characterize_auto_unchanged ?pool ?(kind = Clifford.Sampling.Clifford) circ =
+  let c = Gen.build circ in
+  (* the routing only ever fires for Basis-kind sampling; under any other
+     kind `Auto must equal `Batched on every program *)
+  (kind = Clifford.Sampling.Basis && Sim.Engine.stabilizer_applicable c)
+  ||
+  let run engine =
+    Morphcore.Characterize.run ?pool ~rng:(Stats.Rng.make 99) ~kind
+      ~trajectories:6 ~engine (Morphcore.Program.make c) ~count:4
+  in
+  samples_agree ~bitwise:true (run `Auto) (run `Batched)
+
+(* stabilizer-routed characterization vs the sequential engine: same cost
+   meter, traces within eps *)
+let characterize_stabilizer_route ?pool circ =
+  let c = Gen.build circ in
+  (not (Sim.Engine.stabilizer_applicable c))
+  ||
+  let run engine =
+    Morphcore.Characterize.run ?pool ~rng:(Stats.Rng.make 99)
+      ~kind:Clifford.Sampling.Basis ~engine (Morphcore.Program.make c)
+      ~count:4
+  in
+  samples_agree (run `Auto) (run `Sequential)
+
 let characterize_engines_agree ?pool circ =
   let program = Morphcore.Program.make (Gen.build circ) in
   let run engine =

@@ -83,6 +83,42 @@ val delay_tracepoint_fences : Sim.Batch.plan -> Sim.Batch.plan
     holds only when the misplaced fences happen to be unobservable. *)
 val batch_fence_respected : Gen.circ -> bool
 
+(** [prune_preserves_traces c] — {!Transpile.Passes.prune_lightcone} keeps
+    every tracepoint's reduced state within {!eps} on a pure circuit (the
+    oracle is exact only there: pruned resets would shift the measurement
+    generator stream of a single stochastic trajectory). *)
+val prune_preserves_traces : Gen.circ -> bool
+
+(** [prune_idempotent c] — pruning an already-pruned circuit removes
+    nothing further. *)
+val prune_idempotent : Gen.circ -> bool
+
+(** [lightcone_restrict_matches c] — for every tracepoint of a pure
+    circuit, simulating {!Analysis.Lightcone.restrict}'s cone subcircuit
+    from [|0...0>] reproduces the tracepoint's reduced state within
+    {!eps}. *)
+val lightcone_restrict_matches : Gen.circ -> bool
+
+(** [stabilizer_traces_agree c] — on circuits where
+    [Sim.Engine.stabilizer_applicable] holds, the lightcone-restricted
+    tableau traces agree with the state-vector engine within {!eps};
+    vacuously true otherwise. *)
+val stabilizer_traces_agree : Gen.circ -> bool
+
+(** [characterize_auto_unchanged ?pool ?kind c] — the pinned regression for
+    stabilizer auto-routing: on any program where the routing does not fire
+    (any [kind] other than [Basis], or a non-applicable circuit),
+    [Characterize.run ~engine:`Auto] is bit-for-bit the [`Batched] path it
+    was before the routing existed. *)
+val characterize_auto_unchanged :
+  ?pool:Parallel.Pool.t -> ?kind:Clifford.Sampling.kind -> Gen.circ -> bool
+
+(** [characterize_stabilizer_route ?pool c] — on applicable circuits,
+    [Basis]-kind characterization under [`Auto] (stabilizer-routed) matches
+    [`Sequential]: identical cost meters, traces within {!eps}; vacuously
+    true otherwise. *)
+val characterize_stabilizer_route : ?pool:Parallel.Pool.t -> Gen.circ -> bool
+
 (** [characterize_engines_agree ?pool c] — [Morphcore.Characterize.run]
     under [`Batched] vs [`Sequential] on the same seed: identical cost
     meters and input density matrices (bitwise), traces within {!eps}. *)

@@ -182,3 +182,22 @@ let gate_reduction ~before ~after =
   let b = Circuit.gate_count before in
   if b = 0 then 0.
   else float_of_int (b - Circuit.gate_count after) /. float_of_int b
+
+(* -------------------- lightcone-based dead-code pruning --------------- *)
+
+(* Delete every instruction outside the union cone of influence of all
+   tracepoints and measurements (Analysis.Lightcone.union_keep). This
+   preserves every tracepoint's reduced state and the joint measurement
+   distribution; it does NOT preserve the final statevector on qubits no
+   tracepoint or measurement observes, so it is a pass for
+   characterization pipelines rather than general circuit rewriting. *)
+let prune_lightcone c =
+  let keep = Analysis.Lightcone.union_keep c in
+  let _, pruned =
+    List.fold_left
+      (fun (i, acc) instr ->
+        (i + 1, if keep.(i) then Circuit.add instr acc else acc))
+      (0, Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+      (Circuit.instrs c)
+  in
+  pruned

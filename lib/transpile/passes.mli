@@ -36,3 +36,13 @@ val optimize : ?max_passes:int -> Circuit.t -> Circuit.t
 
 (** [gate_reduction ~before ~after] is the fraction of gates removed. *)
 val gate_reduction : before:Circuit.t -> after:Circuit.t -> float
+
+(** [prune_lightcone c] deletes every instruction outside the union
+    lightcone of all tracepoints and measurements
+    ({!Analysis.Lightcone.union_keep}): gates, feedback gates and resets
+    that provably cannot affect any tracepoint's reduced state or the
+    joint measurement distribution. Unlike the peephole passes above this
+    does NOT preserve the final statevector on unobserved qubits, so use
+    it for characterization pipelines, not general rewriting. Verified
+    tracepoint-state-preserving by [Testkit.Oracle.prune_preserves_traces]. *)
+val prune_lightcone : Circuit.t -> Circuit.t

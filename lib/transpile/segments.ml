@@ -53,8 +53,7 @@ let block_cost (blk : Sim.Batch.block) =
   Array.iteri (fun i x -> if x <> 0. || im.(i) <> 0. then incr nnz) re;
   float_of_int !nnz /. float_of_int m
 
-let emit_fused emit sup gates =
-  let blk = block_of sup gates in
+let emit_fused ?(clifford_direct = false) emit sup gates =
   let dcost =
     List.fold_left
       (fun acc g ->
@@ -63,12 +62,26 @@ let emit_fused emit sup gates =
         | _ -> None)
       (Some 0.) gates
   in
+  let all_direct () = List.iter (fun g -> emit (Sim.Batch.Direct g)) gates in
   match dcost with
-  | Some total when block_cost blk > total ->
-      List.iter (fun g -> emit (Sim.Batch.Direct g)) gates
-  | _ -> emit (Sim.Batch.Block blk)
+  | Some total when total < 1.0 ->
+      (* a unitary has no zero row, so block_cost >= 1 and fusion could
+         never win — skip materializing the block entirely *)
+      all_direct ()
+  | Some _
+    when clifford_direct
+         && Analysis.Classify.gates gates = Analysis.Classify.Clifford ->
+      (* opt-in: Clifford segments run on sparse kernels (or the tableau)
+         without paying dense materialization at compile time *)
+      all_direct ()
+  | dcost -> (
+      let blk = block_of sup gates in
+      match dcost with
+      | Some total when block_cost blk > total -> all_direct ()
+      | _ -> emit (Sim.Batch.Block blk))
 
-let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff) c =
+let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff)
+    ?(clifford_direct = false) c =
   if cutoff < 1 || block_cutoff < 1 then
     invalid_arg "Segments.compile: cutoffs must be >= 1";
   let items = ref [] in
@@ -84,7 +97,7 @@ let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff) c 
         let sup = support gates in
         if IntSet.cardinal sup <= cutoff then
           (* narrow segment: one block over its whole support *)
-          emit_fused emit sup gates
+          emit_fused ~clifford_direct emit sup gates
         else begin
           (* wide segment: greedily pack consecutive gates while the
              running support stays within [block_cutoff] qubits *)
@@ -96,7 +109,7 @@ let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff) c 
                 (* a single gate too wide to fuse (e.g. a many-control
                    Toffoli): the row-sweeping kernel beats a huge block *)
                 emit (Sim.Batch.Direct g)
-            | gs -> emit_fused emit !cur_sup gs
+            | gs -> emit_fused ~clifford_direct emit !cur_sup gs
           in
           List.iter
             (fun g ->

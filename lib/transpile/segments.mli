@@ -37,9 +37,22 @@ val default_cutoff : int
 val default_block_cutoff : int
 (** [3]: greedy packing inside wide segments stops at 8x8 blocks. *)
 
-(** [compile ?cutoff ?block_cutoff c] compiles [c] into a batched
-    execution plan. [plan.source_ops] records the circuit's own unitary
-    gate count; [Sim.Batch.ops] on the result counts the fused operators
-    actually applied per run. Raises [Invalid_argument] if a cutoff is
-    [< 1]. *)
-val compile : ?cutoff:int -> ?block_cutoff:int -> Circuit.t -> Sim.Batch.plan
+(** [compile ?cutoff ?block_cutoff ?clifford_direct c] compiles [c] into a
+    batched execution plan. [plan.source_ops] records the circuit's own
+    unitary gate count; [Sim.Batch.ops] on the result counts the fused
+    operators actually applied per run. Raises [Invalid_argument] if a
+    cutoff is [< 1].
+
+    Segments whose direct replay cost is provably below any block's
+    ([< 1.0] multiply-accumulates per amplitude, e.g. a lone CX) are
+    emitted [Direct] without materializing the candidate block at all —
+    same plan as before, cheaper compile. With [clifford_direct] (default
+    [false]) segments classified Clifford by [Analysis.Classify] also skip
+    dense fusion: their sparse kernels are cheap and keeping them as plain
+    gates preserves the option of running them on the stabilizer tableau. *)
+val compile :
+  ?cutoff:int ->
+  ?block_cutoff:int ->
+  ?clifford_direct:bool ->
+  Circuit.t ->
+  Sim.Batch.plan

@@ -24,15 +24,26 @@ let test_measurement_before () =
   assert (not (Circuit.has_measurement_before c ~tracepoint_id:1));
   assert (Circuit.has_measurement_before c ~tracepoint_id:2)
 
+let expect_error name code f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Circuit.Error %s" name code
+  | exception Circuit.Error e ->
+      Alcotest.(check string) (name ^ " code") code e.Circuit.code;
+      if String.length e.Circuit.message = 0 then
+        Alcotest.failf "%s: empty message" name
+
 let test_validation_errors () =
   let c = Circuit.empty 2 in
-  Alcotest.check_raises "qubit range" (Invalid_argument "Circuit: qubit 5 out of range")
-    (fun () -> ignore (Circuit.h 5 c));
-  Alcotest.check_raises "clbit range" (Invalid_argument "Circuit: clbit 0 out of range")
-    (fun () -> ignore (Circuit.measure 0 0 c));
-  Alcotest.check_raises "duplicate qubit"
-    (Invalid_argument "Gate.make: duplicate qubit in gate") (fun () ->
-      ignore (Circuit.cx 1 1 c))
+  expect_error "qubit range" "MQ001" (fun () -> ignore (Circuit.h 5 c));
+  expect_error "clbit range" "MQ002" (fun () ->
+      ignore (Circuit.measure 0 0 c));
+  expect_error "duplicate qubit" "MQ003" (fun () ->
+      ignore (Circuit.cx 1 1 c));
+  expect_error "register mismatch" "MQ013" (fun () ->
+      ignore (Circuit.append c (Circuit.empty 3)));
+  expect_error "unknown gate" "MQ015" (fun () ->
+      ignore (Circuit.gate "frobnicate" [ 0 ] c));
+  expect_error "empty register" "MQ016" (fun () -> ignore (Circuit.empty 0))
 
 let test_append () =
   let a = Circuit.(empty 2 |> h 0) in
@@ -53,9 +64,7 @@ let test_adjoint_inverts () =
 
 let test_adjoint_rejects_measure () =
   let c = Circuit.(empty ~clbits:1 1 |> measure 0 0) in
-  Alcotest.check_raises "non-unitary"
-    (Invalid_argument "Circuit.adjoint: non-unitary instruction") (fun () ->
-      ignore (Circuit.adjoint c))
+  expect_error "non-unitary" "MQ014" (fun () -> ignore (Circuit.adjoint c))
 
 let test_map_gates_prune () =
   let c = Circuit.(empty 2 |> rx 0.001 0 |> ry 1.0 1 |> cx 0 1) in

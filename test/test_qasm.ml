@@ -69,15 +69,42 @@ let test_parse_errors () =
   let expect_fail src =
     match Qasm.parse src with
     | exception Qasm.Parse_error _ -> ()
+    | exception Circuit.Error { loc = Some _; _ } ->
+        (* semantic validation errors carry a source location *)
+        ()
     | _ -> Alcotest.failf "expected parse error for %S" src
   in
   expect_fail "h q[0];";
   (* no qreg *)
   expect_fail "qreg q[2]; h q[9];";
-  (* out of range (circuit validation wraps as Invalid_argument) *)
+  (* out of range (raised as located Circuit.Error, code MQ001) *)
   expect_fail "qreg q[2]; banana q[0];";
   expect_fail "qreg q[2]; h q[0]"
 (* missing semicolon *)
+
+let test_parse_error_columns () =
+  (match Qasm.parse "qreg q[2];\nh q[0]; =\n" with
+  | exception Qasm.Parse_error { line; column; token; _ } ->
+      Alcotest.(check int) "line" 2 line;
+      Alcotest.(check int) "column" 9 column;
+      Alcotest.(check string) "token" "=" token
+  | _ -> Alcotest.fail "expected parse error");
+  match Qasm.parse "qreg q[2];\n  h q[5];\n" with
+  | exception Circuit.Error { code; loc; _ } ->
+      Alcotest.(check string) "code" "MQ001" code;
+      Alcotest.(check (option (pair int int))) "loc" (Some (2, 3)) loc
+  | _ -> Alcotest.fail "expected range error"
+
+let test_parse_with_locs () =
+  let c, locs =
+    Qasm.parse_with_locs "qreg q[2];\ncreg c[1];\nh q[0,1];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n"
+  in
+  Alcotest.(check int) "instrs" (List.length (Circuit.instrs c)) (Array.length locs);
+  (* h broadcast over two indices: both gates share the statement's loc *)
+  Alcotest.(check (array (pair int int)))
+    "locs"
+    [| (3, 1); (3, 1); (4, 1); (5, 1) |]
+    locs
 
 let test_roundtrip_benchmarks () =
   List.iter
@@ -178,8 +205,16 @@ let test_gate_definition_errors () =
   expect_fail "qreg q[1]; gate g a { x b; } g q[0];"
 
 let test_parse_error_line_numbers () =
-  match Qasm.parse "qreg q[1];\nh q[0];\nbanana q[0];\n" with
-  | exception Qasm.Parse_error { line; _ } -> Alcotest.(check int) "line" 3 line
+  (* unknown gate: now a located Circuit.Error (MQ015) from Gate.make *)
+  (match Qasm.parse "qreg q[1];\nh q[0];\nbanana q[0];\n" with
+  | exception Circuit.Error { code; loc = Some (line, _); _ } ->
+      Alcotest.(check string) "code" "MQ015" code;
+      Alcotest.(check int) "line" 3 line
+  | _ -> Alcotest.fail "expected parse error");
+  (* syntax errors still raise Parse_error with the right line *)
+  match Qasm.parse "qreg q[1];\nh q[0];\nh q[0] oops;\n" with
+  | exception Qasm.Parse_error { line; _ } ->
+      Alcotest.(check int) "line" 3 line
   | _ -> Alcotest.fail "expected parse error"
 
 let prop_roundtrip_random_circuits =
@@ -223,6 +258,8 @@ let () =
           Alcotest.test_case "reset + barrier" `Quick test_parse_reset_barrier;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "error line numbers" `Quick test_parse_error_line_numbers;
+          Alcotest.test_case "error columns" `Quick test_parse_error_columns;
+          Alcotest.test_case "instruction locs" `Quick test_parse_with_locs;
           Alcotest.test_case "gate definition" `Quick test_gate_definition_bell;
           Alcotest.test_case "parameterized definition" `Quick test_gate_definition_parameterized;
           Alcotest.test_case "nested definition" `Quick test_gate_definition_nested;
