@@ -1,4 +1,4 @@
-.PHONY: build test test-fast test-full lint bench bench-smoke clean
+.PHONY: build test test-fast test-full lint bench bench-smoke profile clean
 
 build:
 	dune build
@@ -40,6 +40,13 @@ bench-smoke: build
 	  echo "bench-smoke: FAILED — outputs diverge between domain counts" >&2; \
 	  exit 1; \
 	fi
+
+# Where the pipeline time goes on the teleport example: per-span table on
+# stdout, Chrome trace_event JSONL + metrics JSON next to it (load the
+# trace in chrome://tracing or ui.perfetto.dev). See DESIGN.md §12.
+profile: build
+	dune exec bin/main.exe -- profile examples/qasm/teleport.qasm \
+	  --trace profile_trace.jsonl --metrics profile_metrics.json
 
 clean:
 	dune clean

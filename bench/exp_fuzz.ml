@@ -31,6 +31,7 @@ let checks () =
     ( "characterize-auto-pinned",
       Gen.gen_program (),
       fun c -> Oracle.characterize_auto_unchanged c );
+    ("obs-transparent", Gen.gen_program (), Oracle.obs_transparent);
     ("adjoint-cancels", Gen.gen_pure (), Metamorph.adjoint_cancels);
     ("global-phase", Gen.gen_pure (), Metamorph.global_phase_invariant);
     ("fused-traces", Gen.gen_pure (), Metamorph.fused_traces_agree);

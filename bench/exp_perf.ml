@@ -61,7 +61,11 @@ let run () =
   in
   let time_domains d =
     let pool = Parallel.Pool.create ~domains:d () in
-    let r = Util.time (fun () -> run_with pool) in
+    let r =
+      Util.timed
+        ~name:(Printf.sprintf "perf.noisy-traj.domains=%d" d)
+        (fun () -> run_with pool)
+    in
     Parallel.Pool.shutdown pool;
     r
   in
@@ -89,17 +93,18 @@ let run () =
   Util.row "fusion: %d gates -> %d gates (%.0f%% removed)"
     (Circuit.gate_count circuit) (Circuit.gate_count fused)
     (100. *. Transpile.Passes.gate_reduction ~before:circuit ~after:fused);
-  let time_fused c =
+  let time_fused name c =
     let pool = Parallel.Pool.create ~domains:1 () in
     let _, t =
-      Util.time (fun () ->
+      Util.timed ~name (fun () ->
           Sim.Engine.tracepoint_states ~pool ~rng:(Stats.Rng.make 7) ~noise
             ~trajectories c)
     in
     Parallel.Pool.shutdown pool;
     t
   in
-  let t_unfused = time_fused circuit and t_fused = time_fused fused in
+  let t_unfused = time_fused "perf.traj.unfused" circuit
+  and t_fused = time_fused "perf.traj.fused" fused in
   Util.row "fused kernel       domains=1   %7.3fs   vs unfused %7.3fs (%.2fx)"
     t_fused t_unfused (t_unfused /. t_fused);
   Util.record "perf/fused-traj-10q/domains=1" ~seconds:t_fused
@@ -114,7 +119,9 @@ let run () =
   let characterize d =
     let pool = Parallel.Pool.create ~domains:d () in
     let r =
-      Util.time (fun () ->
+      Util.timed
+        ~name:(Printf.sprintf "perf.characterize-lock.domains=%d" d)
+        (fun () ->
           Characterize.run ~pool ~rng:(Stats.Rng.make 11) ~noise
             ~trajectories:16 program ~count:16)
     in
@@ -144,18 +151,18 @@ let run () =
       teleport
   in
   let samples = 256 in
-  let characterize_engine engine =
+  let characterize_engine name engine =
     let pool = Parallel.Pool.create ~domains:1 () in
     let r =
-      Util.time (fun () ->
+      Util.timed ~name (fun () ->
           Characterize.run ~pool ~rng:(Stats.Rng.make 21) ~trajectories:8
             ~engine program ~count:samples)
     in
     Parallel.Pool.shutdown pool;
     r
   in
-  let seq, t_seq = characterize_engine `Sequential in
-  let bat, t_bat = characterize_engine `Batched in
+  let seq, t_seq = characterize_engine "perf.characterize.sequential" `Sequential in
+  let bat, t_bat = characterize_engine "perf.characterize.batched" `Batched in
   Array.iter2
     (fun (a : Characterize.sample) (b : Characterize.sample) ->
       let ta = a.Characterize.traces and tb = b.Characterize.traces in

@@ -175,11 +175,17 @@ let () =
                 None)
           selected
     in
+    (* observability is on by default here so every experiment row in
+       BENCH_results.json carries its counter deltas (gates, shots,
+       MACs); MORPHQPV_OBS in the environment still wins *)
+    if Sys.getenv_opt "MORPHQPV_OBS" = None then Obs.configure ~enabled:true;
     let t0 = Unix.gettimeofday () in
     let domains = Parallel.Pool.env_domains () in
     List.iter
       (fun (name, _, run) ->
-        let (), dt = Util.time run in
+        let (), dt =
+          Obs.Span.with_ ~name:("exp." ^ name) (fun () -> Util.time run)
+        in
         Util.record name ~seconds:dt ~domains ();
         Printf.printf "[%s finished in %.1fs]\n%!" name dt)
       to_run;

@@ -13,6 +13,34 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* [timed ~name f] is the shared timing helper for the experiment
+   kernels: it runs [f] inside an [Obs] span (so profile traces show the
+   experiment phases) and reports the MEDIAN wall time over
+   [MORPHQPV_BENCH_REPS] repetitions (default 3) to tame host-timing
+   variance on shared runners. The result is the first repetition's.
+   Only hand it idempotent closures — [f] runs [reps] times; keep
+   side-effecting code on single-shot [time]. *)
+let bench_reps () =
+  match Sys.getenv_opt "MORPHQPV_BENCH_REPS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | _ -> 3)
+  | None -> 3
+
+let timed ?reps ~name f =
+  let reps = max 1 (match reps with Some r -> r | None -> bench_reps ()) in
+  let samples = ref [] in
+  let result = ref None in
+  for _ = 1 to reps do
+    let r, dt = Obs.Span.with_ ~name (fun () -> time f) in
+    if !result = None then result := Some r;
+    samples := dt :: !samples
+  done;
+  let sorted = List.sort compare !samples in
+  let median = List.nth sorted (reps / 2) in
+  (Option.get !result, median)
+
 let header title =
   Printf.printf "\n==== %s ====\n%!" title
 
@@ -33,22 +61,55 @@ type bench_row = {
   ops : (int * int) option;
       (** (before, after) operator applications per sample, for the
           segment-fusion rows *)
+  metrics : (string * int) list;
+      (** counter deltas ([name{k=v}] keys) accumulated since the
+          previous [record] — the per-kernel denominators (gates, shots,
+          MACs); empty when observability is disabled *)
 }
 
 let bench_rows : bench_row list ref = ref []
 
+(* counter values as of the last [record] call, so each row carries only
+   the work done by its own experiment *)
+let counter_baseline : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let flat_counter_name (e : Obs.Metrics.entry) =
+  match e.labels with
+  | [] -> e.name
+  | labels ->
+      Printf.sprintf "%s{%s}" e.name
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+
+let counter_delta () =
+  List.filter_map
+    (fun (e : Obs.Metrics.entry) ->
+      match e.data with
+      | Obs.Metrics.Counter v ->
+          let key = flat_counter_name e in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt counter_baseline key) in
+          Hashtbl.replace counter_baseline key v;
+          if v > prev then Some (key, v - prev) else None
+      | _ -> None)
+    (Obs.Metrics.snapshot ())
+
+(* re-running an experiment REPLACES its row (keyed by [name]) rather
+   than growing duplicates across driver invocations in one process *)
 let record name ~seconds ?speedup ?cases ?ops ~domains () =
-  bench_rows := { name; seconds; speedup; domains; cases; ops } :: !bench_rows
+  let metrics = counter_delta () in
+  bench_rows :=
+    { name; seconds; speedup; domains; cases; ops; metrics }
+    :: List.filter (fun r -> r.name <> name) !bench_rows
 
 let write_bench_json path =
   let rows = List.rev !bench_rows in
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"schema\": \"morphqpv-bench-v1\",\n  \"default_domains\": %d,\n  \"results\": [\n"
+    "{\n  \"schema\": \"morphqpv-bench-v2\",\n  \"default_domains\": %d,\n  \"results\": [\n"
     (Parallel.Pool.env_domains ());
   let last = List.length rows - 1 in
   List.iteri
-    (fun i { name; seconds; speedup; domains; cases; ops } ->
+    (fun i { name; seconds; speedup; domains; cases; ops; metrics } ->
       let cases_field =
         match cases with
         | Some (passed, failed) ->
@@ -62,13 +123,19 @@ let write_bench_json path =
               after
         | None -> ""
       in
+      let metrics_field =
+        Printf.sprintf ", \"obs_schema\": %S, \"metrics\": {%s}"
+          Obs.Metrics.schema
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) metrics))
+      in
       Printf.fprintf oc
-        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d%s%s}%s\n"
+        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d%s%s%s}%s\n"
         name seconds
         (match speedup with
         | Some s -> Printf.sprintf "%.3f" s
         | None -> "null")
-        domains cases_field ops_field
+        domains cases_field ops_field metrics_field
         (if i = last then "" else ","))
     rows;
   output_string oc "  ]\n}\n";

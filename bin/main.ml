@@ -262,12 +262,122 @@ let optimize_cmd file output =
           close_out oc);
       0
 
+(* ------------------------------ profile ------------------------------ *)
+
+(* characterization-cost estimator handed to the MQ017 lint check: the
+   analysis layer cannot see the simulator, so the wiring happens here *)
+let characterization_seconds c =
+  Sim.Cost.hardware_seconds (Sim.Cost.estimate_characterization c)
+
+(* morphqpv profile: run the program through the pipeline's phases with
+   observability forced on, then print the span-tree summary as a
+   per-phase/per-kernel table. [--trace] dumps the spans as Chrome
+   trace_event JSONL, [--metrics] the metrics registry as JSON. *)
+let profile_cmd file shots count seed trace_out metrics_out =
+  match read_circuit file with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok c ->
+      Obs.configure ~enabled:true;
+      let since = Obs.Span.mark () in
+      let rng = Stats.Rng.make seed in
+      (* phase 1: gate-level simulation + sampling *)
+      ignore
+        (Obs.Span.with_ ~name:"profile.simulate" (fun () ->
+             ignore (Sim.Engine.sample_counts ~rng ~shots c);
+             Sim.Engine.tracepoint_states ~rng c));
+      (* phase 2: transpile — optimization passes + segment compilation *)
+      ignore
+        (Obs.Span.with_ ~name:"profile.transpile" (fun () ->
+             Transpile.Segments.compile (Transpile.Passes.optimize c)));
+      (* phase 3: characterize *)
+      let program = Program.make c in
+      let ch =
+        Obs.Span.with_ ~name:"profile.characterize" (fun () ->
+            Characterize.run ~rng program ~count)
+      in
+      let approx = Approx.of_characterization ch in
+      (* phase 4: verify — a trivially-true purity guarantee on the first
+         real tracepoint, enough to drive the solver and probe kernels *)
+      Obs.Span.with_ ~name:"profile.verify" (fun () ->
+          match List.filter (fun tp -> tp <> 0) (Approx.tracepoint_ids approx) with
+          | [] -> ()
+          | tp :: _ ->
+              let assertion =
+                Assertion.make ~name:"profile" ~assumes:[]
+                  ~guarantees:[ Predicate.Purity_ge (tp, 0.0) ] ()
+              in
+              let options =
+                { Verify.default_options with budget = 600; restarts = 1 }
+              in
+              ignore (Verify.validate ~options ~rng approx assertion);
+              ignore
+                (Verify.probe_accuracies ~rng ~count:5 approx program
+                   ~tracepoint:tp));
+      (* the table: spans aggregated by name. Phase rows (prefixed
+         "profile.") are disjoint, so their sum is the profiled wall
+         time; kernel rows are inclusive times and may overlap phases
+         and each other. *)
+      let summary = Obs.Span.summary ~since () in
+      let is_phase r =
+        String.length r.Obs.Span.name >= 8
+        && String.sub r.Obs.Span.name 0 8 = "profile."
+      in
+      let wall =
+        List.fold_left
+          (fun acc r -> if is_phase r then acc +. r.Obs.Span.total_s else acc)
+          0. summary
+      in
+      Format.printf "%-34s %8s %12s %9s@." "span" "count" "total(ms)"
+        "of wall";
+      List.iter
+        (fun r ->
+          Format.printf "%-34s %8d %12.3f %8.1f%%@." r.Obs.Span.name
+            r.Obs.Span.count
+            (1e3 *. r.Obs.Span.total_s)
+            (if wall > 0. then 100. *. r.Obs.Span.total_s /. wall else 0.))
+        summary;
+      Format.printf "%-34s %8s %12.3f@." "(wall: phase total)" ""
+        (1e3 *. wall);
+      let dropped = Obs.Span.dropped () in
+      if dropped > 0 then
+        Format.printf "note: %d span events dropped (ring full)@." dropped;
+      Format.printf "@.counters:@.";
+      List.iter
+        (fun e ->
+          match e.Obs.Metrics.data with
+          | Obs.Metrics.Counter v ->
+              let labels =
+                match e.Obs.Metrics.labels with
+                | [] -> ""
+                | ls ->
+                    "{"
+                    ^ String.concat ","
+                        (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                    ^ "}"
+              in
+              Format.printf "  %-40s %d@." (e.Obs.Metrics.name ^ labels) v
+          | _ -> ())
+        (Obs.Metrics.snapshot ());
+      (match trace_out with
+      | Some path ->
+          Obs.Export.write_trace ~since path;
+          Format.printf "@.trace written to %s@." path
+      | None -> ());
+      (match metrics_out with
+      | Some path ->
+          Obs.Export.write_metrics path;
+          Format.printf "metrics written to %s@." path
+      | None -> ());
+      0
+
 (* ------------------------------- lint -------------------------------- *)
 
 (* morph-lint: run the static-analysis diagnostics (Analysis.Lint) over one
    or more mini-QASM files. Exit status 1 when any error-severity diagnostic
    is found (or any warning under --strict), 0 on a clean corpus. *)
-let lint_cmd files strict quiet =
+let lint_cmd files strict quiet cost_threshold =
   let failed = ref false in
   List.iter
     (fun file ->
@@ -276,6 +386,17 @@ let lint_cmd files strict quiet =
           prerr_endline msg;
           failed := true
       | diags ->
+          (* MQ017 needs the circuit (not just the source) and the
+             simulator's cost model, so it runs here rather than inside
+             [Lint.lint_file]; parse failures were already reported *)
+          let diags =
+            diags
+            @ (match Qasm.parse_file file with
+              | c ->
+                  Analysis.Lint.check_cost ~estimate:characterization_seconds
+                    ?threshold:cost_threshold c
+              | exception _ -> [])
+          in
           List.iter
             (fun d ->
               let fails =
@@ -331,7 +452,38 @@ let lint_term =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"print only failing diagnostics")
   in
-  Term.(const lint_cmd $ files $ strict $ quiet)
+  let cost_threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cost-threshold" ] ~docv:"SECONDS"
+          ~doc:
+            "MQ017 threshold in estimated device seconds (default: \
+             MORPHQPV_LINT_COST_THRESHOLD or 1.0)")
+  in
+  Term.(const lint_cmd $ files $ strict $ quiet $ cost_threshold)
+
+let profile_term =
+  let shots =
+    Arg.(value & opt int 256 & info [ "shots" ] ~doc:"shots for the simulate phase")
+  in
+  let count =
+    Arg.(value & opt int 6 & info [ "count" ] ~doc:"sampled inputs for the characterize phase")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"write spans as Chrome trace_event JSONL (chrome://tracing, Perfetto)")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"write the metrics snapshot as JSON")
+  in
+  Term.(const profile_cmd $ file_arg $ shots $ count $ seed_arg $ trace $ metrics)
 
 let verify_term =
   let assumes =
@@ -360,6 +512,10 @@ let cmds =
     Cmd.v
       (Cmd.info "lint" ~doc:"run static-analysis diagnostics over programs")
       lint_term;
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:"profile the pipeline phases and dump traces/metrics")
+      profile_term;
   ]
 
 let () =

@@ -94,6 +94,23 @@ module Lint : sig
       source positions. Diagnostics are sorted by instruction index. *)
   val check : ?locs:(int * int) array -> Circuit.t -> diagnostic list
 
+  (** [check_cost ~estimate ?threshold c] emits MQ017 when the estimated
+      characterization cost of [c] — [estimate c], in device seconds —
+      exceeds [threshold] (default {!cost_threshold}). The estimator is a
+      callback because this layer sits below the simulator; callers
+      usually pass [Sim.Cost]'s
+      [estimate_characterization >> hardware_seconds]. *)
+  val check_cost :
+    estimate:(Circuit.t -> float) ->
+    ?threshold:float ->
+    Circuit.t ->
+    diagnostic list
+
+  (** Default MQ017 threshold in estimated device seconds: the
+      [MORPHQPV_LINT_COST_THRESHOLD] environment variable when set to a
+      positive float, else 1.0. *)
+  val cost_threshold : unit -> float
+
   (** [lint_qasm src] parses and checks QASM text; syntax errors (MQ000)
       and construction errors (MQ001-MQ003, MQ013-MQ016) are returned as
       located diagnostics instead of raising. *)

@@ -35,6 +35,7 @@ let codes =
     ("MQ014", Error, "adjoint of a non-unitary instruction");
     ("MQ015", Error, "unknown or malformed gate");
     ("MQ016", Error, "invalid register declaration");
+    ("MQ017", Warning, "estimated characterization cost exceeds threshold");
   ]
 
 let severity_of_code code =
@@ -218,6 +219,45 @@ let check ?locs c =
       | None, Some _ -> 1
       | None, None -> compare a.code b.code)
     (List.rev !out)
+
+(* MQ017: characterizing a program costs one tomography pass per
+   tracepoint — 3^k settings times the shot budget — and that bill is
+   easy to run up without noticing. [estimate] maps the circuit to
+   estimated device seconds; it is a callback because the analysis layer
+   sits below the simulator, so the [Sim.Cost]-based estimator is
+   supplied by callers (the CLI wires in
+   [Sim.Cost.estimate_characterization]). *)
+let default_cost_threshold = 1.0
+
+let cost_threshold () =
+  match Sys.getenv_opt "MORPHQPV_LINT_COST_THRESHOLD" with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some t when t > 0. -> t
+      | _ -> default_cost_threshold)
+  | None -> default_cost_threshold
+
+let check_cost ~estimate ?threshold c =
+  let threshold =
+    match threshold with Some t -> t | None -> cost_threshold ()
+  in
+  let seconds = estimate c in
+  if seconds > threshold then
+    [
+      {
+        severity = Warning;
+        code = "MQ017";
+        message =
+          Printf.sprintf
+            "estimated characterization cost %.3gs exceeds threshold %.3gs \
+             (tracepoint tomography settings x shot budget; tune with \
+             MORPHQPV_LINT_COST_THRESHOLD)"
+            seconds threshold;
+        loc = None;
+        instr = None;
+      };
+    ]
+  else []
 
 (* lint QASM text: parse errors and construction errors become located
    diagnostics instead of exceptions *)

@@ -16,6 +16,7 @@ type t = {
   samples : sample array;
   mode : mode;
   cost : Sim.Cost.t;
+  obs : Obs.Span.summary;
 }
 
 
@@ -59,6 +60,13 @@ let average_traces trajectories per_traj =
 
 let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
     ?trajectories ?(engine = `Auto) ?inputs program ~count =
+  (* watermark first, so the summary covers the [characterize.run] span
+     itself once it closes — plus everything nested under it *)
+  let since = Obs.Span.mark () in
+  let result =
+    Obs.Span.with_ ~name:"characterize.run"
+      ~attrs:[ ("count", string_of_int count) ]
+    @@ fun () ->
   let rng = match rng with Some r -> r | None -> Stats.Rng.make 7 in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
   let k = Program.num_input_qubits program in
@@ -153,6 +161,7 @@ let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
   in
   let samples =
     Parallel.Pool.map_init pool n (fun i ->
+        Obs.Span.with_ ~name:"characterize.sample" @@ fun () ->
         let rng = rngs.(i) in
         let sample_cost = Sim.Cost.create () in
         let input_state = inputs_arr.(i) in
@@ -185,7 +194,9 @@ let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
         ({ input_state; input_dm = Cmat.outer v v; traces }, sample_cost))
   in
   Array.iter (fun (_, c) -> Sim.Cost.add cost c) samples;
-  { program; samples = Array.map fst samples; mode; cost }
+  { program; samples = Array.map fst samples; mode; cost; obs = [] }
+  in
+  { result with obs = Obs.Span.summary ~since () }
 
 let tracepoint_ids t =
   if Array.length t.samples = 0 then []

@@ -23,6 +23,9 @@ type t = {
   samples : sample array;
   mode : mode;
   cost : Sim.Cost.t;
+  obs : Obs.Span.summary;
+      (** per-phase span summary of this run (empty unless observability
+          was enabled — [MORPHQPV_OBS=1] or [Obs.configure]) *)
 }
 
 (** Execution engine selection. [`Batched] compiles the program once into

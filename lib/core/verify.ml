@@ -112,6 +112,9 @@ let confirmed_violation ?rng confirm assertion counterexample =
         candidates
 
 let validate ?(options = default_options) ?rng ?confirm approx assertion =
+  Obs.Span.with_ ~name:"verify.validate" @@ fun () ->
+  if Obs.enabled () then
+    Obs.Metrics.counter_add "verify_restarts_total" (max 1 options.restarts);
   let rng = match rng with Some r -> r | None -> Stats.Rng.make 11 in
   let dim = Approx.n_sample approx in
   let projection = options.projection in
@@ -171,6 +174,14 @@ let validate ?(options = default_options) ?rng ?confirm approx assertion =
           max_objective = Option.value ~default:neg_infinity !best_clean;
         }
 
+(* Like [validate], but also returns the span-tree summary of the
+   verification's own work (solver spans included). Kept separate so the
+   [verdict] type — and every pattern match on it — stays unchanged. *)
+let validate_traced ?options ?rng ?confirm approx assertion =
+  let since = Obs.Span.mark () in
+  let verdict = validate ?options ?rng ?confirm approx assertion in
+  (verdict, Obs.Span.summary ~since ())
+
 let check_on_program ?rng ?tol program assertion ~input =
   let traces = Program.run_traces ?rng program ~input in
   let env tp =
@@ -207,6 +218,7 @@ let minimize_counterexample ?rng ?(tol = 0.02) program assertion
   | None -> dominant
 
 let probe_accuracies ?rng ?(count = 20) approx program ~tracepoint =
+  Obs.Span.with_ ~name:"verify.probe_accuracies" @@ fun () ->
   let rng = match rng with Some r -> r | None -> Stats.Rng.make 23 in
   let k = Program.num_input_qubits program in
   let accuracy_of input truth =

@@ -107,6 +107,15 @@ let mul_into ~dst a b =
     invalid_arg "Cmat.mul_into: bad destination dimensions";
   if dst == a || dst == b then
     invalid_arg "Cmat.mul_into: destination aliases an operand";
+  if Obs.enabled () then begin
+    (* the kernel below skips exact zeros of [a], so the useful-MAC count
+       is nnz(a) * cols(b) *)
+    let nnz = ref 0 in
+    for idx = 0 to Array.length a.re - 1 do
+      if a.re.(idx) <> 0. || a.im.(idx) <> 0. then incr nnz
+    done;
+    Obs.Metrics.counter_add "gemm_macs_total" (!nnz * b.cols)
+  end;
   Array.fill dst.re 0 (Array.length dst.re) 0.;
   Array.fill dst.im 0 (Array.length dst.im) 0.;
   let cols = b.cols in

@@ -1,0 +1,30 @@
+(* The single observability switch and the trace clock.
+
+   Every instrumentation site in the tree is guarded by one [enabled ()]
+   read (an [Atomic.get] of an immediate bool), so a disabled build pays
+   one predictable branch per *call site*, never per amplitude — the
+   [obs_transparent] testkit oracle pins that enabling the switch leaves
+   every engine's output bit-identical. *)
+
+let flag =
+  Atomic.make
+    (match Sys.getenv_opt "MORPHQPV_OBS" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let enabled () = Atomic.get flag
+let configure ~enabled:e = Atomic.set flag e
+
+(* Trace timestamps are microseconds since process start (Chrome
+   [trace_event]'s [ts] unit). [Unix.gettimeofday] is the only wall clock
+   available without extra dependencies; subtracting a fixed epoch keeps
+   the values monotone in practice and small enough for [%.3f]. Tests
+   override the clock to pin golden exports. *)
+let epoch = Unix.gettimeofday ()
+let default_clock () = (Unix.gettimeofday () -. epoch) *. 1e6
+let clock = Atomic.make default_clock
+let now_us () = (Atomic.get clock) ()
+
+let set_clock = function
+  | Some f -> Atomic.set clock f
+  | None -> Atomic.set clock default_clock

@@ -1,0 +1,7 @@
+module Span = Span
+module Metrics = Metrics
+module Export = Export
+
+let enabled = Control.enabled
+let configure = Control.configure
+let set_clock_for_testing = Control.set_clock

@@ -10,7 +10,18 @@ let counting_objective (obj : Objective.t) =
 
 let better a b = if b.value > a.value then b else a
 
+(* iteration counts are closed-form in the solver parameters and eval
+   counts come from [counting_objective], so both are independent of
+   timing and domain count *)
+let record_solver name ~iterations ~evals =
+  if Obs.enabled () then begin
+    let labels = [ ("solver", name) ] in
+    Obs.Metrics.counter_add ~labels "solver_iterations_total" iterations;
+    Obs.Metrics.counter_add ~labels "solver_evals_total" evals
+  end
+
 let adam ?(iters = 200) ?(restarts = 4) ?(lr = 0.05) rng obj =
+  Obs.Span.with_ ~name:"solver.sgd-adam" @@ fun () ->
   let obj, evals = counting_objective obj in
   let dim = obj.Objective.dim in
   let best = ref { x = Array.make dim 0.; value = neg_infinity; evals = 0 } in
@@ -32,9 +43,11 @@ let adam ?(iters = 200) ?(restarts = 4) ?(lr = 0.05) rng obj =
     let value = obj.Objective.f x in
     best := better !best { x = Array.copy x; value; evals = 0 }
   done;
+  record_solver "sgd-adam" ~iterations:(restarts * iters) ~evals:!evals;
   { !best with evals = !evals }
 
 let anneal ?(iters = 2000) ?(restarts = 2) ?(temp0 = 1.) rng obj =
+  Obs.Span.with_ ~name:"solver.annealing" @@ fun () ->
   let obj, evals = counting_objective obj in
   let dim = obj.Objective.dim in
   let best = ref { x = Array.make dim 0.; value = neg_infinity; evals = 0 } in
@@ -64,9 +77,11 @@ let anneal ?(iters = 2000) ?(restarts = 2) ?(temp0 = 1.) rng obj =
       temp := !temp *. cooling
     done
   done;
+  record_solver "annealing" ~iterations:(restarts * iters) ~evals:!evals;
   { !best with evals = !evals }
 
 let genetic ?(generations = 60) ?(population = 40) ?(mutation = 0.15) rng obj =
+  Obs.Span.with_ ~name:"solver.genetic" @@ fun () ->
   let obj, evals = counting_objective obj in
   let dim = obj.Objective.dim in
   let eval x = obj.Objective.f x in
@@ -103,6 +118,7 @@ let genetic ?(generations = 60) ?(population = 40) ?(mutation = 0.15) rng obj =
   done;
   Array.sort (fun (_, fa) (_, fb) -> compare fb fa) pop;
   let x, value = pop.(0) in
+  record_solver "genetic" ~iterations:generations ~evals:!evals;
   { x; value; evals = !evals }
 
 (* Projected ascent with exact line search under a local quadratic model
@@ -111,6 +127,7 @@ let genetic ?(generations = 60) ?(population = 40) ?(mutation = 0.15) rng obj =
    second evaluation. Directions cycle through conjugate-ish gradient
    estimates (Polak-Ribiere on numeric gradients). *)
 let qp ?(iters = 80) ?(restarts = 3) rng obj =
+  Obs.Span.with_ ~name:"solver.quadratic" @@ fun () ->
   let obj, evals = counting_objective obj in
   let dim = obj.Objective.dim in
   let best = ref { x = Array.make dim 0.; value = neg_infinity; evals = 0 } in
@@ -157,6 +174,7 @@ let qp ?(iters = 80) ?(restarts = 3) rng obj =
     let value = obj.Objective.f x in
     best := better !best { x = Array.copy x; value; evals = 0 }
   done;
+  record_solver "quadratic" ~iterations:(restarts * iters) ~evals:!evals;
   { !best with evals = !evals }
 
 type method_ = [ `Adam | `Anneal | `Genetic | `Qp ]

@@ -70,6 +70,21 @@ let apply_block bt (blk : block) lo hi =
   let k = Array.length blk.qubits in
   let m = 1 lsl k in
   let u = blk.u in
+  if Obs.enabled () then begin
+    (* useful MACs: one per nonzero of [u], per base group, per column in
+       this range — identical for the GEMM and gather paths *)
+    let nnz = ref 0 in
+    for idx = 0 to Array.length u.Cmat.re - 1 do
+      if u.Cmat.re.(idx) <> 0. || u.Cmat.im.(idx) <> 0. then incr nnz
+    done;
+    (* exactly one chunk of any partitioning starts at column 0, so this
+       count is independent of the pool's domain count; the MAC count
+       scales by (hi - lo) and sums to the same total for the same
+       reason *)
+    if lo = 0 then Obs.Metrics.counter_add "fused_block_applied_total" 1;
+    Obs.Metrics.counter_add "batch_gemm_macs_total"
+      ((d lsr k) * !nnz * (hi - lo))
+  end;
   if k = n && lo = 0 && hi = w then begin
     (* full-width segment over the whole buffer: plain GEMM. Bit-identical
        to the gather path below (same k-ascending, zero-skipping
@@ -168,6 +183,12 @@ let apply_swap bt qa qb lo hi =
   done
 
 let apply_direct bt (g : Circuit.Gate.t) lo hi =
+  (* [lo = 0] guard: see [apply_block] — keeps the count independent of
+     how the column range was chunked over pool workers *)
+  if lo = 0 && Obs.enabled () then
+    Obs.Metrics.counter_add
+      ~labels:[ ("kind", g.Circuit.Gate.name) ]
+      "direct_gate_applied_total" 1;
   match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
   | "swap", [ qa; qb ] ->
       if g.Circuit.Gate.controls <> [] then
@@ -328,6 +349,9 @@ let max_block_floats = 1 lsl 21
 let chunk_cols = 16
 
 let exec ?pool ?rngs plan ~count ~init ~want_states =
+  Obs.Span.with_ ~name:"batch.exec"
+    ~attrs:[ ("columns", string_of_int count) ]
+  @@ fun () ->
   let n = plan.num_qubits in
   let d = 1 lsl n in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in

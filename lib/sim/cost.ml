@@ -59,6 +59,32 @@ let add t other =
   t.two_qubit_gates <- t.two_qubit_gates + other.two_qubit_gates;
   t.measurements <- t.measurements + other.measurements
 
+(* Static estimate of what characterizing [c] would cost on a device: one
+   full tomography pass per tracepoint, 3^k measurement settings for a
+   k-qubit tracepoint, [shots] shots per setting. The 3^k is saturated so
+   wide tracepoints can never wrap the meter's int fields — the estimate
+   only ever feeds a threshold comparison, where "absurdly large" is as
+   actionable as the exact value. *)
+let estimate_characterization ?(shots = 256) c =
+  let t = create () in
+  let gates = max 1 (Circuit.gate_count c) in
+  (* keep total_shots * gates comfortably inside int range *)
+  let cap = max 1 (max_int / (max 1 shots * gates * 4)) in
+  let pow3_sat k =
+    let rec go acc k =
+      if k <= 0 then acc else if acc >= cap / 3 then cap else go (acc * 3) (k - 1)
+    in
+    go 1 k
+  in
+  List.iter
+    (function
+      | Circuit.Instr.Tracepoint { qubits; _ } ->
+          record_many t c ~circuits:(pow3_sat (List.length qubits))
+            ~shots_each:shots
+      | _ -> ())
+    (Circuit.instrs c);
+  t
+
 let hardware_seconds t =
   (60e-9 *. float_of_int t.one_qubit_gates)
   +. (340e-9 *. float_of_int t.two_qubit_gates)

@@ -29,6 +29,13 @@ val record_many : t -> Circuit.t -> circuits:int -> shots_each:int -> unit
 (** [add t other] accumulates [other] into [t]. *)
 val add : t -> t -> unit
 
+(** [estimate_characterization ?shots c] statically estimates the device
+    cost of characterizing [c]: one state-tomography pass per tracepoint
+    (3^k settings for k tracepoint qubits, saturated against overflow),
+    [shots] (default 256) shots per setting. Feeds the [MQ017] lint
+    diagnostic's cost threshold. *)
+val estimate_characterization : ?shots:int -> Circuit.t -> t
+
 (** [hardware_seconds t] estimates device wall-clock from the paper's quoted
     IBMQ timings. *)
 val hardware_seconds : t -> float

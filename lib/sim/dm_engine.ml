@@ -8,6 +8,10 @@ type outcome = {
 }
 
 let apply_gate_dm noise (g : Circuit.Gate.t) rho =
+  if Obs.enabled () then
+    Obs.Metrics.counter_add
+      ~labels:[ ("kind", g.Circuit.Gate.name) ]
+      "dm_gate_applied_total" 1;
   let rho =
     match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
     | "swap", [ a; b ] ->
@@ -29,6 +33,7 @@ let apply_gate_dm noise (g : Circuit.Gate.t) rho =
   else rho
 
 let run ?(noise = Noise.ideal) ?initial ?meter c =
+  Obs.Span.with_ ~name:"dm_engine.run" @@ fun () ->
   let n = Circuit.num_qubits c in
   let init =
     match initial with

@@ -23,6 +23,10 @@ let inject_noise rng noise (g : Circuit.Gate.t) st =
       qs
 
 let apply_gate_ideal (g : Circuit.Gate.t) st =
+  if Obs.enabled () then
+    Obs.Metrics.counter_add
+      ~labels:[ ("kind", g.Circuit.Gate.name) ]
+      "gate_applied_total" 1;
   match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
   | "swap", [ a; b ] ->
       if g.Circuit.Gate.controls <> [] then
@@ -153,9 +157,13 @@ let stabilizer_applicable ?(cap = stabilizer_cone_cap) c =
    state, so restricting to the cone is sound. Only valid when
    [stabilizer_applicable c]. *)
 let stabilizer_traces ?(prep = 0) ?meter c =
+  Obs.Span.with_ ~name:"engine.stabilizer_traces" @@ fun () ->
   (match meter with
   | Some m -> Cost.record_circuit m c ~shots:1
   | None -> ());
+  if Obs.enabled () then
+    Obs.Metrics.counter_add "stabilizer_routed_total"
+      (List.length (Analysis.Lightcone.cones c));
   List.map
     (fun cone ->
       let sub, qubits = Analysis.Lightcone.restrict c cone in
@@ -191,6 +199,9 @@ let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
         true
     | `Auto -> initial = None && Noise.is_ideal noise && stabilizer_applicable c
   in
+  Obs.Span.with_ ~name:"engine.tracepoint_states"
+    ~attrs:[ ("engine", if use_stabilizer then "stabilizer" else "statevec") ]
+  @@ fun () ->
   if use_stabilizer then stabilizer_traces ?meter c
   else if is_deterministic c && Noise.is_ideal noise then
     (run ?rng ~noise ?initial ?meter c).traces
@@ -223,6 +234,8 @@ let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
   end
 
 let sample_counts ?pool ?rng ?(noise = Noise.ideal) ?initial ?meter ~shots c =
+  Obs.Span.with_ ~name:"engine.sample_counts" @@ fun () ->
+  if Obs.enabled () then Obs.Metrics.counter_add "sample_shots_total" shots;
   let rng = match rng with Some r -> r | None -> default_rng () in
   let pool = get_pool pool in
   let tbl = Hashtbl.create 64 in

@@ -184,6 +184,10 @@ let expectation_z t q =
   end
 
 let apply_gate (gate : Circuit.Gate.t) t =
+  if Obs.enabled () then
+    Obs.Metrics.counter_add
+      ~labels:[ ("kind", gate.Circuit.Gate.name) ]
+      "tableau_gate_applied_total" 1;
   match
     (gate.Circuit.Gate.name, gate.Circuit.Gate.controls, gate.Circuit.Gate.targets)
   with

@@ -13,6 +13,7 @@ let mix i =
 
 let split t i =
   if i < 0 then invalid_arg "Rng.split: negative index";
+  if Obs.enabled () then Obs.Metrics.counter_add "rng_splits_total" 1;
   let a = Random.State.bits t and b = Random.State.bits t in
   Random.State.make [| a; mix (b lxor mix i); mix (i lxor (a lsl 17)) |]
 let float t bound = Random.State.float t bound

@@ -295,3 +295,43 @@ let characterize_engines_agree ?pool circ =
          && traces_match sa.Morphcore.Characterize.traces
               sb.Morphcore.Characterize.traces)
        a.Morphcore.Characterize.samples b.Morphcore.Characterize.samples
+
+(* ---- observability transparency ---- *)
+
+(* Enabling [Obs] must not perturb any engine: instrumentation reads no
+   generator, reorders no arithmetic, and branches on nothing but the
+   enabled flag. Run every engine with the global switch off, then on
+   (restoring the caller's setting either way), and compare the outputs
+   with (=) — bit-identical, no tolerance. The density-matrix engine is
+   skipped past 6 measurements, where its branch tree gets expensive. *)
+let obs_transparent circ =
+  let c = Gen.build circ in
+  let measures =
+    List.fold_left
+      (fun acc i ->
+        match i with Circuit.Instr.Measure _ -> acc + 1 | _ -> acc)
+      0 (Circuit.instrs c)
+  in
+  let run_all () =
+    let eng = Sim.Engine.run ~rng:(Stats.Rng.make 0x0B5) c in
+    let tps =
+      Sim.Engine.tracepoint_states ~rng:(Stats.Rng.make 0x0B5) ~trajectories:4
+        c
+    in
+    let plan = Transpile.Segments.compile c in
+    let bat =
+      Sim.Batch.run_seq ~rng:(Stats.Rng.make 0x0B5) plan
+        (Qstate.Statevec.zero (Circuit.num_qubits c))
+    in
+    let dm = if measures <= 6 then Some (Sim.Dm_engine.run c) else None in
+    (eng, tps, bat, dm)
+  in
+  let was = Obs.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Obs.configure ~enabled:was)
+    (fun () ->
+      Obs.configure ~enabled:false;
+      let off = run_all () in
+      Obs.configure ~enabled:true;
+      let on = run_all () in
+      off = on)

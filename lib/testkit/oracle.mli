@@ -123,3 +123,9 @@ val characterize_stabilizer_route : ?pool:Parallel.Pool.t -> Gen.circ -> bool
     under [`Batched] vs [`Sequential] on the same seed: identical cost
     meters and input density matrices (bitwise), traces within {!eps}. *)
 val characterize_engines_agree : ?pool:Parallel.Pool.t -> Gen.circ -> bool
+
+(** [obs_transparent c] — the observability layer's zero-interference
+    contract: every engine (gate-by-gate, tracepoint routing, segment
+    batch, density matrix) produces bit-for-bit identical outputs with
+    [Obs] disabled and enabled. Restores the caller's [Obs] setting. *)
+val obs_transparent : Gen.circ -> bool

@@ -28,6 +28,7 @@ let reconstruct n terms =
   Cmat.rscale (1. /. float_of_int d) !acc
 
 let run ?(project = true) rng ~shots ~truth () =
+  Obs.Span.with_ ~name:"tomography.run" @@ fun () ->
   let d, dc = Cmat.dims truth in
   if d <> dc then invalid_arg "State_tomo.run: non-square state";
   let n =
@@ -48,9 +49,14 @@ let run ?(project = true) rng ~shots ~truth () =
   let raw = reconstruct n terms in
   let rho = if project then Eig.project_psd raw else Cmat.hermitize raw in
   let settings = settings_count n in
+  if Obs.enabled () then
+    Obs.Metrics.counter_add "tomography_shots_total" (settings * shots);
   { rho; settings; shots_used = settings * shots }
 
 let probs_only rng ~shots ~truth () =
+  Obs.Span.with_ ~name:"tomography.probs_only" @@ fun () ->
+  if Obs.enabled () then
+    Obs.Metrics.counter_add "tomography_shots_total" shots;
   let d, _ = Cmat.dims truth in
   let true_probs = Array.init d (fun i -> Float.max 0. (Cx.re (Cmat.get truth i i))) in
   let total = Array.fold_left ( +. ) 0. true_probs in

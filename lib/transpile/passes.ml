@@ -169,6 +169,7 @@ let drop_identities ?(eps = 1e-12) c =
     c
 
 let optimize ?(max_passes = 10) c =
+  Obs.Span.with_ ~name:"passes.optimize" @@ fun () ->
   let step c = drop_identities (run_pass ~do_cancel:true ~do_merge:true c) in
   let rec go c k =
     if k = 0 then c
@@ -176,7 +177,11 @@ let optimize ?(max_passes = 10) c =
       let c' = step c in
       if Circuit.gate_count c' = Circuit.gate_count c then c' else go c' (k - 1)
   in
-  go c max_passes
+  let out = go c max_passes in
+  if Obs.enabled () then
+    Obs.Metrics.counter_add "pass_gates_removed_total"
+      (max 0 (Circuit.gate_count c - Circuit.gate_count out));
+  out
 
 let gate_reduction ~before ~after =
   let b = Circuit.gate_count before in
@@ -192,6 +197,7 @@ let gate_reduction ~before ~after =
    tracepoint or measurement observes, so it is a pass for
    characterization pipelines rather than general circuit rewriting. *)
 let prune_lightcone c =
+  Obs.Span.with_ ~name:"passes.prune_lightcone" @@ fun () ->
   let keep = Analysis.Lightcone.union_keep c in
   let _, pruned =
     List.fold_left

@@ -84,10 +84,22 @@ let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff)
     ?(clifford_direct = false) c =
   if cutoff < 1 || block_cutoff < 1 then
     invalid_arg "Segments.compile: cutoffs must be >= 1";
+  Obs.Span.with_ ~name:"segments.compile" @@ fun () ->
   let items = ref [] in
   let pending = ref [] in
   let source_ops = ref 0 in
-  let emit item = items := item :: !items in
+  let emit item =
+    if Obs.enabled () then begin
+      match item with
+      | Sim.Batch.Block b ->
+          Obs.Metrics.counter_add "segment_fused_total" 1;
+          Obs.Metrics.observe "segment_block_qubits"
+            (float_of_int (Array.length b.Sim.Batch.qubits))
+      | Sim.Batch.Direct _ -> Obs.Metrics.counter_add "segment_direct_total" 1
+      | Sim.Batch.Fence _ -> ()
+    end;
+    items := item :: !items
+  in
   (* flush the pending unitary run as fused operators *)
   let flush_segment () =
     match List.rev !pending with

@@ -1,0 +1,330 @@
+(* Observability substrate: span nesting and ordering, histogram bucket
+   edges, counter determinism across pool domain counts, the Chrome
+   trace_event JSONL golden, the disabled-is-noop contract, and the
+   obs_transparent oracle (enabling observability never perturbs engine
+   outputs). *)
+
+open Morphcore
+open Testkit
+
+let count = Config.count ()
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(Config.rand ()) t
+
+(* Every unit test runs against a clean, enabled registry and restores
+   the binary-wide default (disabled, wall clock) on the way out, so test
+   order never leaks state. *)
+let with_obs f () =
+  Obs.configure ~enabled:true;
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_clock_for_testing None;
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Obs.configure ~enabled:false)
+    f
+
+(* a deterministic clock ticking 1 microsecond per read *)
+let tick_clock () =
+  let t = ref (-1.) in
+  fun () ->
+    t := !t +. 1.;
+    !t
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  let since = Obs.Span.mark () in
+  let r =
+    Obs.Span.with_ ~name:"outer" @@ fun () ->
+    ignore (Obs.Span.with_ ~name:"inner" (fun () -> 1));
+    ignore (Obs.Span.with_ ~name:"inner" (fun () -> 2));
+    42
+  in
+  Alcotest.(check int) "with_ returns f's value" 42 r;
+  let evs = Obs.Span.events ~since () in
+  let tag (ev : Obs.Span.event) =
+    (ev.name, match ev.ph with Obs.Span.B -> "B" | Obs.Span.E -> "E")
+  in
+  Alcotest.(check (list (pair string string)))
+    "B/E bracketing order"
+    [
+      ("outer", "B");
+      ("inner", "B");
+      ("inner", "E");
+      ("inner", "B");
+      ("inner", "E");
+      ("outer", "E");
+    ]
+    (List.map tag evs);
+  (* seqs are the total order *)
+  let seqs = List.map (fun (ev : Obs.Span.event) -> ev.seq) evs in
+  Alcotest.(check bool) "seq strictly increasing" true
+    (List.sort compare seqs = seqs && List.sort_uniq compare seqs = seqs);
+  (* parent links: both inner spans hang off outer; outer is a root *)
+  let outer_b = List.hd evs in
+  Alcotest.(check int) "outer is a root" (-1) outer_b.Obs.Span.parent;
+  List.iter
+    (fun (ev : Obs.Span.event) ->
+      if ev.name = "inner" then
+        Alcotest.(check int)
+          ("inner parent (" ^ string_of_int ev.seq ^ ")")
+          outer_b.Obs.Span.span ev.parent)
+    evs
+
+let test_span_closes_on_raise () =
+  let since = Obs.Span.mark () in
+  (try
+     Obs.Span.with_ ~name:"boom" (fun () -> failwith "expected") |> ignore
+   with Failure _ -> ());
+  let evs = Obs.Span.events ~since () in
+  Alcotest.(check int) "B and E both recorded" 2 (List.length evs);
+  Alcotest.(check bool) "last is E" true
+    ((List.nth evs 1).Obs.Span.ph = Obs.Span.E);
+  (* the stack unwound: a sibling span opened next is again a root *)
+  let r = Obs.Span.with_ ~name:"after" (fun () -> Obs.Span.events ~since ()) in
+  let after_b =
+    List.find (fun (ev : Obs.Span.event) -> ev.name = "after") r
+  in
+  Alcotest.(check int) "sibling after raise is a root" (-1)
+    after_b.Obs.Span.parent
+
+let test_span_summary () =
+  Obs.set_clock_for_testing (Some (tick_clock ()));
+  let since = Obs.Span.mark () in
+  ( Obs.Span.with_ ~name:"outer" @@ fun () ->
+    ignore (Obs.Span.with_ ~name:"inner" (fun () -> ()));
+    ignore (Obs.Span.with_ ~name:"inner" (fun () -> ())) );
+  (* ticks: outer B=0, inner B=1 E=2, inner B=3 E=4, outer E=5
+     -> inner total 2us over 2 runs, outer total 5us over 1 run *)
+  match Obs.Span.summary ~since () with
+  | [ a; b ] ->
+      Alcotest.(check string) "slowest first" "outer" a.Obs.Span.name;
+      Alcotest.(check int) "outer count" 1 a.Obs.Span.count;
+      Alcotest.(check (float 1e-12)) "outer total" 5e-6 a.Obs.Span.total_s;
+      Alcotest.(check string) "then inner" "inner" b.Obs.Span.name;
+      Alcotest.(check int) "inner count" 2 b.Obs.Span.count;
+      Alcotest.(check (float 1e-12)) "inner total" 2e-6 b.Obs.Span.total_s
+  | rows -> Alcotest.failf "expected 2 summary rows, got %d" (List.length rows)
+
+let test_span_ring_bound () =
+  (* the ring keeps a bounded prefix and counts the overflow *)
+  let before = Obs.Span.dropped () in
+  for _ = 1 to 40_000 do
+    Obs.Span.with_ ~name:"spin" (fun () -> ())
+  done;
+  Alcotest.(check bool) "overflow counted" true (Obs.Span.dropped () > before);
+  Alcotest.(check int) "ring holds its capacity" 65536
+    (List.length (Obs.Span.events ()));
+  Obs.Span.reset ();
+  Alcotest.(check int) "reset clears dropped" 0 (Obs.Span.dropped ())
+
+(* ---------------- metrics ---------------- *)
+
+let find_hist name =
+  let entries = Obs.Metrics.snapshot () in
+  match
+    List.find_opt (fun (e : Obs.Metrics.entry) -> e.name = name) entries
+  with
+  | Some { data = Obs.Metrics.Histogram h; _ } -> h
+  | _ -> Alcotest.failf "histogram %s missing from snapshot" name
+
+let test_histogram_edges () =
+  let buckets = [| 1.; 2.; 4. |] in
+  (* upper edges are inclusive: v <= edge lands in that bucket *)
+  List.iter
+    (fun v -> Obs.Metrics.observe ~buckets "h" v)
+    [ 1.0; 1.5; 2.0; 4.0; 4.1 ];
+  let h = find_hist "h" in
+  Alcotest.(check (array (float 0.))) "bounds kept" buckets h.Obs.Metrics.hbounds;
+  Alcotest.(check (array int)) "per-bucket counts (last is +inf)"
+    [| 1; 2; 1; 1 |] h.Obs.Metrics.hcounts;
+  Alcotest.(check (float 1e-9)) "sum" 12.6 h.Obs.Metrics.hsum
+
+let test_counter_roundtrip () =
+  Obs.Metrics.counter_add ~labels:[ ("kind", "h") ] "g_total" 2;
+  Obs.Metrics.counter_add ~labels:[ ("kind", "h") ] "g_total" 3;
+  Obs.Metrics.counter_add ~labels:[ ("kind", "cx") ] "g_total" 1;
+  Alcotest.(check (option int)) "labelled counter accumulates" (Some 5)
+    (Obs.Metrics.counter_value ~labels:[ ("kind", "h") ] "g_total");
+  (* label order must not matter for identity *)
+  Obs.Metrics.counter_add ~labels:[ ("b", "2"); ("a", "1") ] "multi" 1;
+  Alcotest.(check (option int)) "labels are canonicalized" (Some 1)
+    (Obs.Metrics.counter_value ~labels:[ ("a", "1"); ("b", "2") ] "multi");
+  Alcotest.(check (option int)) "unknown counter reads None" None
+    (Obs.Metrics.counter_value "absent")
+
+let test_snapshot_json_shape () =
+  Obs.Metrics.counter_add "c" 7;
+  Obs.Metrics.gauge_set "g" 1.5;
+  Obs.Metrics.observe "h" 3.0;
+  let js = Obs.Metrics.snapshot_json () in
+  let has needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length js && (String.sub js i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json contains " ^ needle) true (has needle))
+    [
+      "\"schema\":\"" ^ Obs.Metrics.schema ^ "\"";
+      "\"counters\":";
+      "\"gauges\":";
+      "\"histograms\":";
+      "\"name\":\"c\"";
+      "\"value\":7";
+    ]
+
+(* Counters count work items (gates, shots, MACs), never scheduling
+   facts, so a characterization run must produce the bit-identical
+   snapshot whatever the pool's domain count. *)
+let det_program () =
+  Program.make
+    Circuit.(
+      empty 3 |> h 0 |> cx 0 1 |> x 2 |> cx 1 2
+      |> tracepoint 1 [ 0; 1 ]
+      |> tracepoint 2 [ 2 ])
+
+let snapshot_after_run domains =
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  let pool = Parallel.Pool.create ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      ignore
+        (Morphcore.Characterize.run ~pool ~rng:(Stats.Rng.make 7)
+           (det_program ()) ~count:4));
+  Obs.Metrics.snapshot ()
+
+let test_counter_determinism_across_domains () =
+  let base = snapshot_after_run 1 in
+  Alcotest.(check bool) "run recorded something" true (base <> []);
+  List.iter
+    (fun d ->
+      let s = snapshot_after_run d in
+      if s <> base then
+        Alcotest.failf "metrics snapshot differs between 1 and %d domains" d)
+    [ 2; 4 ]
+
+(* ---------------- export golden ---------------- *)
+
+let test_trace_jsonl_golden () =
+  Obs.set_clock_for_testing (Some (tick_clock ()));
+  let since = Obs.Span.mark () in
+  ( Obs.Span.with_ ~name:"outer" ~attrs:[ ("k", "v"); ("n", "2") ]
+    @@ fun () -> ignore (Obs.Span.with_ ~name:"in\"ner" (fun () -> ())) );
+  let tid = (Domain.self () :> int) in
+  let expect =
+    String.concat ""
+      [
+        Printf.sprintf
+          "{\"name\":\"outer\",\"cat\":\"morphqpv\",\"ph\":\"B\",\"ts\":0.000,\"pid\":1,\"tid\":%d,\"args\":{\"k\":\"v\",\"n\":\"2\"}}\n"
+          tid;
+        Printf.sprintf
+          "{\"name\":\"in\\\"ner\",\"cat\":\"morphqpv\",\"ph\":\"B\",\"ts\":1.000,\"pid\":1,\"tid\":%d}\n"
+          tid;
+        Printf.sprintf
+          "{\"name\":\"in\\\"ner\",\"cat\":\"morphqpv\",\"ph\":\"E\",\"ts\":2.000,\"pid\":1,\"tid\":%d}\n"
+          tid;
+        Printf.sprintf
+          "{\"name\":\"outer\",\"cat\":\"morphqpv\",\"ph\":\"E\",\"ts\":3.000,\"pid\":1,\"tid\":%d}\n"
+          tid;
+      ]
+  in
+  Alcotest.(check string) "chrome trace_event JSONL" expect
+    (Obs.Export.trace_jsonl ~since ())
+
+(* ---------------- disabled path ---------------- *)
+
+let test_disabled_is_noop () =
+  Obs.configure ~enabled:false;
+  let since = Obs.Span.mark () in
+  let r = Obs.Span.with_ ~name:"ghost" (fun () -> 7) in
+  Alcotest.(check int) "with_ is exactly f ()" 7 r;
+  Obs.Metrics.counter_add "ghost_total" 5;
+  Obs.Metrics.observe "ghost_h" 1.0;
+  Obs.Metrics.gauge_set "ghost_g" 2.0;
+  Alcotest.(check (list reject)) "no events buffered" []
+    (List.map (fun _ -> ()) (Obs.Span.events ~since ()));
+  Alcotest.(check (option int)) "no counter created" None
+    (Obs.Metrics.counter_value "ghost_total");
+  Alcotest.(check int) "registry untouched" 0
+    (List.length (Obs.Metrics.snapshot ()))
+
+(* ---------------- MQ017 (characterization cost lint) ---------------- *)
+
+let test_mq017 () =
+  let c = Circuit.(empty 2 |> h 0 |> cx 0 1 |> tracepoint 1 [ 0; 1 ]) in
+  (match Analysis.Lint.check_cost ~estimate:(fun _ -> 2.0) ~threshold:1.0 c with
+  | [ d ] ->
+      Alcotest.(check string) "code" "MQ017" d.Analysis.Lint.code;
+      Alcotest.(check bool) "warning severity" true
+        (d.Analysis.Lint.severity = Analysis.Lint.Warning);
+      Alcotest.(check (option (pair int int))) "circuit-wide" None
+        d.Analysis.Lint.loc
+  | ds -> Alcotest.failf "expected one MQ017, got %d diagnostics"
+            (List.length ds));
+  Alcotest.(check int) "under threshold is silent" 0
+    (List.length
+       (Analysis.Lint.check_cost ~estimate:(fun _ -> 0.5) ~threshold:1.0 c));
+  (* the real estimator wired by the CLI trips on a tiny threshold *)
+  let estimate c =
+    Sim.Cost.hardware_seconds (Sim.Cost.estimate_characterization c)
+  in
+  Alcotest.(check bool) "Sim.Cost estimator integrates" true
+    (Analysis.Lint.check_cost ~estimate ~threshold:1e-9 c <> []);
+  Alcotest.(check bool) "MQ017 is in the code table" true
+    (Analysis.Lint.severity_of_code "MQ017" = Analysis.Lint.Warning)
+
+(* ---------------- transparency property ---------------- *)
+
+let prop_obs_transparent =
+  QCheck.Test.make ~name:"enabling obs never perturbs engine outputs"
+    ~count:(max 10 (count / 2))
+    (Gen.program ())
+    Oracle.obs_transparent
+
+let () =
+  Config.announce ~exe:"test_obs";
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick
+            (with_obs test_span_nesting);
+          Alcotest.test_case "span closes on raise" `Quick
+            (with_obs test_span_closes_on_raise);
+          Alcotest.test_case "summary aggregates by name" `Quick
+            (with_obs test_span_summary);
+          Alcotest.test_case "ring bound and dropped counter" `Slow
+            (with_obs test_span_ring_bound);
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket edges" `Quick
+            (with_obs test_histogram_edges);
+          Alcotest.test_case "counter labels and reads" `Quick
+            (with_obs test_counter_roundtrip);
+          Alcotest.test_case "snapshot json shape" `Quick
+            (with_obs test_snapshot_json_shape);
+          Alcotest.test_case "counters identical across 1/2/4 domains" `Slow
+            (with_obs test_counter_determinism_across_domains);
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "trace_event JSONL golden" `Quick
+            (with_obs test_trace_jsonl_golden);
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "zero-cost path records nothing" `Quick
+            (with_obs test_disabled_is_noop);
+        ] );
+      ("lint", [ Alcotest.test_case "MQ017 cost diagnostic" `Quick test_mq017 ]);
+      ("transparency", [ qtest prop_obs_transparent ]);
+    ]
