@@ -28,9 +28,14 @@ let checks () =
     ("prune-preserves-traces", Gen.gen_pure (), Oracle.prune_preserves_traces);
     ("lightcone-restrict", Gen.gen_pure (), Oracle.lightcone_restrict_matches);
     ("stabilizer-traces", Gen.gen_clifford (), Oracle.stabilizer_traces_agree);
+    ("sparse-traces", Gen.gen_pure (), Oracle.sparse_vs_statevec);
+    ("rank-traces", Gen.gen_near_clifford (), Oracle.rank_vs_statevec);
     ( "characterize-auto-pinned",
       Gen.gen_program (),
       fun c -> Oracle.characterize_auto_unchanged c );
+    ( "characterize-scale-route",
+      Gen.gen_near_clifford (),
+      fun c -> Oracle.characterize_scale_route c );
     ("obs-transparent", Gen.gen_program (), Oracle.obs_transparent);
     ("adjoint-cancels", Gen.gen_pure (), Metamorph.adjoint_cancels);
     ("global-phase", Gen.gen_pure (), Metamorph.global_phase_invariant);

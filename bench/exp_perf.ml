@@ -183,3 +183,127 @@ let run () =
     ~speedup:(t_seq /. t_bat)
     ~ops:(ops_before, ops_after)
     ~domains:1 ()
+
+(* ----------------- scale: characterization past the dense wall --------------
+
+   The `scale` experiment (also run by `make bench-smoke`) characterizes
+   register widths the dense engine cannot even allocate (2^24..2^32
+   amplitudes): Bernstein-Vazirani rides the lightcone-restricted
+   stabilizer route, the quantum lock and the cell-list QRAM ride the
+   sparse coordinate engine, and a 24-qubit GHZ+6T workload rides the
+   stabilizer-rank engine (2^6 tableau frames). Each row asserts the
+   expected route, that the dense engine was never invoked
+   (sim_engine_routed_total{engine=statevec} must not move), and an exact
+   trace value — so the printed output is byte-identical across domain
+   counts and the smoke diff covers it. Wall seconds land only in
+   BENCH_results.json, which also carries the counter deltas
+   (sparse_amps_peak_total, rank_branches_total, ...). *)
+
+let routed engine =
+  Option.value ~default:0
+    (Obs.Metrics.counter_value ~labels:[ ("engine", engine) ]
+       "sim_engine_routed_total")
+
+let engine_name = function
+  | `Stabilizer -> "stabilizer"
+  | `Sparse -> "sparse"
+  | `Rank -> "rank"
+
+(* characterize [count] basis inputs over [input_qubits] through [`Auto],
+   assert the static route and that dense never ran, and time it *)
+let scale_case ~name ~route ~input_qubits ~check c =
+  let count = 3 in
+  if Sim.Engine.auto_route c <> Some route then
+    failwith (Printf.sprintf "scale: %s did not route to %s" name
+                (engine_name route));
+  let program = Program.make ~input_qubits c in
+  let dense_before = routed "statevec" in
+  let expected_routed = routed (engine_name route) + count in
+  let ch, dt =
+    Util.timed ~name:("perf.scale." ^ name) (fun () ->
+        Characterize.run
+          ~rng:(Stats.Rng.make 31)
+          ~kind:Clifford.Sampling.Basis ~engine:`Auto program ~count)
+  in
+  if routed "statevec" <> dense_before then
+    failwith (Printf.sprintf "scale: dense engine invoked on %s" name);
+  if routed (engine_name route) < expected_routed then
+    failwith (Printf.sprintf "scale: %s not routed per sample on %s"
+                (engine_name route) name);
+  Array.iter (fun (s : Characterize.sample) -> check s) ch.Characterize.samples;
+  Util.row "scale %-14s %2dq   route=%-10s samples=%d   traces exact: yes" name
+    (Circuit.num_qubits c) (engine_name route) count;
+  Util.record ("perf/scale-" ^ name) ~seconds:dt ~domains:1 ()
+
+(* largest diagonal index of a (near-)basis density matrix *)
+let dm_argmax m =
+  let d = fst (Linalg.Cmat.dims m) in
+  let best = ref 0 in
+  for k = 1 to d - 1 do
+    if Linalg.Cx.re (Linalg.Cmat.get m k k) > Linalg.Cx.re (Linalg.Cmat.get m !best !best)
+    then best := k
+  done;
+  !best
+
+let check_diag_one ~tracepoint ~expected (s : Characterize.sample) =
+  let m = List.assoc tracepoint s.Characterize.traces in
+  let k = expected (dm_argmax (Util.dm_of_state s.Characterize.input_state)) in
+  if Float.abs (Linalg.Cx.re (Linalg.Cmat.get m k k) -. 1.) > 1e-9 then
+    failwith "scale: routed trace disagrees with the specification"
+
+let run_scale () =
+  Util.header "scale: auto-routed characterization past the dense wall";
+  let secret = 0b1 lor (0b1011 lsl 10) in
+  let key = 0b10 in
+  let cells = [ (1, 0.3); (5, 1.1) ] in
+  List.iter
+    (fun n ->
+      (* all-Clifford BV, tracepoint narrowed to the two low qubits *)
+      scale_case
+        ~name:(Printf.sprintf "bv-%dq" n)
+        ~route:`Stabilizer ~input_qubits:[ 0; 1 ]
+        ~check:
+          (check_diag_one ~tracepoint:1 ~expected:(fun b -> b lxor (secret land 3)))
+        (Benchmarks.Bv.circuit ~trace_qubits:[ 0; 1 ] ~secret n);
+      (* the lock's mcz is non-Clifford but diagonal: support bound 2 *)
+      let lock = Benchmarks.Quantum_lock.make ~key_tracepoint:false ~key (n - 1) in
+      scale_case
+        ~name:(Printf.sprintf "lock-%dq" n)
+        ~route:`Sparse ~input_qubits:[ 1; 2 ]
+        ~check:
+          (check_diag_one ~tracepoint:2 ~expected:(fun b ->
+               if b = key then 1 else 0))
+        lock.Benchmarks.Quantum_lock.circuit;
+      (* cell-list QRAM: two listed cells, the rest of the 2^(n-1)-entry
+         address space implicitly holds angle 0 *)
+      let qram = Benchmarks.Qram.make_cells ~addr_tracepoint:false ~cells (n - 1) in
+      scale_case
+        ~name:(Printf.sprintf "qram-%dq" n)
+        ~route:`Sparse ~input_qubits:[ 0; 1 ]
+        ~check:(fun s ->
+          let b = dm_argmax (Util.dm_of_state s.Characterize.input_state) in
+          let m = List.assoc 2 s.Characterize.traces in
+          let p1 = Linalg.Cx.re (Linalg.Cmat.get m 1 1) in
+          if Float.abs (p1 -. Benchmarks.Qram.expected_p1_cells qram b) > 1e-9
+          then failwith "scale: QRAM read disagrees with the cell table")
+        qram.Benchmarks.Qram.s_circuit)
+    [ 24; 28; 32 ];
+  (* near-Clifford: GHZ-24 with six T gates -> 2^6 stabilizer frames *)
+  let ghz_t =
+    let c = ref Circuit.(empty 24 |> h 0) in
+    for q = 0 to 22 do
+      c := Circuit.cx q (q + 1) !c
+    done;
+    List.iter (fun q -> c := Circuit.t_gate q !c) [ 3; 7; 11; 15; 19; 23 ];
+    Circuit.tracepoint 1 [ 22; 23 ] !c
+  in
+  scale_case ~name:"ghz-t6-24q" ~route:`Rank ~input_qubits:[ 0 ]
+    ~check:(fun s ->
+      (* traced pair of a phased GHZ state: exact half-half mixture *)
+      let m = List.assoc 1 s.Characterize.traces in
+      let ok =
+        Float.abs (Linalg.Cx.re (Linalg.Cmat.get m 0 0) -. 0.5) <= 1e-9
+        && Float.abs (Linalg.Cx.re (Linalg.Cmat.get m 3 3) -. 0.5) <= 1e-9
+      in
+      if not ok then failwith "scale: GHZ mixture trace disagrees")
+    ghz_t

@@ -27,6 +27,7 @@ let experiments =
     ("table6", "success rate + seconds vs Twist/Automa", Exp_table6.run);
     ("ablation", "alpha-recovery and PSD-projection ablations", Exp_ablation.run);
     ("perf", "multicore scaling + gate fusion (BENCH_results.json)", Exp_perf.run);
+    ("scale", "24-32q characterization past the dense wall", Exp_perf.run_scale);
     ("fuzz", "differential/metamorphic fuzz sweep (pass/fail counts)", Exp_fuzz.run);
   ]
 

@@ -269,6 +269,15 @@ let optimize_cmd file output =
 let characterization_seconds c =
   Sim.Cost.hardware_seconds (Sim.Cost.estimate_characterization c)
 
+(* simulation-class estimator handed to the MQ018 lint check, same
+   layering as above: the router lives in [Sim.Engine] *)
+let simulation_class c =
+  match Sim.Engine.sim_class c with
+  | Sim.Engine.Class_dense -> "dense"
+  | Sim.Engine.Class_sparse -> "sparse"
+  | Sim.Engine.Class_stabilizer -> "stabilizer"
+  | Sim.Engine.Class_rank k -> Printf.sprintf "stabilizer-rank 2^%d" k
+
 (* morphqpv profile: run the program through the pipeline's phases with
    observability forced on, then print the span-tree summary as a
    per-phase/per-kernel table. [--trace] dumps the spans as Chrome
@@ -386,15 +395,17 @@ let lint_cmd files strict quiet cost_threshold =
           prerr_endline msg;
           failed := true
       | diags ->
-          (* MQ017 needs the circuit (not just the source) and the
-             simulator's cost model, so it runs here rather than inside
-             [Lint.lint_file]; parse failures were already reported *)
+          (* MQ017/MQ018 need the circuit (not just the source) and the
+             simulator's cost model / engine router, so they run here
+             rather than inside [Lint.lint_file]; parse failures were
+             already reported *)
           let diags =
             diags
             @ (match Qasm.parse_file file with
               | c ->
                   Analysis.Lint.check_cost ~estimate:characterization_seconds
                     ?threshold:cost_threshold c
+                  @ Analysis.Lint.check_sim_class ~classify:simulation_class c
               | exception _ -> [])
           in
           List.iter

@@ -50,6 +50,29 @@ module Classify : sig
   (** Number of non-Clifford gates ([If_gate] bodies included). *)
   val non_clifford_count : Circuit.t -> int
 
+  (** Diagonal in the computational basis (any controls): z, s, sdg, t,
+      tdg, rz, p, u1, id. Never creates new basis states. *)
+  val gate_is_diagonal : Circuit.Gate.t -> bool
+
+  (** Permutes the computational basis up to phase: x, y (any controls)
+      and swap. Preserves the support size. *)
+  val gate_is_permutation : Circuit.Gate.t -> bool
+
+  (** Neither diagonal nor a permutation — may double the sparse support
+      on its targets. *)
+  val gate_is_branching : Circuit.Gate.t -> bool
+
+  (** [support_bound ?cap c] — upper bound (a power of two, saturated at
+      [cap]) on the occupied-basis-state count reachable from any single
+      basis input: [2^|B|] where [B] collects branching-gate targets,
+      controlled-x/y targets and swap operands. *)
+  val support_bound : ?cap:int -> Circuit.t -> int
+
+  (** Gates the stabilizer-rank engine can execute: Clifford gates, plus
+      uncontrolled single-qubit t, tdg, p, u1, rz, rx, ry, sx, sy (each
+      splits into two weighted Clifford branches). *)
+  val gate_rank_decomposable : Circuit.Gate.t -> bool
+
   (** [circuit ?cutoff c] classifies the whole circuit; [Near_clifford k]
       for [0 < k <= cutoff] (default 8) non-Clifford gates. *)
   val circuit : ?cutoff:int -> Circuit.t -> t
@@ -110,6 +133,25 @@ module Lint : sig
       [MORPHQPV_LINT_COST_THRESHOLD] environment variable when set to a
       positive float, else 1.0. *)
   val cost_threshold : unit -> float
+
+  (** [check_sim_class ~classify ?threshold c] emits MQ018: an Info
+      diagnostic reporting [classify c] (the simulation class the
+      engine auto-router would estimate — ["dense"], ["sparse"],
+      ["stabilizer"] or ["stabilizer-rank 2^k"]), plus a Warning when
+      the class is ["dense"] and the register exceeds [threshold]
+      qubits (default {!dense_qubit_threshold}). Like {!check_cost},
+      [classify] is a callback because the routing logic lives above
+      this layer (the CLI passes [Sim.Engine.sim_class]). *)
+  val check_sim_class :
+    classify:(Circuit.t -> string) ->
+    ?threshold:int ->
+    Circuit.t ->
+    diagnostic list
+
+  (** Default MQ018 dense-warning threshold in qubits: the
+      [MORPHQPV_LINT_DENSE_QUBITS] environment variable when set to a
+      positive integer, else 20. *)
+  val dense_qubit_threshold : unit -> int
 
   (** [lint_qasm src] parses and checks QASM text; syntax errors (MQ000)
       and construction errors (MQ001-MQ003, MQ013-MQ016) are returned as

@@ -30,6 +30,78 @@ let non_clifford_count c =
           acc)
     0 (Circuit.instrs c)
 
+(* --- gate taxonomy for the sparse-simulation support bound ----------- *)
+
+(* diagonal in the computational basis (any number of controls keeps a
+   diagonal gate diagonal): never creates new basis states *)
+let gate_is_diagonal (g : Circuit.Gate.t) =
+  match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
+  | ("z" | "s" | "sdg" | "t" | "tdg" | "rz" | "p" | "u1" | "id"), [ _ ] -> true
+  | _ -> false
+
+(* permutes (up to phase) the computational basis: maps each occupied
+   basis state to exactly one basis state, so the support size is
+   preserved. x/y with any controls; swap. *)
+let gate_is_permutation (g : Circuit.Gate.t) =
+  match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
+  | ("x" | "y"), [ _ ] -> true
+  | "swap", [ _; _ ] -> true
+  | _ -> false
+
+(* everything else branches: may double the support on its target *)
+let gate_is_branching g =
+  not (gate_is_diagonal g || gate_is_permutation g)
+
+(* [support_bound c] — upper bound on the number of occupied basis states
+   reachable from any single basis input, as a saturated power of two.
+
+   Let B be the union of (a) targets of branching gates, (b) targets of
+   *controlled* x/y gates, and (c) operands of swap gates. Outside B,
+   every qubit holds the same classical bit across all members of the
+   support (diagonal gates never change bits; an uncontrolled x/y flips
+   the shared bit uniformly), so the support is confined to the 2^|B|
+   subcube — by induction over the instruction list. Controlled
+   permutations and swaps can make a target's bit input-state-dependent,
+   hence their inclusion in B.
+
+   This is exactly 2^(s+1) for Bernstein-Vazirani with an s-bit secret
+   and 2 for the lock/QRAM families. Saturates at [cap] (and at 2^n). *)
+let support_bound ?(cap = max_int) c =
+  let n = Circuit.num_qubits c in
+  let marked = Array.make (max n 1) false in
+  let mark q = if q >= 0 && q < n then marked.(q) <- true in
+  let consider (g : Circuit.Gate.t) =
+    if gate_is_branching g then List.iter mark g.Circuit.Gate.targets
+    else
+      match (g.Circuit.Gate.name, g.Circuit.Gate.controls) with
+      | ("x" | "y"), _ :: _ -> List.iter mark g.Circuit.Gate.targets
+      | "swap", _ -> List.iter mark g.Circuit.Gate.targets
+      | _ -> ()
+  in
+  List.iter
+    (function
+      | Circuit.Instr.Gate g | Circuit.Instr.If_gate { gate = g; _ } ->
+          consider g
+      | Circuit.Instr.Tracepoint _ | Circuit.Instr.Measure _
+      | Circuit.Instr.Reset _ | Circuit.Instr.Barrier _ ->
+          ())
+    (Circuit.instrs c);
+  let b = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 marked in
+  let b = min b (min n 61) in
+  if b >= 61 then cap else min cap (1 lsl b)
+
+(* gates the sum-over-stabilizers engine can split into two weighted
+   Clifford branches: Clifford gates pass through; an uncontrolled
+   single-target rotation about a Pauli axis splits as alpha*I + beta*P *)
+let gate_rank_decomposable (g : Circuit.Gate.t) =
+  gate_is_clifford g
+  ||
+  match (g.Circuit.Gate.name, g.Circuit.Gate.controls, g.Circuit.Gate.targets)
+  with
+  | ("t" | "tdg" | "p" | "u1" | "rz" | "rx" | "ry" | "sx" | "sy"), [], [ _ ] ->
+      true
+  | _ -> false
+
 let of_count ~cutoff k =
   if k = 0 then Clifford
   else if k <= cutoff then Near_clifford k

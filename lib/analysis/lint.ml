@@ -36,6 +36,7 @@ let codes =
     ("MQ015", Error, "unknown or malformed gate");
     ("MQ016", Error, "invalid register declaration");
     ("MQ017", Warning, "estimated characterization cost exceeds threshold");
+    ("MQ018", Info, "estimated simulation class");
   ]
 
 let severity_of_code code =
@@ -258,6 +259,55 @@ let check_cost ~estimate ?threshold c =
       };
     ]
   else []
+
+(* MQ018: which simulation engine the auto-router would pick. The class
+   itself is Info (it never fails [--strict]); a program that only the
+   dense engine can simulate becomes a Warning once the register is wide
+   enough that one pass allocates a prohibitive 2^n amplitudes. Like
+   MQ017, [classify] is a callback because the routing logic lives in
+   [Sim.Engine.sim_class], above this layer — the CLI wires it in. *)
+let default_dense_qubit_threshold = 20
+
+let dense_qubit_threshold () =
+  match Sys.getenv_opt "MORPHQPV_LINT_DENSE_QUBITS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some t when t > 0 -> t
+      | _ -> default_dense_qubit_threshold)
+  | None -> default_dense_qubit_threshold
+
+let check_sim_class ~classify ?threshold c =
+  let threshold =
+    match threshold with Some t -> t | None -> dense_qubit_threshold ()
+  in
+  let cls = classify c in
+  let info =
+    {
+      severity = Info;
+      code = "MQ018";
+      message = Printf.sprintf "estimated simulation class: %s" cls;
+      loc = None;
+      instr = None;
+    }
+  in
+  let n = Circuit.num_qubits c in
+  if cls = "dense" && n > threshold then
+    [
+      info;
+      {
+        severity = Warning;
+        code = "MQ018";
+        message =
+          Printf.sprintf
+            "program is dense-only at %d qubits (threshold %d): every \
+             simulation pass touches 2^%d amplitudes and no sparse or \
+             stabilizer route applies (tune with MORPHQPV_LINT_DENSE_QUBITS)"
+            n threshold n;
+        loc = None;
+        instr = None;
+      };
+    ]
+  else [ info ]
 
 (* lint QASM text: parse errors and construction errors become located
    diagnostics instead of exceptions *)

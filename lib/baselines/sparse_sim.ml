@@ -1,97 +1,44 @@
+(* Thin wrapper over [Sim.Sparse] — the engine owns the single sparse
+   kernel implementation; this module keeps the automata baseline's
+   original functional interface (apply_gate returns a new state). *)
+
 open Linalg
 
-type t = { n : int; amps : (int, Cx.t) Hashtbl.t }
+type t = Sim.Sparse.t
 
-let cutoff = 1e-12
-
-let basis n k =
-  let amps = Hashtbl.create 16 in
-  Hashtbl.replace amps k Cx.one;
-  { n; amps }
-
-let num_qubits t = t.n
-
-let support t =
-  Hashtbl.fold (fun _ a acc -> if Cx.norm2 a > cutoff then acc + 1 else acc) t.amps 0
-
-let add_amp amps k z =
-  let cur = Option.value ~default:Cx.zero (Hashtbl.find_opt amps k) in
-  let v = Cx.add cur z in
-  if Cx.norm2 v <= cutoff then Hashtbl.remove amps k else Hashtbl.replace amps k v
-
-let apply1_sparse u q t =
-  let out = Hashtbl.create (Hashtbl.length t.amps * 2) in
-  let bit = 1 lsl q in
-  Hashtbl.iter
-    (fun k a ->
-      let b = (k lsr q) land 1 in
-      let base = k land lnot bit in
-      (* column b of u spreads amplitude a to rows 0 and 1 *)
-      let u0b = Cmat.get u 0 b and u1b = Cmat.get u 1 b in
-      if Cx.norm2 u0b > cutoff then add_amp out base (Cx.mul u0b a);
-      if Cx.norm2 u1b > cutoff then add_amp out (base lor bit) (Cx.mul u1b a))
-    t.amps;
-  { t with amps = out }
-
-let apply_controlled_sparse ~controls u q t =
-  let cmask = List.fold_left (fun m c -> m lor (1 lsl c)) 0 controls in
-  let out = Hashtbl.create (Hashtbl.length t.amps * 2) in
-  let bit = 1 lsl q in
-  Hashtbl.iter
-    (fun k a ->
-      if k land cmask <> cmask then add_amp out k a
-      else begin
-        let b = (k lsr q) land 1 in
-        let base = k land lnot bit in
-        let u0b = Cmat.get u 0 b and u1b = Cmat.get u 1 b in
-        if Cx.norm2 u0b > cutoff then add_amp out base (Cx.mul u0b a);
-        if Cx.norm2 u1b > cutoff then add_amp out (base lor bit) (Cx.mul u1b a)
-      end)
-    t.amps;
-  { t with amps = out }
+let basis = Sim.Sparse.basis
+let num_qubits = Sim.Sparse.num_qubits
+let support = Sim.Sparse.support
 
 let apply_gate (g : Circuit.Gate.t) t =
-  match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
-  | "swap", [ a; b ] ->
-      let ba = 1 lsl a and bb = 1 lsl b in
-      let out = Hashtbl.create (Hashtbl.length t.amps) in
-      Hashtbl.iter
-        (fun k amp ->
-          let va = (k lsr a) land 1 and vb = (k lsr b) land 1 in
-          let k' = k land lnot ba land lnot bb lor (vb lsl a) lor (va lsl b) in
-          add_amp out k' amp)
-        t.amps;
-      { t with amps = out }
-  | name, [ tgt ] ->
-      let u = Qstate.Gates.by_name name g.Circuit.Gate.params in
-      if g.Circuit.Gate.controls = [] then apply1_sparse u tgt t
-      else apply_controlled_sparse ~controls:g.Circuit.Gate.controls u tgt t
-  | _ -> invalid_arg "Sparse_sim: malformed gate"
+  let t = Sim.Sparse.copy t in
+  Sim.Sparse.apply_gate g t;
+  t
 
 let run c ~input =
   let t = ref (basis (Circuit.num_qubits c) input) in
   List.iter
     (fun instr ->
       match instr with
-      | Circuit.Instr.Gate g -> t := apply_gate g !t
+      | Circuit.Instr.Gate g -> Sim.Sparse.apply_gate g !t
       | Circuit.Instr.Tracepoint _ | Circuit.Instr.Barrier _ -> ()
       | _ -> invalid_arg "Sparse_sim.run: non-unitary instruction")
     (Circuit.instrs c);
   !t
 
-let amplitude t k = Option.value ~default:Cx.zero (Hashtbl.find_opt t.amps k)
+let amplitude = Sim.Sparse.amplitude
 
 let equal ?(eps = 1e-9) a b =
-  a.n = b.n
+  num_qubits a = num_qubits b
   &&
   (* find the global-phase factor from the largest amplitude of a *)
   let best = ref None in
-  Hashtbl.iter
-    (fun k v ->
+  List.iter
+    (fun (k, v) ->
       match !best with
       | Some (_, bv) when Cx.norm2 bv >= Cx.norm2 v -> ()
       | _ -> best := Some (k, v))
-    a.amps;
+    (Sim.Sparse.entries a);
   match !best with
   | None -> support b = 0
   | Some (k, va) ->
@@ -100,21 +47,17 @@ let equal ?(eps = 1e-9) a b =
       else begin
         let phase = Cx.div va vb in
         let ok = ref (Float.abs (Cx.norm phase -. 1.) < 1e-6) in
-        Hashtbl.iter
-          (fun k va ->
+        List.iter
+          (fun (k, va) ->
             if not (Cx.equal ~eps va (Cx.mul phase (amplitude b k))) then
               ok := false)
-          a.amps;
-        Hashtbl.iter
-          (fun k vb ->
+          (Sim.Sparse.entries a);
+        List.iter
+          (fun (k, vb) ->
             if not (Cx.equal ~eps (amplitude a k) (Cx.mul phase vb)) then
               ok := false)
-          b.amps;
+          (Sim.Sparse.entries b);
         !ok
       end
 
-let to_statevec t =
-  let st = Qstate.Statevec.zero t.n in
-  Qstate.Statevec.set_amplitude st 0 Cx.zero;
-  Hashtbl.iter (fun k v -> Qstate.Statevec.set_amplitude st k v) t.amps;
-  st
+let to_statevec = Sim.Sparse.to_statevec

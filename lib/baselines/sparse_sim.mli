@@ -1,8 +1,9 @@
-(** Sparse state-vector simulation: amplitudes kept in a hash table keyed by
-    basis index. Exact, and fast while the support stays small — the
-    substrate for the automata-style equivalence baseline, whose cost
-    profile (cheap on structured circuits, exponential blow-up on dense
-    superpositions) it reproduces. *)
+(** Sparse state-vector simulation — a thin functional wrapper over the
+    engine's [Sim.Sparse] (one shared kernel implementation). Exact, and
+    fast while the support stays small — the substrate for the
+    automata-style equivalence baseline, whose cost profile (cheap on
+    structured circuits, exponential blow-up on dense superpositions) it
+    reproduces. *)
 
 type t
 

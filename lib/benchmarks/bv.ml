@@ -1,6 +1,17 @@
-let circuit ~secret n =
-  if n <= 0 then invalid_arg "Bv.circuit: bad size";
-  if secret < 0 || secret >= 1 lsl n then invalid_arg "Bv.circuit: bad secret";
+let circuit ?trace_qubits ~secret n =
+  if n <= 0 || n > 61 then invalid_arg "Bv.circuit: bad size";
+  if secret < 0 || (n < 61 && secret >= 1 lsl n) then
+    invalid_arg "Bv.circuit: bad secret";
+  let trace_qubits =
+    match trace_qubits with
+    | None -> List.init n (fun q -> q)
+    | Some qs ->
+        List.iter
+          (fun q ->
+            if q < 0 || q >= n then invalid_arg "Bv.circuit: bad trace qubit")
+          qs;
+        qs
+  in
   let anc = n in
   let c = ref (Circuit.empty (n + 1)) in
   c := Circuit.x anc !c;
@@ -14,7 +25,7 @@ let circuit ~secret n =
   for q = 0 to n - 1 do
     c := Circuit.h q !c
   done;
-  c := Circuit.tracepoint 1 (List.init n (fun q -> q)) !c;
+  c := Circuit.tracepoint 1 trace_qubits !c;
   !c
 
 let recover ~secret n =

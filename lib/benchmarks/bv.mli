@@ -2,9 +2,14 @@
     (one of the phase-kickback applications the paper motivates the quantum
     lock with). Layout: qubits [0..n-1] input, qubit [n] ancilla. *)
 
-(** [circuit ~secret n] builds the algorithm for an [n]-bit secret. The
-    final state of the input register is [|secret>]. *)
-val circuit : secret:int -> int -> Circuit.t
+(** [circuit ?trace_qubits ~secret n] builds the algorithm for an [n]-bit
+    secret. The final state of the input register is [|secret>].
+    [trace_qubits] (default the whole input register) narrows the final
+    tracepoint — at large [n] a narrow tracepoint keeps the program on
+    the sparse simulation route (the lightcone prunes untraced
+    spectators, and tomography on the full register would be
+    intractable anyway). *)
+val circuit : ?trace_qubits:int list -> secret:int -> int -> Circuit.t
 
 (** [recover ~secret n] runs the circuit and reads the most likely
     bitstring. *)

@@ -41,6 +41,50 @@ let make ?corrupt ?(midpoint_tracepoint = false) ~table a =
   let c = Circuit.tracepoint 2 [ data_qubit ] !c in
   { circuit = c; addr_qubits; data_qubit; table; corrupted = corrupt }
 
+(* Sparse constructor: only the listed cells are materialized as
+   multi-controlled rotations (unlisted addresses read angle 0, i.e. the
+   data qubit stays |0>), and the 2^a-entry table never exists — so an
+   address register far past the dense wall is representable. Each cell
+   costs O(a) gates regardless of the register width, and with the
+   address tracepoint off the whole program stays on the sparse
+   simulation route. *)
+type sparse = {
+  s_circuit : Circuit.t;
+  s_addr_qubits : int list;
+  s_data_qubit : int;
+  cells : (int * float) list;
+}
+
+let make_cells ?(addr_tracepoint = true) ~cells a =
+  if a <= 0 || a > 60 then invalid_arg "Qram.make_cells: bad address size";
+  let d = if a < 61 then 1 lsl a else max_int in
+  List.iter
+    (fun (addr, _) ->
+      if addr < 0 || addr >= d then
+        invalid_arg "Qram.make_cells: cell address out of range")
+    cells;
+  let sorted = List.sort_uniq (fun (a, _) (b, _) -> compare a b) cells in
+  if List.length sorted <> List.length cells then
+    invalid_arg "Qram.make_cells: duplicate cell address";
+  let addr_qubits = List.init a (fun i -> i) in
+  let data_qubit = a in
+  let c = Circuit.empty (a + 1) in
+  let c = if addr_tracepoint then Circuit.tracepoint 1 addr_qubits c else c in
+  let c =
+    List.fold_left
+      (fun c (addr, theta) -> cell ~addr_qubits ~data_qubit ~addr ~theta c)
+      c cells
+  in
+  let c = Circuit.tracepoint 2 [ data_qubit ] c in
+  { s_circuit = c; s_addr_qubits = addr_qubits; s_data_qubit = data_qubit; cells }
+
+let cell_angle t addr =
+  match List.assoc_opt addr t.cells with Some theta -> theta | None -> 0.
+
+let expected_p1_cells t addr =
+  let s = sin (cell_angle t addr) in
+  s *. s
+
 let read t addr =
   let n = Circuit.num_qubits t.circuit in
   let initial = Qstate.Statevec.basis n addr in

@@ -25,6 +25,30 @@ type t = {
 val make :
   ?corrupt:int * float -> ?midpoint_tracepoint:bool -> table:float array -> int -> t
 
+(** A QRAM built from an explicit cell list — unlisted addresses hold
+    angle 0 and the dense [2^a] table never exists, so the address
+    register can be far wider than any dense simulation could hold. *)
+type sparse = {
+  s_circuit : Circuit.t;
+  s_addr_qubits : int list;
+  s_data_qubit : int;
+  cells : (int * float) list;  (** (address, angle), unique addresses *)
+}
+
+(** [make_cells ?addr_tracepoint ~cells a] builds the sparse QRAM over
+    [a] address qubits; only the listed cells are materialized.
+    [addr_tracepoint] (default [true]) emits tracepoint 1 over the whole
+    address register — turn it off at large [a] to stay on the sparse
+    simulation route. Tracepoint 2 labels the data output. *)
+val make_cells :
+  ?addr_tracepoint:bool -> cells:(int * float) list -> int -> sparse
+
+(** [cell_angle t addr] is the stored angle ([0.] when unlisted). *)
+val cell_angle : sparse -> int -> float
+
+(** [expected_p1_cells t addr] is [sin^2 (cell_angle t addr)]. *)
+val expected_p1_cells : sparse -> int -> float
+
 (** [read t addr] runs the QRAM with basis address [addr] and returns the
     Bloch-angle estimate of the data qubit [(p1 -> angle)] as the probability
     of reading 1, which should be [sin^2 theta_addr]. *)

@@ -18,9 +18,10 @@ let accept_block ~key_qubits ~probe ~key c =
   in
   c |> flip |> Circuit.mcz (key_qubits @ [ probe ]) |> flip
 
-let make ?unexpected_key ~key k =
-  if k <= 0 then invalid_arg "Quantum_lock.make: need at least one key qubit";
-  let d = 1 lsl k in
+let make ?unexpected_key ?(key_tracepoint = true) ~key k =
+  if k <= 0 || k > 60 then
+    invalid_arg "Quantum_lock.make: need at least one key qubit";
+  let d = if k < 61 then 1 lsl k else max_int in
   if key < 0 || key >= d then invalid_arg "Quantum_lock.make: key out of range";
   (match unexpected_key with
   | Some u when u < 0 || u >= d || u = key ->
@@ -29,7 +30,7 @@ let make ?unexpected_key ~key k =
   let probe = 0 in
   let key_qubits = List.init k (fun i -> i + 1) in
   let c = Circuit.empty (k + 1) in
-  let c = Circuit.tracepoint 1 key_qubits c in
+  let c = if key_tracepoint then Circuit.tracepoint 1 key_qubits c else c in
   let c = Circuit.h probe c in
   let c = accept_block ~key_qubits ~probe ~key c in
   let c =

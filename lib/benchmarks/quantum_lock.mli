@@ -15,10 +15,12 @@ type t = {
   unexpected_key : int option;  (** the planted bug, if any *)
 }
 
-(** [make ?unexpected_key ~key k] builds a lock over [k] key qubits. Both
-    keys must be in [[0, 2^k)]. Tracepoint 1 labels the key input, tracepoint
-    2 the probe output. *)
-val make : ?unexpected_key:int -> key:int -> int -> t
+(** [make ?unexpected_key ?key_tracepoint ~key k] builds a lock over [k]
+    key qubits. Both keys must be in [[0, 2^k)]. Tracepoint 1 labels the
+    key input (omitted when [key_tracepoint] is [false] — at large [k] a
+    [k]-wide tracepoint would force dense tomography and block the
+    sparse simulation route), tracepoint 2 the probe output. *)
+val make : ?unexpected_key:int -> ?key_tracepoint:bool -> key:int -> int -> t
 
 (** [accepts t input] runs the lock on basis input [input] and reports the
     probability that the probe reads 1. *)

@@ -128,20 +128,25 @@ let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
       Array.init n (fun i -> average_traces t (Array.sub per_col (i * t) t))
     end
   in
-  (* Stabilizer auto-routing: with basis-state inputs on an ideal,
-     deterministic, all-Clifford program whose tracepoint lightcones are
-     narrow (Sim.Engine.stabilizer_applicable), each sample is a tableau
-     run restricted to each cone instead of a full state-vector pass. The
-     decision is purely static — never a function of sampled values — so
-     programs outside the condition take exactly the code path (and
-     generator streams) they did before this routing existed. Basis inputs
-     embed to exact one-hot amplitudes, so recovering the preparation
-     index below is exact. *)
-  let stabilizer_route =
-    (match engine with `Auto -> true | `Batched | `Sequential -> false)
-    && Option.is_none inputs
-    && kind = Clifford.Sampling.Basis && ideal
-    && Sim.Engine.stabilizer_applicable program.Program.circuit
+  (* Scalable-engine auto-routing: with basis-state inputs on an ideal
+     program, [Sim.Engine.auto_route] may send each sample to the
+     stabilizer tableau (Clifford programs), the sparse coordinate
+     engine (provably low-occupancy programs) or the sum-over-
+     stabilizers engine (near-Clifford programs) — each a lightcone-
+     restricted run per tracepoint instead of a full state-vector pass.
+     The decision is purely static — never a function of sampled
+     values — so programs outside the condition take exactly the code
+     path (and generator streams) they did before the routing existed.
+     Basis inputs are exact one-hot amplitudes, so recovering the
+     preparation index below is exact — and sidesteps [Program.embed]'s
+     dense allocation, which cannot exist at 28+ qubits. *)
+  let route =
+    if
+      (match engine with `Auto -> true | `Batched | `Sequential -> false)
+      && Option.is_none inputs
+      && kind = Clifford.Sampling.Basis && ideal
+    then Sim.Engine.auto_route program.Program.circuit
+    else None
   in
   let basis_index st =
     let d = Qstate.Statevec.dim st in
@@ -156,8 +161,22 @@ let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
     in
     go 0 None
   in
+  (* full-register preparation index for a one-hot [k]-qubit input:
+     bit [j] of the input index sits on [input_qubits.(j)], exactly as
+     [Program.embed] would place it *)
+  let route_prep st =
+    match basis_index st with
+    | None -> None
+    | Some a ->
+        Some
+          (List.fold_left
+             (fun (acc, j) q ->
+               ((if (a lsr j) land 1 = 1 then acc lor (1 lsl q) else acc), j + 1))
+             (0, 0) program.Program.input_qubits
+          |> fst)
+  in
   let batched_traces =
-    if batched && not stabilizer_route then Some (batch_traces ()) else None
+    if batched && route = None then Some (batch_traces ()) else None
   in
   let samples =
     Parallel.Pool.map_init pool n (fun i ->
@@ -165,21 +184,24 @@ let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
         let rng = rngs.(i) in
         let sample_cost = Sim.Cost.create () in
         let input_state = inputs_arr.(i) in
-        let stabilizer_prep =
-          if stabilizer_route then
-            basis_index (Program.embed program input_state)
-          else None
+        let prep =
+          match route with Some _ -> route_prep input_state | None -> None
         in
         let traces =
-          match (stabilizer_prep, batched_traces) with
-          | Some prep, _ ->
+          match (route, prep, batched_traces) with
+          | Some engine, Some prep, _ ->
               let v = Qstate.Statevec.to_cvec input_state in
+              let circuit = program.Program.circuit in
               (0, Cmat.outer v v)
-              :: Sim.Engine.stabilizer_traces ~prep program.Program.circuit
-          | None, Some all ->
+              ::
+              (match engine with
+              | `Stabilizer -> Sim.Engine.stabilizer_traces ~prep circuit
+              | `Sparse -> Sim.Engine.sparse_traces ~prep circuit
+              | `Rank -> Sim.Engine.rank_traces ~prep circuit)
+          | _, _, Some all ->
               let v = Qstate.Statevec.to_cvec input_state in
               (0, Cmat.outer v v) :: all.(i)
-          | None, None ->
+          | _, _, None ->
               Program.run_traces ~pool ?noise ?trajectories ~rng program
                 ~input:input_state
         in

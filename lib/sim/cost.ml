@@ -85,6 +85,41 @@ let estimate_characterization ?(shots = 256) c =
     (Circuit.instrs c);
   t
 
+(* --- static simulation-cost estimators (floats: immune to overflow) --- *)
+
+(* amplitude-updates of one dense statevector pass: 2^n per gate, plus
+   one 2^n allocation/initialization *)
+let dense_sim_ops c =
+  let n = Circuit.num_qubits c in
+  float_of_int (Circuit.gate_count c + 1) *. Float.ldexp 1. n
+
+(* per-tracepoint cone runs on the sparse engine: the static support
+   bound times the cone's gate count (the engine touches only occupied
+   pairs, so the bound is also a per-gate work bound) *)
+let sparse_sim_ops c =
+  List.fold_left
+    (fun acc cone ->
+      let sub, _ = Analysis.Lightcone.restrict c cone in
+      let bound = Analysis.Classify.support_bound ~cap:(1 lsl 30) sub in
+      acc
+      +. (float_of_int bound *. float_of_int (Circuit.gate_count sub + 1)))
+    0. (Analysis.Lightcone.cones c)
+
+(* per-tracepoint cone runs on the stabilizer-rank engine: 2^k Pauli
+   frames, each Clifford gate costs an O(n^2)-ish tableau update plus a
+   per-frame conjugation *)
+let rank_sim_ops c =
+  List.fold_left
+    (fun acc cone ->
+      let sub, _ = Analysis.Lightcone.restrict c cone in
+      let n = Circuit.num_qubits sub in
+      let k = min 30 (Analysis.Classify.non_clifford_count sub) in
+      acc
+      +. Float.ldexp 1. k
+         *. float_of_int (Circuit.gate_count sub + 1)
+         *. float_of_int (n * n))
+    0. (Analysis.Lightcone.cones c)
+
 let hardware_seconds t =
   (60e-9 *. float_of_int t.one_qubit_gates)
   +. (340e-9 *. float_of_int t.two_qubit_gates)

@@ -36,6 +36,20 @@ val add : t -> t -> unit
     diagnostic's cost threshold. *)
 val estimate_characterization : ?shots:int -> Circuit.t -> t
 
+(** [dense_sim_ops c] — amplitude updates of one dense statevector run:
+    [2^n * (gates + 1)], as a float (no overflow at any width). *)
+val dense_sim_ops : Circuit.t -> float
+
+(** [sparse_sim_ops c] — per-tracepoint lightcone runs on the sparse
+    engine: [Analysis.Classify.support_bound] of each cone times its
+    gate count. *)
+val sparse_sim_ops : Circuit.t -> float
+
+(** [rank_sim_ops c] — per-tracepoint lightcone runs on the
+    stabilizer-rank engine: [2^k] Pauli frames ([k] non-Clifford gates
+    in the cone) times gates times [n^2] tableau work. *)
+val rank_sim_ops : Circuit.t -> float
+
 (** [hardware_seconds t] estimates device wall-clock from the paper's quoted
     IBMQ timings. *)
 val hardware_seconds : t -> float

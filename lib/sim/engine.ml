@@ -164,6 +164,10 @@ let stabilizer_traces ?(prep = 0) ?meter c =
   if Obs.enabled () then
     Obs.Metrics.counter_add "stabilizer_routed_total"
       (List.length (Analysis.Lightcone.cones c));
+  if Obs.enabled () then
+    Obs.Metrics.counter_add
+      ~labels:[ ("engine", "stabilizer") ]
+      "sim_engine_routed_total" 1;
   List.map
     (fun cone ->
       let sub, qubits = Analysis.Lightcone.restrict c cone in
@@ -188,24 +192,223 @@ let stabilizer_traces ?(prep = 0) ?meter c =
       (cone.Analysis.Lightcone.id, Qstate.Density.mat reduced))
     (Analysis.Lightcone.cones c)
 
+(* ------------------ sparse & stabilizer-rank routing ------------------ *)
+
+(* caps on what the static router will send to the sparse engine: the
+   per-cone support bound (memory and per-gate work) and the tracepoint
+   width (a [2^tp x 2^tp] reduced density per tracepoint) *)
+let sparse_support_cap = 1 lsl 16
+let sparse_tp_cap = 8
+
+(* caps for the stabilizer-rank engine: non-Clifford gates per cone
+   (2^k Pauli frames, and every tracepoint costs O(4^tp * 4^k) tableau
+   expectations), tracepoint width, and the bitmask-bound cone width *)
+let rank_cutoff = 8
+let rank_tp_cap = 4
+let rank_cone_cap = 62
+
+let cone_tp_width c cone =
+  match
+    List.find_opt
+      (fun (id, _) -> id = cone.Analysis.Lightcone.id)
+      (Circuit.tracepoints c)
+  with
+  | Some (_, qs) -> List.length qs
+  | None -> List.length cone.Analysis.Lightcone.qubits
+
+(* [sparse_applicable c] — every tracepoint of [c] is computable on the
+   sparse engine within the caps: no measurement/reset/feedback (so one
+   pass is exact), gates the sparse kernels dispatch, and every
+   tracepoint cone's static support bound within [support_cap]. Purely
+   static, like {!stabilizer_applicable}. *)
+let sparse_applicable ?(support_cap = sparse_support_cap)
+    ?(tp_cap = sparse_tp_cap) c =
+  is_deterministic c
+  && List.for_all
+       (function
+         | Circuit.Instr.Gate g | Circuit.Instr.If_gate { gate = g; _ } -> (
+             match (g.Circuit.Gate.name, g.Circuit.Gate.targets) with
+             | "swap", [ _; _ ] -> g.Circuit.Gate.controls = []
+             | _, [ _ ] -> true
+             | _ -> false)
+         | _ -> true)
+       (Circuit.instrs c)
+  && List.for_all
+       (fun cone ->
+         cone_tp_width c cone <= tp_cap
+         &&
+         let sub, _ = Analysis.Lightcone.restrict c cone in
+         Analysis.Classify.support_bound ~cap:(support_cap + 1) sub
+         <= support_cap)
+       (Analysis.Lightcone.cones c)
+
+(* [rank_applicable c] — every gate splits into at most two Clifford
+   branches and every tracepoint cone stays within the frame and width
+   caps. *)
+let rank_applicable ?(cutoff = rank_cutoff) ?(tp_cap = rank_tp_cap) c =
+  is_deterministic c
+  && List.for_all
+       (function
+         | Circuit.Instr.Gate g | Circuit.Instr.If_gate { gate = g; _ } ->
+             Analysis.Classify.gate_rank_decomposable g
+         | _ -> true)
+       (Circuit.instrs c)
+  && List.for_all
+       (fun cone ->
+         List.length cone.Analysis.Lightcone.qubits <= rank_cone_cap
+         && cone_tp_width c cone <= tp_cap
+         &&
+         let sub, _ = Analysis.Lightcone.restrict c cone in
+         Analysis.Classify.non_clifford_count sub <= cutoff)
+       (Analysis.Lightcone.cones c)
+
+(* Dense-amplitude wall: [`Auto] considers the scalable engines only
+   when one dense pass would exceed this many amplitude updates
+   (default 2^22 — a few-ms dense run). A ref, like
+   [Statevec.parallel_threshold], so tests can force routing on small
+   circuits. *)
+let dense_amp_wall = ref (Float.ldexp 1. 22)
+
+let count_routed engine =
+  if Obs.enabled () then
+    Obs.Metrics.counter_add
+      ~labels:[ ("engine", engine) ]
+      "sim_engine_routed_total" 1
+
+(* The static routing decision for ideal, [|0...0>]-started programs:
+   Clifford programs keep the PR 4 stabilizer route; otherwise nothing
+   is routed below the dense wall (dense is exact and fast there), and
+   above it the sparse engine is preferred when its static cost model
+   wins by 4x (sparse entries cost a few dense amplitude updates each),
+   with the stabilizer-rank engine as the near-Clifford fallback. *)
+let auto_route c =
+  if stabilizer_applicable c then Some `Stabilizer
+  else begin
+    let dense = Cost.dense_sim_ops c in
+    if dense <= !dense_amp_wall then None
+    else if sparse_applicable c && 4. *. Cost.sparse_sim_ops c <= dense then
+      Some `Sparse
+    else if rank_applicable c && Cost.rank_sim_ops c <= dense then Some `Rank
+    else None
+  end
+
+(* estimated simulation class, for diagnostics (MQ018): the routing
+   preference order without the dense wall *)
+type sim_class = Class_dense | Class_sparse | Class_stabilizer | Class_rank of int
+
+let sim_class c =
+  if stabilizer_applicable c then Class_stabilizer
+  else if sparse_applicable c then Class_sparse
+  else if rank_applicable c then
+    Class_rank (Analysis.Classify.non_clifford_count c)
+  else Class_dense
+
+(* local prep index for a cone: bit [local] set when the cone's
+   [global] qubit is set in [prep] *)
+let local_prep prep qubits =
+  List.fold_left
+    (fun (acc, local) global ->
+      ((if (prep lsr global) land 1 = 1 then acc lor (1 lsl local) else acc),
+       local + 1))
+    (0, 0) qubits
+  |> fst
+
+(* [sparse_traces ?prep c] — every tracepoint's reduced density on the
+   sparse engine, one lightcone-restricted pass per tracepoint from the
+   basis state [prep]. Only valid when [sparse_applicable c]. *)
+let sparse_traces ?(prep = 0) ?meter c =
+  Obs.Span.with_ ~name:"engine.sparse_traces" @@ fun () ->
+  (match meter with
+  | Some m -> Cost.record_circuit m c ~shots:1
+  | None -> ());
+  count_routed "sparse";
+  List.map
+    (fun cone ->
+      let sub, qubits = Analysis.Lightcone.restrict c cone in
+      let st = Sparse.basis (Circuit.num_qubits sub) (local_prep prep qubits) in
+      let peak = ref 1 in
+      let tp_qubits = ref [] in
+      List.iter
+        (function
+          | Circuit.Instr.Gate g ->
+              Sparse.apply_gate g st;
+              peak := max !peak (Sparse.support st)
+          | Circuit.Instr.Tracepoint { qubits; _ } -> tp_qubits := qubits
+          | Circuit.Instr.Barrier _ -> ()
+          | _ -> invalid_arg "Engine.sparse_traces: non-deterministic program")
+        (Circuit.instrs sub);
+      if Obs.enabled () then
+        Obs.Metrics.counter_add "sparse_amps_peak_total" !peak;
+      (cone.Analysis.Lightcone.id, Sparse.reduced_density st !tp_qubits))
+    (Analysis.Lightcone.cones c)
+
+(* [rank_traces ?prep c] — every tracepoint's reduced density on the
+   sum-over-stabilizers engine, exact for near-Clifford cones. Only
+   valid when [rank_applicable c]. *)
+let rank_traces ?(prep = 0) ?meter c =
+  Obs.Span.with_ ~name:"engine.rank_traces" @@ fun () ->
+  (match meter with
+  | Some m -> Cost.record_circuit m c ~shots:1
+  | None -> ());
+  count_routed "rank";
+  List.map
+    (fun cone ->
+      let sub, qubits = Analysis.Lightcone.restrict c cone in
+      let st = Rank.make (Circuit.num_qubits sub) (local_prep prep qubits) in
+      let tp_qubits = ref [] in
+      List.iter
+        (function
+          | Circuit.Instr.Gate g -> Rank.apply_gate g st
+          | Circuit.Instr.Tracepoint { qubits; _ } -> tp_qubits := qubits
+          | Circuit.Instr.Barrier _ -> ()
+          | _ -> invalid_arg "Engine.rank_traces: non-deterministic program")
+        (Circuit.instrs sub);
+      if Obs.enabled () then
+        Obs.Metrics.counter_add "rank_branches_total" (Rank.branch_count st);
+      (cone.Analysis.Lightcone.id, Rank.reduced_density st !tp_qubits))
+    (Analysis.Lightcone.cones c)
+
 let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
     ?initial ?(engine = `Auto) ?meter c =
-  let use_stabilizer =
+  let ideal_start = initial = None && Noise.is_ideal noise in
+  let route =
     match engine with
-    | `Statevec -> false
+    | `Statevec -> None
     | `Stabilizer ->
-        if not (initial = None && Noise.is_ideal noise && stabilizer_applicable c)
-        then invalid_arg "Engine.tracepoint_states: stabilizer engine inapplicable";
-        true
-    | `Auto -> initial = None && Noise.is_ideal noise && stabilizer_applicable c
+        if not (ideal_start && stabilizer_applicable c) then
+          invalid_arg "Engine.tracepoint_states: stabilizer engine inapplicable";
+        Some `Stabilizer
+    | `Sparse ->
+        if not (ideal_start && sparse_applicable c) then
+          invalid_arg "Engine.tracepoint_states: sparse engine inapplicable";
+        Some `Sparse
+    | `Rank ->
+        if not (ideal_start && rank_applicable c) then
+          invalid_arg "Engine.tracepoint_states: rank engine inapplicable";
+        Some `Rank
+    | `Auto -> if ideal_start then auto_route c else None
+  in
+  let engine_name =
+    match route with
+    | Some `Stabilizer -> "stabilizer"
+    | Some `Sparse -> "sparse"
+    | Some `Rank -> "rank"
+    | None -> "statevec"
   in
   Obs.Span.with_ ~name:"engine.tracepoint_states"
-    ~attrs:[ ("engine", if use_stabilizer then "stabilizer" else "statevec") ]
+    ~attrs:[ ("engine", engine_name) ]
   @@ fun () ->
-  if use_stabilizer then stabilizer_traces ?meter c
-  else if is_deterministic c && Noise.is_ideal noise then
+  match route with
+  | Some `Stabilizer -> stabilizer_traces ?meter c
+  | Some `Sparse -> sparse_traces ?meter c
+  | Some `Rank -> rank_traces ?meter c
+  | None ->
+  if is_deterministic c && Noise.is_ideal noise then begin
+    count_routed "statevec";
     (run ?rng ~noise ?initial ?meter c).traces
+  end
   else begin
+    count_routed "statevec";
     let rng = match rng with Some r -> r | None -> default_rng () in
     let per_traj =
       fan_out (get_pool pool) rng ~meter ~count:trajectories

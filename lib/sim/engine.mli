@@ -49,24 +49,76 @@ val stabilizer_applicable : ?cap:int -> Circuit.t -> bool
 val stabilizer_traces :
   ?prep:int -> ?meter:Cost.t -> Circuit.t -> (int * Linalg.Cmat.t) list
 
+(** [sparse_applicable ?support_cap ?tp_cap c] — true when every
+    tracepoint of [c] is computable on the sparse coordinate engine
+    within the caps: deterministic, sparse-dispatchable gates, every
+    cone's static [Analysis.Classify.support_bound] at most
+    [support_cap] (default [2^16]) and every tracepoint at most
+    [tp_cap] (default 8) qubits wide. Purely static. *)
+val sparse_applicable : ?support_cap:int -> ?tp_cap:int -> Circuit.t -> bool
+
+(** [rank_applicable ?cutoff ?tp_cap c] — true when every gate is
+    rank-decomposable ({!Analysis.Classify.gate_rank_decomposable}) and
+    every tracepoint cone has at most [cutoff] (default 8) non-Clifford
+    gates, at most 62 qubits, and a tracepoint at most [tp_cap]
+    (default 4) qubits wide. Purely static. *)
+val rank_applicable : ?cutoff:int -> ?tp_cap:int -> Circuit.t -> bool
+
+(** The dense-amplitude wall: [`Auto] considers the sparse and
+    stabilizer-rank engines only when one dense pass would exceed this
+    many amplitude updates (default [2^22]). Mutable so tests and
+    benchmarks can force or disable the routing. *)
+val dense_amp_wall : float ref
+
+(** [auto_route c] is the static routing decision for an ideal program
+    started from [|0...0>]: [`Stabilizer] for Clifford programs (the
+    PR 4 route, unchanged), and above {!dense_amp_wall} [`Sparse] when
+    the support-bound cost model beats dense by 4x, else [`Rank] for
+    near-Clifford programs; [None] means the dense engines. *)
+val auto_route : Circuit.t -> [ `Stabilizer | `Sparse | `Rank ] option
+
+(** Estimated simulation class for diagnostics (lint MQ018): the
+    routing preference order, ignoring the dense wall. *)
+type sim_class = Class_dense | Class_sparse | Class_stabilizer | Class_rank of int
+
+val sim_class : Circuit.t -> sim_class
+
+(** [sparse_traces ?prep ?meter c] — every tracepoint's reduced density
+    matrix on the sparse engine, one lightcone-restricted pass per
+    tracepoint from basis state [prep]. Cost scales with the occupied
+    support, not [2^n]. Precondition: {!sparse_applicable}. *)
+val sparse_traces :
+  ?prep:int -> ?meter:Cost.t -> Circuit.t -> (int * Linalg.Cmat.t) list
+
+(** [rank_traces ?prep ?meter c] — every tracepoint's reduced density
+    matrix on the sum-over-stabilizers engine (exact, no sampling), one
+    lightcone-restricted pass per tracepoint from basis state [prep].
+    [k] non-Clifford gates in a cone cost at most [2^k] weighted
+    tableau frames. Precondition: {!rank_applicable}. *)
+val rank_traces :
+  ?prep:int -> ?meter:Cost.t -> Circuit.t -> (int * Linalg.Cmat.t) list
+
 (** [tracepoint_states ?pool ?rng ?noise ?trajectories ?initial ?engine
     ?meter c] returns the expected reduced density matrix at every
-    tracepoint. [`Auto] (default) routes ideal deterministic Clifford
-    circuits starting from [|0...0>] to {!stabilizer_traces}; other
-    deterministic ideal circuits use one state-vector pass; everything else
-    averages [trajectories] (default 64) runs fanned out over [pool]
-    (default [Parallel.Pool.global ()]) with one [Stats.Rng.split] child
-    per trajectory and an in-order merge — results are bit-identical for
-    any domain count under a fixed seed. [`Stabilizer] forces the tableau
-    route and raises [Invalid_argument] when inapplicable; [`Statevec]
-    disables the routing entirely. *)
+    tracepoint. [`Auto] (default) applies {!auto_route} to ideal
+    programs starting from [|0...0>] — Clifford programs go to
+    {!stabilizer_traces}, and past {!dense_amp_wall} low-occupancy
+    programs go to {!sparse_traces} and near-Clifford programs to
+    {!rank_traces}; other deterministic ideal circuits use one
+    state-vector pass; everything else averages [trajectories] (default
+    64) runs fanned out over [pool] (default [Parallel.Pool.global ()])
+    with one [Stats.Rng.split] child per trajectory and an in-order
+    merge — results are bit-identical for any domain count under a
+    fixed seed. [`Stabilizer]/[`Sparse]/[`Rank] force their route and
+    raise [Invalid_argument] when inapplicable; [`Statevec] disables
+    the routing entirely. *)
 val tracepoint_states :
   ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
   ?noise:Noise.t ->
   ?trajectories:int ->
   ?initial:Qstate.Statevec.t ->
-  ?engine:[ `Auto | `Statevec | `Stabilizer ] ->
+  ?engine:[ `Auto | `Statevec | `Stabilizer | `Sparse | `Rank ] ->
   ?meter:Cost.t ->
   Circuit.t ->
   (int * Linalg.Cmat.t) list

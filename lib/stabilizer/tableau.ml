@@ -183,6 +183,40 @@ let expectation_z t q =
     if outcome = 0 then 1 else -1
   end
 
+(* <M> for a Hermitian Pauli M given as X/Z bitmasks (bit q of [x]/[z]
+   set = letter X/Z on qubit q; both = Y). M anticommuting with any
+   stabilizer generator gives 0. Otherwise M lies in +-(stabilizer
+   group): writing B = {i : destabilizer D_i anticommutes with M}, the
+   product prod_{i in B} S_i has the same X/Z bits as M, and
+   accumulating those rows into the zeroed scratch row (the same trick
+   as the deterministic branch of [measure]) recovers its sign. *)
+let expectation_pauli t ~x ~z =
+  let n = t.n in
+  if n > 62 then invalid_arg "Tableau.expectation_pauli: more than 62 qubits";
+  let anticommutes row =
+    let p = ref false in
+    for j = 0 to n - 1 do
+      let xm = (x lsr j) land 1 = 1 and zm = (z lsr j) land 1 = 1 in
+      if (t.xs.(row).(j) && zm) <> (t.zs.(row).(j) && xm) then p := not !p
+    done;
+    !p
+  in
+  let random = ref false in
+  for i = n to (2 * n) - 1 do
+    if anticommutes i then random := true
+  done;
+  if !random then 0
+  else begin
+    let scratch = 2 * n in
+    Array.fill t.xs.(scratch) 0 n false;
+    Array.fill t.zs.(scratch) 0 n false;
+    t.rs.(scratch) <- false;
+    for i = 0 to n - 1 do
+      if anticommutes i then rowsum t scratch (i + n)
+    done;
+    if t.rs.(scratch) then -1 else 1
+  end
+
 let apply_gate (gate : Circuit.Gate.t) t =
   if Obs.enabled () then
     Obs.Metrics.counter_add

@@ -43,6 +43,13 @@ val measure : Stats.Rng.t -> t -> int -> int
     (0 when the outcome is random). *)
 val expectation_z : t -> int -> int
 
+(** [expectation_pauli t ~x ~z] is the expectation of the Hermitian Pauli
+    whose letter on qubit [q] is X when bit [q] of [x] is set, Z when bit
+    [q] of [z] is set, Y when both: +1, -1, or 0 (0 when M anticommutes
+    with some stabilizer). Does not collapse the state. At most 62
+    qubits (bitmask-bound). *)
+val expectation_pauli : t -> x:int -> z:int -> int
+
 (** [stabilizer_strings t] renders the [n] stabilizer generators as
     [(sign, pauli-string)] pairs, e.g. [("+", "XXX")] (for inspection and
     tests; highest qubit leftmost). *)

@@ -133,6 +133,26 @@ let gen_spec_clifford =
       (1, list_size (int_range 1 3) gen_qubit >|= fun qs -> Trace qs);
     ]
 
+(* near-Clifford: the Clifford pool plus occasional uncontrolled
+   non-Clifford 1q gates — exactly the shape the sum-over-stabilizers
+   engine decomposes (each non-Clifford gate splits into two weighted
+   Pauli branches) *)
+let gen_spec_near_clifford =
+  frequency
+    [
+      (8, gen_spec_clifford);
+      ( 2,
+        frequency
+          [
+            (2, oneofl [ "t"; "tdg"; "sx" ] >|= fun name -> (name, []));
+            ( 2,
+              oneofl [ "rx"; "ry"; "rz"; "p" ] >>= fun name ->
+              angle >|= fun a -> (name, [ a ]) );
+          ]
+        >>= fun (name, ps) ->
+        gen_qubit >|= fun q -> One (name, ps, q) );
+    ]
+
 let gen_spec_program =
   frequency
     [
@@ -155,6 +175,9 @@ let gen_pure ?min_qubits ?max_qubits () =
 
 let gen_clifford ?min_qubits ?max_qubits () =
   gen_circ ?min_qubits ?max_qubits gen_spec_clifford
+
+let gen_near_clifford ?min_qubits ?max_qubits () =
+  gen_circ ?min_qubits ?max_qubits gen_spec_near_clifford
 
 let gen_program ?min_qubits ?max_qubits () =
   gen_circ ?min_qubits ?max_qubits gen_spec_program
@@ -216,6 +239,9 @@ let pure ?min_qubits ?max_qubits () =
 
 let clifford ?min_qubits ?max_qubits () =
   arbitrary (gen_clifford ?min_qubits ?max_qubits ())
+
+let near_clifford ?min_qubits ?max_qubits () =
+  arbitrary (gen_near_clifford ?min_qubits ?max_qubits ())
 
 let program ?min_qubits ?max_qubits () =
   arbitrary (gen_program ?min_qubits ?max_qubits ())

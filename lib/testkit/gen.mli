@@ -46,6 +46,13 @@ val print_circ : circ -> string
 (* Raw generators (for [QCheck.Gen.generate] loops, e.g. the fuzz bench) *)
 val gen_pure : ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.Gen.t
 val gen_clifford : ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.Gen.t
+
+(** Clifford circuits with occasional uncontrolled non-Clifford 1q gates
+    ([t tdg sx rx ry rz p]) — the shape the stabilizer-rank engine
+    decomposes. *)
+val gen_near_clifford :
+  ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.Gen.t
+
 val gen_program : ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.Gen.t
 
 (** The structural shrinker: drops/simplifies instructions (a controlled or
@@ -56,6 +63,7 @@ val shrink_circ : circ QCheck.Shrink.t
 (* Arbitraries = generator + shrinker + printer *)
 val pure : ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.arbitrary
 val clifford : ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.arbitrary
+val near_clifford : ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.arbitrary
 val program : ?min_qubits:int -> ?max_qubits:int -> unit -> circ QCheck.arbitrary
 
 (** Depolarizing+readout noise models, shrinking toward the ideal model. *)

@@ -230,6 +230,28 @@ let stabilizer_traces_agree circ =
        (Sim.Engine.stabilizer_traces c)
        (Sim.Engine.run c).Sim.Engine.traces
 
+let sparse_vs_statevec circ =
+  let c = Gen.build circ in
+  (not (Sim.Engine.sparse_applicable c))
+  || traces_match
+       (Sim.Engine.sparse_traces c)
+       (Sim.Engine.run c).Sim.Engine.traces
+
+let rank_vs_statevec circ =
+  let c = Gen.build circ in
+  (not (Sim.Engine.rank_applicable c))
+  || traces_match
+       (Sim.Engine.rank_traces c)
+       (Sim.Engine.run c).Sim.Engine.traces
+
+(* run [f] with the dense-amplitude wall forced to zero (so the sparse /
+   stabilizer-rank routes fire even on small QCheck circuits), restoring
+   the caller's wall either way *)
+let with_forced_wall f =
+  let saved = !Sim.Engine.dense_amp_wall in
+  Sim.Engine.dense_amp_wall := 0.;
+  Fun.protect ~finally:(fun () -> Sim.Engine.dense_amp_wall := saved) f
+
 let samples_agree ?(bitwise = false) (a : Morphcore.Characterize.t)
     (b : Morphcore.Characterize.t) =
   costs_equal a.Morphcore.Characterize.cost b.Morphcore.Characterize.cost
@@ -258,7 +280,7 @@ let characterize_auto_unchanged ?pool ?(kind = Clifford.Sampling.Clifford) circ 
   let c = Gen.build circ in
   (* the routing only ever fires for Basis-kind sampling; under any other
      kind `Auto must equal `Batched on every program *)
-  (kind = Clifford.Sampling.Basis && Sim.Engine.stabilizer_applicable c)
+  (kind = Clifford.Sampling.Basis && Sim.Engine.auto_route c <> None)
   ||
   let run engine =
     Morphcore.Characterize.run ?pool ~rng:(Stats.Rng.make 99) ~kind
@@ -278,6 +300,23 @@ let characterize_stabilizer_route ?pool circ =
       ~count:4
   in
   samples_agree (run `Auto) (run `Sequential)
+
+(* scalable-route characterization (wall forced to zero so the sparse /
+   rank engines fire on small circuits) vs the sequential engine: same
+   cost meter, traces within eps. Vacuous when the router still declines
+   (e.g. Clifford circuits go to the stabilizer route, covered above). *)
+let characterize_scale_route ?pool circ =
+  let c = Gen.build circ in
+  with_forced_wall @@ fun () ->
+  match Sim.Engine.auto_route c with
+  | Some (`Sparse | `Rank) ->
+      let run engine =
+        Morphcore.Characterize.run ?pool ~rng:(Stats.Rng.make 99)
+          ~kind:Clifford.Sampling.Basis ~engine (Morphcore.Program.make c)
+          ~count:4
+      in
+      samples_agree (run `Auto) (run `Sequential)
+  | Some `Stabilizer | None -> true
 
 let characterize_engines_agree ?pool circ =
   let program = Morphcore.Program.make (Gen.build circ) in

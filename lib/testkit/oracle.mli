@@ -105,6 +105,17 @@ val lightcone_restrict_matches : Gen.circ -> bool
     vacuously true otherwise. *)
 val stabilizer_traces_agree : Gen.circ -> bool
 
+(** [sparse_vs_statevec c] — on circuits where
+    [Sim.Engine.sparse_applicable] holds, the lightcone-restricted
+    sparse-coordinate traces agree with the state-vector engine within
+    {!eps}; vacuously true otherwise. *)
+val sparse_vs_statevec : Gen.circ -> bool
+
+(** [rank_vs_statevec c] — on circuits where [Sim.Engine.rank_applicable]
+    holds, the sum-over-stabilizers traces agree with the state-vector
+    engine within {!eps}; vacuously true otherwise. *)
+val rank_vs_statevec : Gen.circ -> bool
+
 (** [characterize_auto_unchanged ?pool ?kind c] — the pinned regression for
     stabilizer auto-routing: on any program where the routing does not fire
     (any [kind] other than [Basis], or a non-applicable circuit),
@@ -118,6 +129,14 @@ val characterize_auto_unchanged :
     [`Sequential]: identical cost meters, traces within {!eps}; vacuously
     true otherwise. *)
 val characterize_stabilizer_route : ?pool:Parallel.Pool.t -> Gen.circ -> bool
+
+(** [characterize_scale_route ?pool c] — with [Sim.Engine.dense_amp_wall]
+    forced to zero (restored on exit) so the scalable routes fire on small
+    circuits: whenever [auto_route] picks [`Sparse] or [`Rank],
+    [Basis]-kind characterization under [`Auto] matches [`Sequential]
+    (identical cost meters, traces within {!eps}); vacuously true
+    otherwise. *)
+val characterize_scale_route : ?pool:Parallel.Pool.t -> Gen.circ -> bool
 
 (** [characterize_engines_agree ?pool c] — [Morphcore.Characterize.run]
     under [`Batched] vs [`Sequential] on the same seed: identical cost
