@@ -1,4 +1,4 @@
-.PHONY: build test test-fast test-full lint bench bench-smoke profile clean
+.PHONY: build test test-fast test-full lint bench bench-smoke bench-check profile clean
 
 build:
 	dune build
@@ -43,6 +43,15 @@ bench-smoke: build
 	  exit 1; \
 	fi
 
+# Statistical regression gate over the last two BENCH_results.json runs
+# (the writer rotates the previous run to BENCH_results.prev.json).
+# Fails on a significant slowdown (one-sided Welch t on log wall times,
+# alpha 0.01, median ratio > 1.3x) or on any counter drift, printing the
+# offending record, statistic and p-value. Run any bench target twice
+# first — bench-smoke is enough.
+bench-check: build
+	dune exec bench/main.exe -- check
+
 # Where the pipeline time goes on the teleport example: per-span table on
 # stdout, Chrome trace_event JSONL + metrics JSON next to it (load the
 # trace in chrome://tracing or ui.perfetto.dev). See DESIGN.md §12.
@@ -52,4 +61,4 @@ profile: build
 
 clean:
 	dune clean
-	rm -f bench_smoke_*.out BENCH_results.json
+	rm -f bench_smoke_*.out BENCH_results.json BENCH_results.prev.json

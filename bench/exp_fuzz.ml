@@ -37,6 +37,10 @@ let checks () =
       Gen.gen_near_clifford (),
       fun c -> Oracle.characterize_scale_route c );
     ("obs-transparent", Gen.gen_program (), Oracle.obs_transparent);
+    ( "sequential-vs-fixed",
+      Gen.gen_pure (),
+      Oracle.sequential_vs_fixed_verdict );
+    ("pvalue-uniform", Gen.gen_pure (), Oracle.pvalue_uniform_under_null);
     ("adjoint-cancels", Gen.gen_pure (), Metamorph.adjoint_cancels);
     ("global-phase", Gen.gen_pure (), Metamorph.global_phase_invariant);
     ("fused-traces", Gen.gen_pure (), Metamorph.fused_traces_agree);

@@ -62,21 +62,21 @@ let run () =
   let time_domains d =
     let pool = Parallel.Pool.create ~domains:d () in
     let r =
-      Util.timed
+      Util.timed_samples
         ~name:(Printf.sprintf "perf.noisy-traj.domains=%d" d)
         (fun () -> run_with pool)
     in
     Parallel.Pool.shutdown pool;
     r
   in
-  let base_traces, t1 = time_domains 1 in
+  let base_traces, t1, reps1 = time_domains 1 in
   Util.row "noisy-traj 10q x%d   domains=1   %7.3fs   (sequential baseline)"
     trajectories t1;
-  Util.record "perf/noisy-traj-10q/domains=1" ~seconds:t1 ~speedup:1.0
-    ~domains:1 ();
+  Util.record "perf/noisy-traj-10q/domains=1" ~seconds:t1 ~samples:reps1
+    ~speedup:1.0 ~domains:1 ();
   List.iter
     (fun d ->
-      let traces, td = time_domains d in
+      let traces, td, repsd = time_domains d in
       if not (traces_equal base_traces traces) then
         failwith "perf: parallel trajectories diverged from sequential run";
       let speedup = t1 /. td in
@@ -85,7 +85,7 @@ let run () =
         trajectories d td speedup;
       Util.record
         (Printf.sprintf "perf/noisy-traj-10q/domains=%d" d)
-        ~seconds:td ~speedup ~domains:d ())
+        ~seconds:td ~samples:repsd ~speedup ~domains:d ())
     [ 2; 4 ];
 
   (* ---- workload 2: single-qubit gate fusion ---- *)
@@ -95,19 +95,20 @@ let run () =
     (100. *. Transpile.Passes.gate_reduction ~before:circuit ~after:fused);
   let time_fused name c =
     let pool = Parallel.Pool.create ~domains:1 () in
-    let _, t =
-      Util.timed ~name (fun () ->
+    let _, t, reps =
+      Util.timed_samples ~name (fun () ->
           Sim.Engine.tracepoint_states ~pool ~rng:(Stats.Rng.make 7) ~noise
             ~trajectories c)
     in
     Parallel.Pool.shutdown pool;
-    t
+    (t, reps)
   in
-  let t_unfused = time_fused "perf.traj.unfused" circuit
-  and t_fused = time_fused "perf.traj.fused" fused in
+  let t_unfused, _ = time_fused "perf.traj.unfused" circuit in
+  let t_fused, reps_fused = time_fused "perf.traj.fused" fused in
   Util.row "fused kernel       domains=1   %7.3fs   vs unfused %7.3fs (%.2fx)"
     t_fused t_unfused (t_unfused /. t_fused);
   Util.record "perf/fused-traj-10q/domains=1" ~seconds:t_fused
+    ~samples:reps_fused
     ~speedup:(t_unfused /. t_fused) ~domains:1 ();
 
   (* ---- workload 3: small-n characterization must not regress ---- *)
@@ -119,7 +120,7 @@ let run () =
   let characterize d =
     let pool = Parallel.Pool.create ~domains:d () in
     let r =
-      Util.timed
+      Util.timed_samples
         ~name:(Printf.sprintf "perf.characterize-lock.domains=%d" d)
         (fun () ->
           Characterize.run ~pool ~rng:(Stats.Rng.make 11) ~noise
@@ -128,13 +129,13 @@ let run () =
     Parallel.Pool.shutdown pool;
     r
   in
-  let _, s1 = characterize 1 in
-  let _, s4 = characterize 4 in
+  let _, s1, reps_s1 = characterize 1 in
+  let _, s4, reps_s4 = characterize 4 in
   Util.row "characterize 3q lock   domains=1 %.3fs   domains=4 %.3fs" s1 s4;
-  Util.record "perf/characterize-lock-3q/domains=1" ~seconds:s1 ~speedup:1.0
-    ~domains:1 ();
+  Util.record "perf/characterize-lock-3q/domains=1" ~seconds:s1
+    ~samples:reps_s1 ~speedup:1.0 ~domains:1 ();
   Util.record "perf/characterize-lock-3q/domains=4" ~seconds:s4
-    ~speedup:(s1 /. s4) ~domains:4 ();
+    ~samples:reps_s4 ~speedup:(s1 /. s4) ~domains:4 ();
 
   (* ---- workload 4: batched vs sequential characterization (fig5) ---- *)
   let hops = 3 in
@@ -154,15 +155,19 @@ let run () =
   let characterize_engine name engine =
     let pool = Parallel.Pool.create ~domains:1 () in
     let r =
-      Util.timed ~name (fun () ->
+      Util.timed_samples ~name (fun () ->
           Characterize.run ~pool ~rng:(Stats.Rng.make 21) ~trajectories:8
             ~engine program ~count:samples)
     in
     Parallel.Pool.shutdown pool;
     r
   in
-  let seq, t_seq = characterize_engine "perf.characterize.sequential" `Sequential in
-  let bat, t_bat = characterize_engine "perf.characterize.batched" `Batched in
+  let seq, t_seq, reps_seq =
+    characterize_engine "perf.characterize.sequential" `Sequential
+  in
+  let bat, t_bat, reps_bat =
+    characterize_engine "perf.characterize.batched" `Batched
+  in
   Array.iter2
     (fun (a : Characterize.sample) (b : Characterize.sample) ->
       let ta = a.Characterize.traces and tb = b.Characterize.traces in
@@ -178,11 +183,51 @@ let run () =
     "characterize teleport x%d n=%d   sequential %7.3fs   batched %7.3fs (%.2fx)   traces agree: yes"
     hops samples t_seq t_bat (t_seq /. t_bat);
   Util.record "perf/characterize-teleport-fig5/sequential" ~seconds:t_seq
-    ~speedup:1.0 ~ops:(ops_before, ops_before) ~domains:1 ();
+    ~samples:reps_seq ~speedup:1.0 ~ops:(ops_before, ops_before) ~domains:1 ();
   Util.record "perf/characterize-teleport-fig5/batched" ~seconds:t_bat
-    ~speedup:(t_seq /. t_bat)
+    ~samples:reps_bat ~speedup:(t_seq /. t_bat)
     ~ops:(ops_before, ops_after)
-    ~domains:1 ()
+    ~domains:1 ();
+
+  (* ---- workload 5: sequential distribution verdict (SPRT early stop) ----
+     An 8-qubit GHZ distribution assertion under a sequential shot budget:
+     the SPRT must accept well before the 4096-shot cap, so this row's
+     counter deltas prove [verify_shots_saved_total > 0] on a bench
+     workload — the regression gate then pins the saving exactly. The
+     fixed-budget run of the same assertion is timed as the baseline. *)
+  let n5 = 8 in
+  let ghz =
+    let c = ref Circuit.(empty n5 |> h 0) in
+    for q = 0 to n5 - 2 do
+      c := Circuit.cx q (q + 1) !c
+    done;
+    !c
+  in
+  let ghz_prog = Program.make ghz in
+  let dist = Assertion.Dist.make [ (0, 0.5); ((1 lsl n5) - 1, 0.5) ] in
+  let input = Qstate.Statevec.basis n5 0 in
+  let cap = 4096 in
+  let check budget seed =
+    Verify.check_counts ~budget ~rng:(Stats.Rng.make seed) ghz_prog dist ~input
+  in
+  let _, t_fixed, _ =
+    Util.timed_samples ~name:"perf.seq-verify.fixed" (fun () ->
+        check (`Fixed cap) 51)
+  in
+  let r5, t_seq5, reps_seq5 =
+    Util.timed_samples ~name:"perf.seq-verify.sequential" (fun () ->
+        check
+          (`Sequential { Stats.Tests.alpha = 0.05; beta = 0.05; max_shots = cap })
+          51)
+  in
+  if not (r5.Verify.counts_hold && r5.Verify.early_stop) then
+    failwith "perf: sequential verify did not stop early on the GHZ assertion";
+  Util.row
+    "seq-verify ghz-%dq   fixed %d shots %7.3fs   sequential %d shots %7.3fs (%.1fx fewer shots)"
+    n5 cap t_fixed r5.Verify.shots_used t_seq5
+    (float_of_int cap /. float_of_int (max 1 r5.Verify.shots_used));
+  Util.record "perf/seq-verify-ghz8" ~seconds:t_seq5 ~samples:reps_seq5
+    ~speedup:(t_fixed /. t_seq5) ~domains:1 ()
 
 (* ----------------- scale: characterization past the dense wall --------------
 
@@ -219,8 +264,8 @@ let scale_case ~name ~route ~input_qubits ~check c =
   let program = Program.make ~input_qubits c in
   let dense_before = routed "statevec" in
   let expected_routed = routed (engine_name route) + count in
-  let ch, dt =
-    Util.timed ~name:("perf.scale." ^ name) (fun () ->
+  let ch, dt, reps =
+    Util.timed_samples ~name:("perf.scale." ^ name) (fun () ->
         Characterize.run
           ~rng:(Stats.Rng.make 31)
           ~kind:Clifford.Sampling.Basis ~engine:`Auto program ~count)
@@ -233,7 +278,7 @@ let scale_case ~name ~route ~input_qubits ~check c =
   Array.iter (fun (s : Characterize.sample) -> check s) ch.Characterize.samples;
   Util.row "scale %-14s %2dq   route=%-10s samples=%d   traces exact: yes" name
     (Circuit.num_qubits c) (engine_name route) count;
-  Util.record ("perf/scale-" ^ name) ~seconds:dt ~domains:1 ()
+  Util.record ("perf/scale-" ^ name) ~seconds:dt ~samples:reps ~domains:1 ()
 
 (* largest diagonal index of a (near-)basis density matrix *)
 let dm_argmax m =

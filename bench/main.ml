@@ -152,10 +152,39 @@ let run_bechamel () =
       else Util.row "%-42s %10.1f ns/run" name ns)
     (List.sort compare !rows)
 
+(* --------------------------- regression gate -------------------------- *)
+
+(* [check [PREV CUR]]: compare the last two results files (default: the
+   rotation pair written by [Util.write_bench_json]) and fail on
+   statistically significant slowdowns or counter drifts. Exit codes:
+   0 clean, 1 regression, 2 usage/missing files. *)
+let run_check args =
+  let prev_file, cur_file =
+    match args with
+    | [] -> (Util.prev_path "BENCH_results.json", "BENCH_results.json")
+    | [ p; c ] -> (p, c)
+    | _ ->
+        prerr_endline "usage: bench check [PREV.json CUR.json]";
+        exit 2
+  in
+  match (Testkit.Benchgate.load prev_file, Testkit.Benchgate.load cur_file) with
+  | Error e, _ | _, Error e ->
+      Printf.eprintf
+        "bench check: %s\n(run the bench twice so both %s and %s exist)\n" e
+        prev_file cur_file;
+      exit 2
+  | Ok prev, Ok cur ->
+      let report = Testkit.Benchgate.compare_runs ~prev cur in
+      Format.printf "%a" Testkit.Benchgate.pp_report report;
+      exit (if report.Testkit.Benchgate.regressions = [] then 0 else 1)
+
 (* ------------------------------ driver ------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (match args with
+  | "check" :: rest -> run_check rest
+  | _ -> ());
   if List.mem "--list" args then
     List.iter (fun (name, doc, _) -> Printf.printf "%-10s %s\n" name doc) experiments
   else begin

@@ -28,7 +28,10 @@ let bench_reps () =
       | _ -> 3)
   | None -> 3
 
-let timed ?reps ~name f =
+(* [timed_samples] additionally returns every repetition's wall time (in
+   run order) so the caller can hand them to [record ~samples] — the
+   bench-regression gate needs >= 2 samples per row to run a t-test. *)
+let timed_samples ?reps ~name f =
   let reps = max 1 (match reps with Some r -> r | None -> bench_reps ()) in
   let samples = ref [] in
   let result = ref None in
@@ -37,9 +40,14 @@ let timed ?reps ~name f =
     if !result = None then result := Some r;
     samples := dt :: !samples
   done;
-  let sorted = List.sort compare !samples in
+  let samples = List.rev !samples in
+  let sorted = List.sort compare samples in
   let median = List.nth sorted (reps / 2) in
-  (Option.get !result, median)
+  (Option.get !result, median, samples)
+
+let timed ?reps ~name f =
+  let r, median, _ = timed_samples ?reps ~name f in
+  (r, median)
 
 let header title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -55,6 +63,11 @@ let row fmt = Printf.printf (fmt ^^ "\n%!")
 type bench_row = {
   name : string;
   seconds : float;
+  samples : float list;
+      (** per-repetition wall times behind [seconds] (see
+          [timed_samples]); the regression gate ([bench check]) t-tests
+          these, so rows that leave it empty are compared on counters
+          only *)
   speedup : float option;
   domains : int;
   cases : (int * int) option;  (** (passed, failed) *)
@@ -95,21 +108,38 @@ let counter_delta () =
 
 (* re-running an experiment REPLACES its row (keyed by [name]) rather
    than growing duplicates across driver invocations in one process *)
-let record name ~seconds ?speedup ?cases ?ops ~domains () =
+let record name ~seconds ?(samples = []) ?speedup ?cases ?ops ~domains () =
   let metrics = counter_delta () in
   bench_rows :=
-    { name; seconds; speedup; domains; cases; ops; metrics }
+    { name; seconds; samples; speedup; domains; cases; ops; metrics }
     :: List.filter (fun r -> r.name <> name) !bench_rows
+
+(* [prev_path "BENCH_results.json"] is ["BENCH_results.prev.json"] *)
+let prev_path path =
+  if Filename.check_suffix path ".json" then
+    Filename.chop_suffix path ".json" ^ ".prev.json"
+  else path ^ ".prev"
 
 let write_bench_json path =
   let rows = List.rev !bench_rows in
+  (* keep the previous run around so [bench check] can compare the last
+     two runs for statistically significant regressions *)
+  if Sys.file_exists path then Sys.rename path (prev_path path);
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"schema\": \"morphqpv-bench-v2\",\n  \"default_domains\": %d,\n  \"results\": [\n"
     (Parallel.Pool.env_domains ());
   let last = List.length rows - 1 in
   List.iteri
-    (fun i { name; seconds; speedup; domains; cases; ops; metrics } ->
+    (fun i { name; seconds; samples; speedup; domains; cases; ops; metrics } ->
+      let samples_field =
+        match samples with
+        | [] -> ""
+        | _ ->
+            Printf.sprintf ", \"samples\": [%s]"
+              (String.concat ", "
+                 (List.map (Printf.sprintf "%.6f") samples))
+      in
       let cases_field =
         match cases with
         | Some (passed, failed) ->
@@ -130,8 +160,8 @@ let write_bench_json path =
              (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) metrics))
       in
       Printf.fprintf oc
-        "    {\"name\": %S, \"seconds\": %.6f, \"speedup\": %s, \"domains\": %d%s%s%s}%s\n"
-        name seconds
+        "    {\"name\": %S, \"seconds\": %.6f%s, \"speedup\": %s, \"domains\": %d%s%s%s}%s\n"
+        name seconds samples_field
         (match speedup with
         | Some s -> Printf.sprintf "%.3f" s
         | None -> "null")

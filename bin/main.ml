@@ -32,6 +32,22 @@ let read_circuit path =
         | None -> Printf.sprintf "%s: [%s] %s" path code message)
   | Sys_error msg -> Error msg
 
+(* like [read_circuit], but keeps the [expect] pragma side channel *)
+let read_full path =
+  try Ok (Qasm.parse_file_full path) with
+  | Qasm.Parse_error { line; column; message; _ } ->
+      Error
+        (if column > 0 then
+           Printf.sprintf "%s:%d:%d: %s" path line column message
+         else Printf.sprintf "%s:%d: %s" path line message)
+  | Circuit.Error { code; message; loc } ->
+      Error
+        (match loc with
+        | Some (line, col) ->
+            Printf.sprintf "%s:%d:%d: [%s] %s" path line col code message
+        | None -> Printf.sprintf "%s: [%s] %s" path code message)
+  | Sys_error msg -> Error msg
+
 let qubits_of_tracepoint circuit tp =
   if tp = 0 then None
   else
@@ -180,15 +196,70 @@ let sample_cmd file count kind seed =
 
 (* ------------------------------ verify ------------------------------- *)
 
-let verify_cmd file assumes guarantees count solver seed =
-  match read_circuit file with
-  | Error e ->
+(* shot-budget spec: fixed:N | seq:ALPHA,BETA,MAX *)
+let parse_budget s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "verify: bad --budget %S (expected fixed:N or seq:ALPHA,BETA,MAX)" s)
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "fixed"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (`Fixed n)
+      | _ -> fail ())
+  | [ "seq"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ a; b; m ] -> (
+          match
+            (float_of_string_opt a, float_of_string_opt b, int_of_string_opt m)
+          with
+          | Some alpha, Some beta, Some max_shots
+            when alpha > 0. && alpha < 1. && beta > 0. && beta < 1.
+                 && max_shots > 0 ->
+              Ok (`Sequential { Stats.Tests.alpha; beta; max_shots })
+          | _ -> fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
+(* check the file's [expect] pragmas against sampled measurement counts;
+   returns false when any pragma is malformed or statistically violated *)
+let check_expects ~budget ~rng program (expects : Qasm.expect_pragma list) =
+  List.for_all
+    (fun (e : Qasm.expect_pragma) ->
+      let line, col = e.Qasm.expect_loc in
+      match
+        Assertion.Dist.make ?significance:e.Qasm.significance e.Qasm.expected
+      with
+      | exception Invalid_argument msg ->
+          Format.eprintf "expect at %d:%d: %s@." line col msg;
+          false
+      | dist ->
+          let input =
+            Qstate.Statevec.basis (Program.num_input_qubits program) 0
+          in
+          let r = Verify.check_counts ~budget ~rng program dist ~input in
+          Format.printf
+            "expect at %d:%d: %s (chi2 %.4g, p %.4g, df %g, shots %d%s)@."
+            line col
+            (if r.Verify.counts_hold then "OK" else "VIOLATED")
+            r.Verify.test.Stats.Tests.statistic r.Verify.test.Stats.Tests.pvalue
+            r.Verify.test.Stats.Tests.df r.Verify.shots_used
+            (if r.Verify.early_stop then ", early stop" else "");
+          r.Verify.counts_hold)
+    expects
+
+let verify_cmd file assumes guarantees count solver seed budget =
+  match (read_full file, parse_budget budget) with
+  | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-  | Ok c -> (
+  | Ok full, Ok budget -> (
+      let c = full.Qasm.circuit in
       let rng = Stats.Rng.make seed in
       let program = Program.make c in
       let n_in = Program.num_input_qubits program in
+      let expects_ok = check_expects ~budget ~rng program full.Qasm.expects in
       let parse_all specs =
         List.fold_left
           (fun acc spec ->
@@ -203,8 +274,13 @@ let verify_cmd file assumes guarantees count solver seed =
       | Error e, _ | _, Error e ->
           prerr_endline e;
           1
+      | Ok _, Ok [] when full.Qasm.expects <> [] ->
+          (* distribution-only verification via the expect pragmas *)
+          if expects_ok then 0 else 1
       | Ok _, Ok [] ->
-          prerr_endline "verify: at least one --guarantee is required";
+          prerr_endline
+            "verify: at least one --guarantee (or an expect pragma in the \
+             file) is required";
           1
       | Ok assumes, Ok guarantees ->
           let assertion = Assertion.make ~name:file ~assumes ~guarantees () in
@@ -235,7 +311,7 @@ let verify_cmd file assumes guarantees count solver seed =
                 objective Linalg.Cmat.pp counterexample);
           Format.printf "characterization cost: %a@." Sim.Cost.pp
             ch.Characterize.cost;
-          0)
+          if expects_ok then 0 else 1)
 
 (* ----------------------------- optimize ------------------------------ *)
 
@@ -509,7 +585,18 @@ let verify_term =
   let solver =
     Arg.(value & opt string "qp" & info [ "solver" ] ~doc:"qp | sgd | anneal | genetic")
   in
-  Term.(const verify_cmd $ file_arg $ assumes $ guarantees $ count $ solver $ seed_arg)
+  let budget =
+    Arg.(
+      value
+      & opt string "fixed:2048"
+      & info [ "budget" ] ~docv:"SPEC"
+          ~doc:
+            "shot budget for expect pragmas: fixed:N, or seq:ALPHA,BETA,MAX \
+             for a sequential (SPRT) budget with early stopping")
+  in
+  Term.(
+    const verify_cmd $ file_arg $ assumes $ guarantees $ count $ solver
+    $ seed_arg $ budget)
 
 let cmds =
   [

@@ -6,3 +6,5 @@ h q[0];
 cx q[0],q[1];
 cx q[1],q[2];
 T 1 q[0,1,2];
+// the final measurement distribution is half |000>, half |111>
+expect 0 0.5, 7 0.5;

@@ -37,6 +37,7 @@ let codes =
     ("MQ016", Error, "invalid register declaration");
     ("MQ017", Warning, "estimated characterization cost exceeds threshold");
     ("MQ018", Info, "estimated simulation class");
+    ("MQ019", Error, "invalid distribution expectation pragma");
   ]
 
 let severity_of_code code =
@@ -309,11 +310,69 @@ let check_sim_class ~classify ?threshold c =
     ]
   else [ info ]
 
+(* MQ019: semantic validation of the [expect] distribution pragma — the
+   parser keeps it purely syntactic so malformed pragmas reach here as
+   diagnosable values instead of parse failures *)
+let check_expects ~num_qubits (expects : Qasm.expect_pragma list) =
+  List.concat_map
+    (fun (e : Qasm.expect_pragma) ->
+      let bad fmt =
+        Format.kasprintf
+          (fun message ->
+            [
+              {
+                severity = Error;
+                code = "MQ019";
+                message;
+                loc = Some e.Qasm.expect_loc;
+                instr = None;
+              };
+            ])
+          fmt
+      in
+      let seen = Hashtbl.create 8 in
+      let dup =
+        List.find_opt
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then true
+            else begin
+              Hashtbl.add seen k ();
+              false
+            end)
+          e.Qasm.expected
+      in
+      let out_of_range (k, _) =
+        k < 0 || (num_qubits < 62 && k >= 1 lsl num_qubits)
+      in
+      let bad_prob (_, p) = p < 0. || p > 1. in
+      let mass = List.fold_left (fun acc (_, p) -> acc +. p) 0. e.Qasm.expected in
+      match
+        ( dup,
+          List.find_opt out_of_range e.Qasm.expected,
+          List.find_opt bad_prob e.Qasm.expected,
+          e.Qasm.significance )
+      with
+      | Some (k, _), _, _, _ ->
+          bad "expect pragma lists basis index %d twice" k
+      | _, Some (k, _), _, _ ->
+          bad "expect pragma basis index %d is outside the %d-qubit register"
+            k num_qubits
+      | _, _, Some (k, p), _ ->
+          bad "expect pragma probability %g for index %d is outside [0, 1]" p k
+      | _, _, _, Some s when s <= 0. || s >= 1. ->
+          bad "expect pragma significance %g is outside (0, 1)" s
+      | _ when mass > 1. +. 1e-9 ->
+          bad "expect pragma probabilities sum to %g > 1" mass
+      | _ -> [])
+    expects
+
 (* lint QASM text: parse errors and construction errors become located
    diagnostics instead of exceptions *)
 let lint_qasm src =
-  match Qasm.parse_with_locs src with
-  | c, locs -> check ~locs c
+  match Qasm.parse_full src with
+  | { Qasm.circuit = c; locs; expects } ->
+      check ~locs c
+      @ check_expects ~num_qubits:(Circuit.num_qubits c) expects
   | exception Qasm.Parse_error { line; column; token; message } ->
       [
         {

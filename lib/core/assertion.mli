@@ -19,6 +19,29 @@ val make :
     true when some assumption fails or all guarantees hold. *)
 val holds : ?tol:float -> t -> Predicate.env -> bool
 
+(** Distribution-level assertion on measurement counts: the program's
+    final computational-basis distribution must match [expected]
+    ([basis index, probability] pairs; unlisted outcomes share the
+    remaining mass). Checked by {!Verify.check_counts} with a chi-square
+    goodness-of-fit test at level [significance] (or a sequential SPRT
+    under a [`Sequential] shot budget) — sharper than the Stat
+    baseline's fixed 3.84 threshold. Parsed from the QASM [expect]
+    pragma. Kept separate from {!t} so the assume-guarantee record (and
+    every consumer of it) is unchanged. *)
+module Dist : sig
+  type t = private { expected : (int * float) list; significance : float }
+
+  (** [make ?significance expected] validates indices (distinct,
+      non-negative) and probabilities (each in [0, 1], summing to at
+      most 1). Default significance 0.05. *)
+  val make : ?significance:float -> (int * float) list -> t
+
+  (** Probability mass left to outcomes not listed in [expected]. *)
+  val other_mass : t -> float
+
+  val describe : t -> string
+end
+
 (** [tracepoints t] lists all tracepoint ids mentioned. *)
 val tracepoints : t -> int list
 

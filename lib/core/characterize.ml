@@ -20,19 +20,25 @@ type t = {
 }
 
 
-let degrade rng mode cost circuit (id, exact) =
+let degrade ?budget rng mode cost circuit (id, exact) =
   match mode with
   | Exact ->
       Sim.Cost.record_many cost circuit ~circuits:1 ~shots_each:1;
       (id, exact)
   | Tomography { shots; project } ->
-      let tomo = Tomography.State_tomo.run ~project rng ~shots ~truth:exact () in
-      Sim.Cost.record_many cost circuit ~circuits:tomo.Tomography.State_tomo.settings
-        ~shots_each:shots;
+      let tomo =
+        Tomography.State_tomo.run ~project ?budget rng ~shots ~truth:exact ()
+      in
+      Sim.Cost.record_total cost circuit
+        ~executions:tomo.Tomography.State_tomo.settings
+        ~total_shots:tomo.Tomography.State_tomo.shots_used;
       (id, tomo.Tomography.State_tomo.rho)
   | Probs_only { shots } ->
-      let tomo = Tomography.State_tomo.probs_only rng ~shots ~truth:exact () in
-      Sim.Cost.record_many cost circuit ~circuits:1 ~shots_each:shots;
+      let tomo =
+        Tomography.State_tomo.probs_only ?budget rng ~shots ~truth:exact ()
+      in
+      Sim.Cost.record_total cost circuit ~executions:1
+        ~total_shots:tomo.Tomography.State_tomo.shots_used;
       (id, tomo.Tomography.State_tomo.rho)
 
 type engine = [ `Auto | `Batched | `Sequential ]
@@ -58,8 +64,8 @@ let average_traces trajectories per_traj =
       (id, Cmat.rscale (1. /. float_of_int trajectories) (Hashtbl.find acc id)))
     !order
 
-let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
-    ?trajectories ?(engine = `Auto) ?inputs program ~count =
+let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?budget
+    ?noise ?trajectories ?(engine = `Auto) ?inputs program ~count =
   (* watermark first, so the summary covers the [characterize.run] span
      itself once it closes — plus everything nested under it *)
   let since = Obs.Span.mark () in
@@ -209,7 +215,9 @@ let run ?pool ?rng ?(kind = Clifford.Sampling.Clifford) ?(mode = Exact) ?noise
           List.map
             (fun (id, m) ->
               if id = 0 then (id, m)
-              else degrade rng mode sample_cost program.Program.circuit (id, m))
+              else
+                degrade ?budget rng mode sample_cost program.Program.circuit
+                  (id, m))
             traces
         in
         let v = Qstate.Statevec.to_cvec input_state in

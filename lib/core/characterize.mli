@@ -53,12 +53,18 @@ type engine = [ `Auto | `Batched | `Sequential ]
     any domain count — under either engine, which also consume identical
     generator streams (the batched engine's traces agree with the
     sequential ones to ~1e-15, the reordering error of fused-segment
-    arithmetic). *)
+    arithmetic). [budget] selects the shot policy for the Tomography /
+    Probs_only degradation modes (see {!Tomography.State_tomo.run}):
+    absent or [`Fixed], behavior and generator streams are exactly the
+    pre-budget ones; [`Sequential] stops each estimate early once it is
+    variance-matched to the [max_shots] fixed equivalent, recording the
+    saving in [verify_shots_saved_total]. *)
 val run :
   ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
   ?kind:Clifford.Sampling.kind ->
   ?mode:mode ->
+  ?budget:Stats.Tests.budget ->
   ?noise:Sim.Noise.t ->
   ?trajectories:int ->
   ?engine:engine ->

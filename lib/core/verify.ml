@@ -217,6 +217,226 @@ let minimize_counterexample ?rng ?(tol = 0.02) program assertion
   | Some simple -> simple
   | None -> dominant
 
+(* -------------- distribution-level assertions on counts --------------- *)
+
+type counts_result = {
+  counts_hold : bool;
+  test : Stats.Tests.result;
+  shots_used : int;
+  early_stop : bool;
+}
+
+(* contamination rate of the SPRT alternative: H1 mixes a fraction
+   [contamination] of noise uniform over the FULL basis-state space into
+   the expected distribution, making the sequential test a valid
+   simple-vs-simple SPRT. Uniform over the whole space (not just the
+   listed categories) keeps H1 distinct from H0 even when the expected
+   distribution is itself uniform over its categories. *)
+let contamination = 0.2
+
+let seq_counters ~cap ~used ~early =
+  if Obs.enabled () then begin
+    if cap > used then
+      Obs.Metrics.counter_add "verify_shots_saved_total" (cap - used);
+    if early then Obs.Metrics.counter_add "verify_early_stop_total" 1
+  end
+
+let check_counts ?(budget = `Fixed 2048) ?rng ?noise program
+    (dist : Assertion.Dist.t) ~input =
+  Obs.Span.with_ ~name:"verify.check_counts" @@ fun () ->
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 17 in
+  let initial = Program.embed program input in
+  let circuit = program.Program.circuit in
+  let expected = dist.Assertion.Dist.expected in
+  let other = Assertion.Dist.other_mass dist in
+  let m = List.length expected in
+  (* category layout: one per listed basis index, plus a pooled "other"
+     bucket when the expectation leaves it mass *)
+  let has_other = other > 1e-12 in
+  let k_cat = m + if has_other then 1 else 0 in
+  let probs =
+    Array.init k_cat (fun i ->
+        if i < m then snd (List.nth expected i) else other)
+  in
+  let index_of =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i (k, _) -> Hashtbl.add tbl k i) expected;
+    fun k -> match Hashtbl.find_opt tbl k with Some i -> i | None -> m
+  in
+  let counts = Array.make (m + 1) 0 in
+  let draw shots =
+    List.iter
+      (fun (k, c) -> counts.(index_of k) <- counts.(index_of k) + c)
+      (Sim.Engine.sample_counts ~rng ?noise ~initial ~shots circuit)
+  in
+  let total () = Array.fold_left ( + ) 0 counts in
+  (* final fixed-budget decision rule on whatever counts were taken; the
+     same rule closes the sequential path at max_shots, so the two
+     budgets agree by construction once the cap is reached *)
+  let decide_fixed significance =
+    let s = total () in
+    let sf = float_of_int s in
+    if counts.(m) > 0 && not has_other then
+      (* outcome the expectation gave zero mass: certain violation *)
+      ( false,
+        {
+          Stats.Tests.statistic = infinity;
+          pvalue = 0.;
+          df = float_of_int (k_cat - 1);
+        } )
+    else if k_cat < 2 then
+      (* point-mass expectation matched exactly *)
+      (true, { Stats.Tests.statistic = 0.; pvalue = 1.; df = 0. })
+    else begin
+      let observed =
+        Array.init k_cat (fun i -> float_of_int counts.(i))
+      in
+      let expected_counts = Array.map (fun p -> Float.max (p *. sf) 1e-9) probs in
+      let test = Stats.Tests.chi2_gof ~expected:expected_counts observed in
+      (test.Stats.Tests.pvalue >= significance, test)
+    end
+  in
+  match budget with
+  | `Fixed shots ->
+      if shots <= 0 then invalid_arg "Verify.check_counts: non-positive shots";
+      draw shots;
+      let holds, test = decide_fixed dist.Assertion.Dist.significance in
+      { counts_hold = holds; test; shots_used = shots; early_stop = false }
+  | `Sequential { Stats.Tests.alpha; beta; max_shots = cap } ->
+      if cap <= 0 then invalid_arg "Verify.check_counts: non-positive max_shots";
+      (* per-category LLR of H1 = (1-delta) expected + delta uniform over
+         all 2^n outcomes against H0 = expected; a category H0 calls
+         impossible forces an immediate reject when observed *)
+      let d_f = Float.pow 2. (float_of_int (Circuit.num_qubits circuit)) in
+      let q1 =
+        Array.init k_cat (fun i ->
+            let leak =
+              if i < m then contamination /. d_f
+              else contamination *. (d_f -. float_of_int m) /. d_f
+            in
+            ((1. -. contamination) *. probs.(i)) +. leak)
+      in
+      let llr_cat =
+        Array.init k_cat (fun i ->
+            if probs.(i) <= 0. then infinity else log (q1.(i) /. probs.(i)))
+      in
+      let sprt = ref (Stats.Sprt.make ~alpha ~beta) in
+      let block = max 64 (cap / 32) in
+      let verdict = ref Stats.Sprt.Continue in
+      let prev = Array.make (m + 1) 0 in
+      (* Haybittle–Peto-style stringent interim boundary: the SPRT's
+         simple contamination alternative cannot represent every
+         deviation direction, so each interim look also rejects outright
+         on an overwhelming chi-square — barely inflating the overall
+         type-I error while catching deviations the mixture misses *)
+      let interim = Float.min 0.001 (alpha /. 10.) in
+      while !verdict = Stats.Sprt.Continue && total () < cap do
+        let b = min block (cap - total ()) in
+        Array.blit counts 0 prev 0 (m + 1);
+        draw b;
+        (* fold the block's per-category increments into the SPRT *)
+        let s = ref !sprt in
+        for i = 0 to m do
+          let dc = counts.(i) - prev.(i) in
+          if dc > 0 then
+            if i = m && not has_other then
+              (* impossible outcome observed: force a reject *)
+              s := Stats.Sprt.observe_llr !s infinity
+            else
+              s := Stats.Sprt.observe_llr !s (float_of_int dc *. llr_cat.(i))
+        done;
+        sprt := !s;
+        let interim_holds, _ = decide_fixed interim in
+        verdict :=
+          (if not interim_holds then Stats.Sprt.Reject_h0
+           else Stats.Sprt.decide !s)
+      done;
+      let used = total () in
+      let early = used < cap in
+      seq_counters ~cap ~used ~early;
+      let fixed_holds, test = decide_fixed alpha in
+      let holds =
+        match !verdict with
+        | Stats.Sprt.Accept_h0 -> true
+        | Stats.Sprt.Reject_h0 -> false
+        | Stats.Sprt.Continue -> fixed_holds
+      in
+      { counts_hold = holds; test; shots_used = used; early_stop = early }
+
+(* ------------------- sequential assertion probing ---------------------- *)
+
+type probe_result = {
+  probe_holds : bool;
+  trials : int;
+  failures : int;
+  probe_early_stop : bool;
+  counterexample_input : Qstate.Statevec.t option;
+}
+
+(* Bernoulli SPRT hypotheses on the per-input violation rate: H0 "the
+   assertion effectively holds" (violation rate <= 1%) against H1
+   "broken" (>= 25%). With the default alpha = beta = 0.05 boundaries a
+   single observed violation crosses the reject line immediately, and
+   ~14 consecutive passes cross the accept line. *)
+let probe_p0 = 0.01
+let probe_p1 = 0.25
+
+let probe_assertion ?rng ?tol ?(budget = `Fixed 32) program assertion =
+  Obs.Span.with_ ~name:"verify.probe_assertion" @@ fun () ->
+  let rng = match rng with Some r -> r | None -> Stats.Rng.make 29 in
+  let k = Program.num_input_qubits program in
+  let failures = ref 0 and counterexample = ref None in
+  let trial () =
+    let input = Clifford.Sampling.haar_state rng k in
+    let ok = check_on_program ~rng ?tol program assertion ~input in
+    if not ok then begin
+      incr failures;
+      if !counterexample = None then counterexample := Some input
+    end;
+    not ok
+  in
+  match budget with
+  | `Fixed n ->
+      if n <= 0 then invalid_arg "Verify.probe_assertion: non-positive trials";
+      for _ = 1 to n do
+        ignore (trial ())
+      done;
+      {
+        probe_holds = !failures = 0;
+        trials = n;
+        failures = !failures;
+        probe_early_stop = false;
+        counterexample_input = !counterexample;
+      }
+  | `Sequential { Stats.Tests.alpha; beta; max_shots = cap } ->
+      if cap <= 0 then
+        invalid_arg "Verify.probe_assertion: non-positive max_shots";
+      let sprt = ref (Stats.Sprt.make ~alpha ~beta) in
+      let trials = ref 0 in
+      let verdict = ref Stats.Sprt.Continue in
+      while !verdict = Stats.Sprt.Continue && !trials < cap do
+        let violated = trial () in
+        incr trials;
+        sprt :=
+          Stats.Sprt.observe_bernoulli ~p0:probe_p0 ~p1:probe_p1 !sprt violated;
+        verdict := Stats.Sprt.decide !sprt
+      done;
+      let early = !trials < cap in
+      seq_counters ~cap ~used:!trials ~early;
+      let holds =
+        match !verdict with
+        | Stats.Sprt.Accept_h0 -> true
+        | Stats.Sprt.Reject_h0 -> false
+        | Stats.Sprt.Continue -> !failures = 0
+      in
+      {
+        probe_holds = holds;
+        trials = !trials;
+        failures = !failures;
+        probe_early_stop = early;
+        counterexample_input = !counterexample;
+      }
+
 let probe_accuracies ?rng ?(count = 20) approx program ~tracepoint =
   Obs.Span.with_ ~name:"verify.probe_accuracies" @@ fun () ->
   let rng = match rng with Some r -> r | None -> Stats.Rng.make 23 in

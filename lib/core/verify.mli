@@ -89,6 +89,71 @@ val minimize_counterexample :
   counterexample:Linalg.Cmat.t ->
   Qstate.Statevec.t
 
+(** Verdict of a distribution-level assertion on measurement counts. *)
+type counts_result = {
+  counts_hold : bool;  (** the observed counts are consistent with the
+                           expected distribution *)
+  test : Stats.Tests.result;
+      (** chi-square goodness-of-fit on the counts actually taken, so the
+          verdict can be independently re-derived from recorded data *)
+  shots_used : int;
+  early_stop : bool;  (** a sequential budget stopped before [max_shots] *)
+}
+
+(** [check_counts ?budget ?rng ?noise program dist ~input] samples the
+    program's final measurement distribution on [input] and tests it
+    against the expected distribution [dist] (see {!Assertion.Dist}).
+
+    With [`Fixed shots] (default 2048): one chi-square goodness-of-fit
+    test at [dist.significance], pooling all unlisted outcomes into one
+    category. With [`Sequential {alpha; beta; max_shots}]: shots are
+    drawn in blocks feeding a Wald SPRT of the expected distribution
+    against a 20% contamination alternative (uniform over all 2^n
+    outcomes); each interim look additionally rejects outright on an
+    overwhelming chi-square (Haybittle–Peto boundary,
+    [min 0.001 (alpha / 10)]) to catch deviation directions the mixture
+    cannot represent. Crossing either boundary stops early
+    ([verify_early_stop_total], shots saved in
+    [verify_shots_saved_total]); reaching [max_shots] falls back to the
+    fixed-budget chi-square rule at level [alpha] — so the two budgets
+    agree by construction once the cap is reached, and always on
+    point-mass (deterministic) distributions. An outcome the expectation
+    gives zero mass is an immediate certain violation. *)
+val check_counts :
+  ?budget:Stats.Tests.budget ->
+  ?rng:Stats.Rng.t ->
+  ?noise:Sim.Noise.t ->
+  Program.t ->
+  Assertion.Dist.t ->
+  input:Qstate.Statevec.t ->
+  counts_result
+
+(** Result of sequential assertion probing over random inputs. *)
+type probe_result = {
+  probe_holds : bool;
+  trials : int;
+  failures : int;  (** inputs on which the assertion failed *)
+  probe_early_stop : bool;
+  counterexample_input : Qstate.Statevec.t option;
+      (** first violating input, when any *)
+}
+
+(** [probe_assertion ?rng ?tol ?budget program assertion] draws Haar-random
+    inputs and checks the assertion on the real program per input
+    ({!check_on_program}), treating each input as a Bernoulli trial of the
+    violation rate. [`Fixed n] (default 32) runs exactly [n] trials and
+    holds iff none fail. [`Sequential] runs a Bernoulli SPRT of
+    "violation rate <= 1%" against ">= 25%": one observed violation
+    rejects immediately at the default boundaries, ~14 consecutive passes
+    accept early; at [max_shots] the fixed rule applies. *)
+val probe_assertion :
+  ?rng:Stats.Rng.t ->
+  ?tol:float ->
+  ?budget:Stats.Tests.budget ->
+  Program.t ->
+  Assertion.t ->
+  probe_result
+
 (** [probe_accuracies ?rng ?count approx program ~tracepoint] measures
     approximation accuracy on random Haar inputs against fresh program
     executions (feeds {!Confidence.estimate} and the accuracy figures). *)

@@ -395,10 +395,28 @@ let rec expand_def ~lookup ~depth line (def : gate_def) ~env ~qmap =
   stmts ();
   !out
 
-let parse_with_locs src =
+(* distribution-level expectation pragma: [expect K P, K P, ...;] with an
+   optional significance in parens — [expect(0.01) 0 0.5, 7 0.5;]. Parsed
+   purely syntactically; semantic validation (probability range, index
+   range, duplicates) is the linter's MQ019 and [Assertion.Dist.make]'s
+   job, so a malformed pragma still parses to a diagnosable value. *)
+type expect_pragma = {
+  expected : (int * float) list;
+  significance : float option;
+  expect_loc : int * int;
+}
+
+type full = {
+  circuit : Circuit.t;
+  locs : (int * int) array;
+  expects : expect_pragma list;
+}
+
+let parse_full src =
   let st = { toks = tokenize src } in
   let qreg = ref None and creg = ref 0 in
   let qreg_loc = ref (0, 0) in
+  let expects = ref [] in
   let defs : (string, gate_def) Hashtbl.t = Hashtbl.create 8 in
   (* each pending instruction carries the (line, col) of its statement *)
   let pending : (Circuit.Instr.t * (int * int)) list ref = ref [] in
@@ -479,6 +497,38 @@ let parse_with_locs src =
         pending :=
           (Circuit.Instr.Tracepoint { id; qubits }, (tk.line, tk.col))
           :: !pending;
+        stmt ()
+    | Some ({ token = Ident "expect"; _ } as tk) ->
+        let line = tk.line in
+        ignore (next st);
+        ignore (require_circuit line);
+        let significance =
+          match peek st with
+          | Some { token = Lparen; _ } ->
+              ignore (next st);
+              let v = parse_expr st in
+              expect st Rparen ")";
+              Some v
+          | _ -> None
+        in
+        let pair () =
+          let k = expect_int st in
+          let p = parse_expr st in
+          (k, p)
+        in
+        let rec pairs acc =
+          let acc = pair () :: acc in
+          match peek st with
+          | Some { token = Comma; _ } ->
+              ignore (next st);
+              pairs acc
+          | _ -> List.rev acc
+        in
+        let expected = pairs [] in
+        expect st Semicolon ";";
+        expects :=
+          { expected; significance; expect_loc = (tk.line, tk.col) }
+          :: !expects;
         stmt ()
     | Some ({ token = Ident "measure"; _ } as tk) ->
         let line = tk.line in
@@ -620,17 +670,31 @@ let parse_with_locs src =
       (with_loc !qreg_loc (fun () -> Circuit.empty ~clbits:!creg n))
       items
   in
-  (circuit, Array.of_list (List.map snd items))
+  {
+    circuit;
+    locs = Array.of_list (List.map snd items);
+    expects = List.rev !expects;
+  }
 
-let parse src = fst (parse_with_locs src)
+let parse_with_locs src =
+  let f = parse_full src in
+  (f.circuit, f.locs)
 
-let parse_file_with_locs path =
+let parse src = (parse_full src).circuit
+
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse_with_locs (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_file path = fst (parse_file_with_locs path)
+let parse_file_full path = parse_full (read_file path)
+
+let parse_file_with_locs path =
+  let f = parse_file_full path in
+  (f.circuit, f.locs)
+
+let parse_file path = (parse_file_full path).circuit
 
 (* ---------------- printer ---------------- *)
 

@@ -9,6 +9,10 @@
       [mcz q[1,2,3],q[4];]-style names starting with [mc] treat the first
       argument as the control list
     - the tracepoint pragma [T 1 q[2,3,4];]
+    - the distribution expectation pragma [expect 0 0.5, 7 0.5;]
+      (optionally [expect(0.01) ...;] with a significance level) asserting
+      the final measurement distribution — carried as a side channel (see
+      {!parse_full}), not as a circuit instruction
     - [measure q[i] -> c[j];], [reset q[i];], [barrier q[...];]
     - feedback [if (c[i]==v) name q[j];] and [if (c==v) ...;] (whole
       register)
@@ -43,6 +47,30 @@ val parse_file : string -> Circuit.t
 val parse_with_locs : string -> Circuit.t * (int * int) array
 
 val parse_file_with_locs : string -> Circuit.t * (int * int) array
+
+(** One [expect] pragma, purely syntactic: [(basis index, probability)]
+    pairs and the optional significance. Semantic validation (probability
+    and index ranges, duplicates, mass sum) is the job of
+    [Analysis.Lint] (MQ019) and [Assertion.Dist.make], so a malformed
+    pragma still parses to a diagnosable value. *)
+type expect_pragma = {
+  expected : (int * float) list;
+  significance : float option;
+  expect_loc : int * int;  (** (line, column) of the pragma *)
+}
+
+type full = {
+  circuit : Circuit.t;
+  locs : (int * int) array;  (** as in {!parse_with_locs} *)
+  expects : expect_pragma list;  (** in source order *)
+}
+
+(** [parse_full src] is {!parse_with_locs} plus the [expect] pragmas. The
+    pragmas ride a side channel so [Circuit.t] — and every consumer of
+    it — is unchanged. *)
+val parse_full : string -> full
+
+val parse_file_full : string -> full
 
 (** [to_string c] renders a circuit back to mini-QASM; [parse (to_string c)]
     reproduces the circuit up to gate-name canonicalization. *)

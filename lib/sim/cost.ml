@@ -51,6 +51,18 @@ let record_many t circuit ~circuits ~shots_each =
   t.two_qubit_gates <- t.two_qubit_gates + (total_shots * two_q);
   t.measurements <- t.measurements + total_shots
 
+(* like [record_many] but with an exact total instead of a per-circuit
+   count — sequential shot budgets spend unequal shots per execution *)
+let record_total t circuit ~executions ~total_shots =
+  let gates = Circuit.gate_count circuit in
+  let two_q = Circuit.two_qubit_count circuit in
+  t.executions <- t.executions + executions;
+  t.shots <- t.shots + total_shots;
+  t.gate_ops <- t.gate_ops + (total_shots * gates);
+  t.one_qubit_gates <- t.one_qubit_gates + (total_shots * (gates - two_q));
+  t.two_qubit_gates <- t.two_qubit_gates + (total_shots * two_q);
+  t.measurements <- t.measurements + total_shots
+
 let add t other =
   t.executions <- t.executions + other.executions;
   t.shots <- t.shots + other.shots;

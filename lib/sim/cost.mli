@@ -26,6 +26,12 @@ val record_circuit : t -> Circuit.t -> shots:int -> unit
     settings. *)
 val record_many : t -> Circuit.t -> circuits:int -> shots_each:int -> unit
 
+(** [record_total t circuit ~executions ~total_shots] accounts
+    [executions] submissions spending [total_shots] shots in total —
+    used by sequential shot budgets, where executions spend unequal
+    shots. *)
+val record_total : t -> Circuit.t -> executions:int -> total_shots:int -> unit
+
 (** [add t other] accumulates [other] into [t]. *)
 val add : t -> t -> unit
 

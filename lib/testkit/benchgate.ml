@@ -1,0 +1,345 @@
+(* Bench-regression gate over the machine-readable results files — see
+   the mli for the statistical contract. *)
+
+(* ------------------------- tiny JSON reader -------------------------- *)
+
+(* The tree has no JSON dependency; the writer ([bench/util.ml]) emits a
+   small, regular subset, but the reader below is a complete-enough
+   parser (escapes, exponents, nesting, null) that hand-edited or
+   externally produced results files also load. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Json_error of string
+
+let parse_json src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub src !pos l = word then (
+      pos := !pos + l;
+      value)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              (* non-ASCII never appears in record names; map the BMP
+                 escape to '?' rather than carrying a UTF-8 encoder *)
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              Buffer.add_char buf '?';
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let consume () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+          advance ();
+          true
+      | _ -> false
+    in
+    while consume () do () done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub src start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number ())
+    | _ -> fail "expected a JSON value"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then (
+      advance ();
+      Obj [])
+    else
+      let rec members acc =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+        | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members []
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then (
+      advance ();
+      Arr [])
+    else
+      let rec elems acc =
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elems (v :: acc)
+        | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      elems []
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+(* --------------------------- schema binding --------------------------- *)
+
+type row = {
+  name : string;
+  seconds : float;
+  samples : float array;
+  metrics : (string * int) list;
+}
+
+type run = { schema : string; rows : row list }
+
+let field key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let num_exn what = function
+  | Num f -> f
+  | _ -> raise (Json_error (what ^ ": expected a number"))
+
+let row_of_json j =
+  let name =
+    match field "name" j with
+    | Some (Str s) -> s
+    | _ -> raise (Json_error "result row without a \"name\"")
+  in
+  let seconds =
+    match field "seconds" j with
+    | Some v -> num_exn (name ^ ".seconds") v
+    | None -> raise (Json_error (name ^ ": missing \"seconds\""))
+  in
+  let samples =
+    match field "samples" j with
+    | Some (Arr l) -> Array.of_list (List.map (num_exn (name ^ ".samples")) l)
+    | _ -> [||]
+  in
+  let metrics =
+    match field "metrics" j with
+    | Some (Obj kvs) ->
+        List.map
+          (fun (k, v) -> (k, int_of_float (num_exn (name ^ ".metrics") v)))
+          kvs
+    | _ -> []
+  in
+  { name; seconds; samples; metrics }
+
+let parse_run src =
+  match parse_json src with
+  | exception Json_error msg -> Error msg
+  | j -> (
+      let schema =
+        match field "schema" j with Some (Str s) -> s | _ -> ""
+      in
+      if schema <> "morphqpv-bench-v2" then
+        Error (Printf.sprintf "unsupported results schema %S" schema)
+      else
+        match field "results" j with
+        | Some (Arr rows) -> (
+            try Ok { schema; rows = List.map row_of_json rows }
+            with Json_error msg -> Error msg)
+        | _ -> Error "missing \"results\" array")
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" path e)
+        (parse_run src)
+
+(* ----------------------------- comparison ----------------------------- *)
+
+type finding = {
+  record : string;
+  what : string;
+  statistic : float;
+  pvalue : float option;
+}
+
+type report = {
+  regressions : finding list;
+  skipped : string list;
+  compared : int;
+}
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  s.(Array.length s / 2)
+
+let variance a = Stats.Describe.variance a
+
+(* one-sided Welch t on log-times, current vs previous: log-transforming
+   makes the multiplicative timing noise of shared runners roughly
+   additive, so the t-test's normality assumption is defensible even at
+   3 repetitions *)
+let timing_finding ~alpha ~min_ratio ~(prev : row) ~(cur : row) =
+  let logs a = Array.map (fun t -> log (Float.max t 1e-9)) a in
+  let lp = logs prev.samples and lc = logs cur.samples in
+  let ratio = median cur.samples /. Float.max (median prev.samples) 1e-9 in
+  if ratio <= min_ratio then None
+  else if variance lp <= 0. && variance lc <= 0. then
+    (* deterministic (or injected) timings: the ratio alone is the
+       evidence, and it already exceeds the practical bound *)
+    Some
+      {
+        record = cur.name;
+        what =
+          Printf.sprintf
+            "slowdown %.2fx (%.6fs -> %.6fs, zero-variance samples)" ratio
+            prev.seconds cur.seconds;
+        statistic = Float.infinity;
+        pvalue = Some 0.;
+      }
+  else
+    let t = Stats.Tests.t_two_sample ~alternative:Stats.Tests.Greater lc lp in
+    if t.Stats.Tests.pvalue < alpha then
+      Some
+        {
+          record = cur.name;
+          what =
+            Printf.sprintf "slowdown %.2fx (%.6fs -> %.6fs)" ratio prev.seconds
+              cur.seconds;
+          statistic = t.Stats.Tests.statistic;
+          pvalue = Some t.Stats.Tests.pvalue;
+        }
+    else None
+
+(* counters are deterministic under the pinned bench seeds, so any drift
+   on a key both runs carry is a real behaviour change (more shots, more
+   gates, fewer early stops); keys only one run carries are ignored —
+   counters come and go legitimately as PRs add instrumentation *)
+let counter_findings ~(prev : row) ~(cur : row) =
+  List.filter_map
+    (fun (k, pv) ->
+      match List.assoc_opt k cur.metrics with
+      | Some cv when cv <> pv ->
+          Some
+            {
+              record = cur.name;
+              what = Printf.sprintf "counter %s drifted %d -> %d" k pv cv;
+              statistic = float_of_int (cv - pv);
+              pvalue = None;
+            }
+      | _ -> None)
+    prev.metrics
+
+let compare_runs ?(alpha = 0.01) ?(min_ratio = 1.3) ~prev cur =
+  let regressions = ref [] and skipped = ref [] and compared = ref 0 in
+  List.iter
+    (fun (c : row) ->
+      match List.find_opt (fun (p : row) -> p.name = c.name) prev.rows with
+      | None -> skipped := (c.name ^ " (new record)") :: !skipped
+      | Some p ->
+          (match counter_findings ~prev:p ~cur:c with
+          | [] -> ()
+          | fs -> regressions := fs @ !regressions);
+          if Array.length p.samples < 2 || Array.length c.samples < 2 then
+            skipped := (c.name ^ " (< 2 timing samples)") :: !skipped
+          else begin
+            incr compared;
+            match timing_finding ~alpha ~min_ratio ~prev:p ~cur:c with
+            | Some f -> regressions := f :: !regressions
+            | None -> ()
+          end)
+    cur.rows;
+  {
+    regressions = List.rev !regressions;
+    skipped = List.rev !skipped;
+    compared = !compared;
+  }
+
+let pp_report ppf r =
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "REGRESSION %s: %s (statistic %.4g%s)@." f.record
+        f.what f.statistic
+        (match f.pvalue with
+        | Some p -> Printf.sprintf ", p = %.4g" p
+        | None -> ", exact"))
+    r.regressions;
+  List.iter (fun s -> Format.fprintf ppf "skipped %s@." s) r.skipped;
+  Format.fprintf ppf "bench check: %d timing row(s) compared, %d regression(s)@."
+    r.compared
+    (List.length r.regressions)

@@ -374,3 +374,65 @@ let obs_transparent circ =
       Obs.configure ~enabled:true;
       let on = run_all () in
       off = on)
+
+(* ---- statistical verdicts ---- *)
+
+(* Sequential and fixed shot budgets must agree on unambiguous
+   distribution assertions. Both sides of the dichotomy are forced: the
+   TRUE output distribution of the circuit (both budgets must hold —
+   the significance levels are set to 1e-6, so a false reject is a
+   once-per-million-sweeps event, not a flake), and a broken expectation
+   with every probability halved (the missing half lands in the "other"
+   bucket that observes nothing, a ~shots/2 chi-square: both budgets
+   must reject). *)
+let sequential_vs_fixed_verdict circ =
+  let c = Gen.build circ in
+  let program = Morphcore.Program.make c in
+  let n = Circuit.num_qubits c in
+  let input = Qstate.Statevec.basis n 0 in
+  let probs = Qstate.Statevec.probs (Sim.Engine.run c).Sim.Engine.state in
+  (* listed support: up to 8 heaviest outcomes above 1e-3 *)
+  let listed =
+    Array.to_list (Array.mapi (fun k p -> (k, p)) probs)
+    |> List.filter (fun (_, p) -> p > 1e-3)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < 8)
+  in
+  if listed = [] then true (* no category above threshold: vacuous *)
+  else
+  let check ~significance expected budget seed =
+    let dist = Morphcore.Assertion.Dist.make ~significance expected in
+    (Morphcore.Verify.check_counts ~budget ~rng:(Stats.Rng.make seed) program
+       dist ~input)
+      .Morphcore.Verify.counts_hold
+  in
+  let seq =
+    `Sequential { Stats.Tests.alpha = 1e-6; beta = 1e-6; max_shots = 2048 }
+  in
+  let agree_true =
+    check ~significance:1e-6 listed (`Fixed 2048) 3
+    && check ~significance:1e-6 listed seq 3
+  in
+  let broken = List.map (fun (k, p) -> (k, p /. 2.)) listed in
+  let agree_broken =
+    (not (check ~significance:1e-6 broken (`Fixed 2048) 5))
+    && not (check ~significance:1e-6 broken seq 5)
+  in
+  agree_true && agree_broken
+
+(* Under a true null hypothesis, p-values must be Uniform(0,1) — the
+   property every verdict in the stats layer leans on. Student-t
+   p-values are continuous, so the exact one-sample KS test applies with
+   no discreteness slack: draw 80 independent t-tests of N(0,1) data
+   against mu = 0 and KS their p-values against the uniform CDF. The
+   sketch only seeds the RNG stream, so the sweep exercises 100
+   independent streams per run. *)
+let pvalue_uniform_under_null circ =
+  let rng = Stats.Rng.make (Hashtbl.hash circ land 0x3FFFFFFF) in
+  let pvalues =
+    Array.init 80 (fun _ ->
+        let xs = Array.init 12 (fun _ -> Stats.Rng.gaussian rng ~mu:0. ~sigma:1.) in
+        (Stats.Tests.t_one_sample ~mu:0. xs).Stats.Tests.pvalue)
+  in
+  let cdf x = Float.min 1. (Float.max 0. x) in
+  (Stats.Tests.ks_one_sample ~cdf pvalues).Stats.Tests.pvalue > 1e-4

@@ -148,3 +148,16 @@ val characterize_engines_agree : ?pool:Parallel.Pool.t -> Gen.circ -> bool
     batch, density matrix) produces bit-for-bit identical outputs with
     [Obs] disabled and enabled. Restores the caller's [Obs] setting. *)
 val obs_transparent : Gen.circ -> bool
+
+(** [sequential_vs_fixed_verdict c] — [`Fixed] and [`Sequential] shot
+    budgets of [Morphcore.Verify.check_counts] agree on both sides of an
+    unambiguous dichotomy: the circuit's true output distribution (both
+    hold) and a halved-probability corruption of it (both reject). The
+    significance levels are 1e-6, so a statistical flake is a
+    once-per-million-sweeps event. *)
+val sequential_vs_fixed_verdict : Gen.circ -> bool
+
+(** [pvalue_uniform_under_null c] — 80 Student-t p-values of N(0,1) data
+    tested against their true mean are exact-KS-consistent with
+    Uniform(0,1) at level 1e-4. The sketch only seeds the RNG stream. *)
+val pvalue_uniform_under_null : Gen.circ -> bool

@@ -28,21 +28,41 @@ val settings_count : int -> int
     expectations; the identity term is fixed to 1 if absent. *)
 val reconstruct : int -> (Qstate.Pauli.t * float) list -> Linalg.Cmat.t
 
-(** [run ?project rng ~shots ~truth ()] performs full tomography of the [n]-
-    qubit state [truth] (an exact density matrix): estimates every Pauli
-    expectation with shot noise, reconstructs, and projects to a physical
-    state unless [project] is [false]. [shots] is the budget per measurement
-    setting. *)
+(** [run ?project ?budget rng ~shots ~truth ()] performs full tomography of
+    the [n]-qubit state [truth] (an exact density matrix): estimates every
+    Pauli expectation with shot noise, reconstructs, and projects to a
+    physical state unless [project] is [false]. [shots] is the budget per
+    measurement setting.
+
+    [budget] (default: today's fixed behavior) selects the shot policy:
+    [`Fixed n] overrides [shots]; [`Sequential s] draws shot blocks per
+    expectation and stops each estimate as soon as its smoothed standard
+    error matches what [s.max_shots] shots would guarantee at worst case
+    (variance-matched stopping) — sharply peaked outcomes stop after
+    O(sqrt max_shots) shots. Shots saved against the fixed equivalent are
+    recorded in the [verify_shots_saved_total] / [verify_early_stop_total]
+    counters; [result.shots_used] reports actual spend (per-setting max
+    over the Pauli strings the setting covers). The fixed path is
+    bit-identical to the pre-budget code. *)
 val run :
   ?project:bool ->
+  ?budget:Stats.Tests.budget ->
   Stats.Rng.t ->
   shots:int ->
   truth:Linalg.Cmat.t ->
   unit ->
   result
 
-(** [probs_only rng ~shots ~truth ()] estimates only the computational-basis
-    distribution (the paper's Strategy-prop short-cut): one setting, [shots]
-    samples, returning the diagonal reconstruction. *)
+(** [probs_only ?budget rng ~shots ~truth ()] estimates only the
+    computational-basis distribution (the paper's Strategy-prop
+    short-cut): one setting, [shots] samples, returning the diagonal
+    reconstruction. [budget] as in {!run}: sequential stopping ends the
+    draw once every category's smoothed standard error is at worst what
+    the full [max_shots] would guarantee. *)
 val probs_only :
-  Stats.Rng.t -> shots:int -> truth:Linalg.Cmat.t -> unit -> result
+  ?budget:Stats.Tests.budget ->
+  Stats.Rng.t ->
+  shots:int ->
+  truth:Linalg.Cmat.t ->
+  unit ->
+  result

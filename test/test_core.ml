@@ -428,6 +428,139 @@ let prop_case1_exactness =
       in
       Approx.accuracy predicted truth > 1. -. 1e-6)
 
+(* ---------------- distribution assertions ---------------- *)
+
+let ghz3 = Circuit.(empty 3 |> h 0 |> cx 0 1 |> cx 1 2)
+let ghz3_dist () = Assertion.Dist.make [ (0, 0.5); (7, 0.5) ]
+
+let test_dist_validation () =
+  let d = ghz3_dist () in
+  check_float ~eps:1e-12 "other mass" 0. (Assertion.Dist.other_mass d);
+  check_float "default significance" 0.05 d.Assertion.Dist.significance;
+  List.iter
+    (fun (sig_, pairs) ->
+      match Assertion.Dist.make ?significance:sig_ pairs with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "Dist.make accepted an invalid spec")
+    [
+      (None, []);
+      (None, [ (0, 0.5); (0, 0.5) ]) (* duplicate index *);
+      (None, [ (-1, 0.5) ]);
+      (None, [ (0, 1.5) ]);
+      (None, [ (0, 0.7); (1, 0.7) ]) (* mass > 1 *);
+      (Some 0., [ (0, 0.5) ]);
+      (Some 1., [ (0, 0.5) ]);
+    ]
+
+let test_check_counts_fixed_holds () =
+  let program = Program.make ghz3 in
+  let input = Qstate.Statevec.basis 3 0 in
+  let r =
+    Verify.check_counts ~budget:(`Fixed 2048) ~rng:(rng ()) program
+      (ghz3_dist ()) ~input
+  in
+  if not r.Verify.counts_hold then
+    Alcotest.failf "GHZ counts rejected (p = %g)" r.Verify.test.Stats.Tests.pvalue;
+  Alcotest.(check int) "spent the fixed budget" 2048 r.Verify.shots_used;
+  Alcotest.(check bool) "no early stop on fixed" false r.Verify.early_stop
+
+let test_check_counts_sequential_agrees () =
+  (* same program, same expectation: the sequential budget must reach the
+     same verdict while spending strictly fewer shots (GHZ accepts in the
+     first few SPRT blocks) *)
+  let program = Program.make ghz3 in
+  let input = Qstate.Statevec.basis 3 0 in
+  let budget =
+    `Sequential { Stats.Tests.alpha = 0.05; beta = 0.05; max_shots = 2048 }
+  in
+  let r = Verify.check_counts ~budget ~rng:(rng ()) program (ghz3_dist ()) ~input in
+  Alcotest.(check bool) "holds" true r.Verify.counts_hold;
+  Alcotest.(check bool) "stopped early" true r.Verify.early_stop;
+  if r.Verify.shots_used >= 2048 then
+    Alcotest.failf "sequential spent the whole cap (%d)" r.Verify.shots_used
+
+let test_check_counts_rejects_wrong_dist () =
+  let program = Program.make ghz3 in
+  let input = Qstate.Statevec.basis 3 0 in
+  let wrong = Assertion.Dist.make [ (0, 0.9); (7, 0.1) ] in
+  List.iter
+    (fun budget ->
+      let r = Verify.check_counts ~budget ~rng:(rng ()) program wrong ~input in
+      if r.Verify.counts_hold then
+        Alcotest.fail "0.9/0.1 expectation must be rejected on GHZ")
+    [
+      `Fixed 2048;
+      `Sequential { Stats.Tests.alpha = 0.05; beta = 0.05; max_shots = 2048 };
+    ]
+
+let test_check_counts_impossible_outcome () =
+  (* claiming all mass on |111> while the program emits |000> half the
+     time: a zero-probability category is observed, so the sequential
+     path must reject with certainty (p = 0) *)
+  let program = Program.make ghz3 in
+  let input = Qstate.Statevec.basis 3 0 in
+  let point = Assertion.Dist.make [ (7, 1.0) ] in
+  let r =
+    Verify.check_counts
+      ~budget:(`Sequential { Stats.Tests.alpha = 0.05; beta = 0.05; max_shots = 4096 })
+      ~rng:(rng ()) program point ~input
+  in
+  Alcotest.(check bool) "rejected" false r.Verify.counts_hold;
+  check_float ~eps:0. "certain rejection" 0. r.Verify.test.Stats.Tests.pvalue
+
+let test_probe_assertion_budgets () =
+  (* identity program, trivially-true guarantee: fixed and sequential
+     budgets agree, sequential accepting after ~14 Haar probes *)
+  let c = Circuit.(empty 1 |> tracepoint 1 [ 0 ] |> tracepoint 2 [ 0 ]) in
+  let program = Program.make c in
+  let assertion =
+    Assertion.make ~name:"id"
+      ~assumes:[ Predicate.Is_pure 1 ]
+      ~guarantees:[ Predicate.Purity_ge (2, 0.5) ]
+      ()
+  in
+  let fixed = Verify.probe_assertion ~rng:(rng ()) ~budget:(`Fixed 32) program assertion in
+  Alcotest.(check bool) "fixed holds" true fixed.Verify.probe_holds;
+  Alcotest.(check int) "fixed trials" 32 fixed.Verify.trials;
+  let seq =
+    Verify.probe_assertion ~rng:(rng ())
+      ~budget:(`Sequential { Stats.Tests.alpha = 0.05; beta = 0.05; max_shots = 64 })
+      program assertion
+  in
+  Alcotest.(check bool) "sequential holds" true seq.Verify.probe_holds;
+  Alcotest.(check bool) "sequential stops early" true seq.Verify.probe_early_stop;
+  if seq.Verify.trials >= fixed.Verify.trials then
+    Alcotest.failf "sequential used %d trials >= fixed %d" seq.Verify.trials
+      fixed.Verify.trials
+
+let test_sequential_tomography_matches_fixed () =
+  (* sequential tomography on a basis state: strictly fewer shots, same
+     reconstruction to within the shot-noise of the cap *)
+  let c = Circuit.(empty 2 |> x 0 |> tracepoint 1 [ 0; 1 ]) in
+  let program = Program.make c in
+  let budget =
+    `Sequential { Stats.Tests.alpha = 0.05; beta = 0.05; max_shots = 256 }
+  in
+  let run_mode budget =
+    Characterize.run ~rng:(rng ())
+      ~mode:(Characterize.Tomography { shots = 256; project = true })
+      ?budget program ~count:2
+  in
+  let fixed = run_mode None and seq = run_mode (Some budget) in
+  let cost c = c.Characterize.cost.Sim.Cost.shots in
+  if cost seq >= cost fixed then
+    Alcotest.failf "sequential tomography spent %d shots >= fixed %d" (cost seq)
+      (cost fixed);
+  Array.iter2
+    (fun (a : Characterize.sample) (b : Characterize.sample) ->
+      List.iter2
+        (fun (ia, ma) (ib, mb) ->
+          if ia <> ib then Alcotest.fail "tracepoint ids diverged";
+          if Cmat.frob_norm (Cmat.sub ma mb) > 0.35 then
+            Alcotest.fail "sequential reconstruction drifted from fixed")
+        a.Characterize.traces b.Characterize.traces)
+    fixed.Characterize.samples seq.Characterize.samples
+
 let () =
   Alcotest.run "core"
     [
@@ -492,6 +625,16 @@ let () =
           Alcotest.test_case "check on program" `Quick test_verify_check_on_program;
           Alcotest.test_case "probe accuracies" `Quick test_verify_probe_accuracies_range;
           Alcotest.test_case "minimize counterexample" `Slow test_minimize_counterexample_lock;
+        ] );
+      ( "dist-verdicts",
+        [
+          Alcotest.test_case "dist validation" `Quick test_dist_validation;
+          Alcotest.test_case "check_counts fixed holds" `Quick test_check_counts_fixed_holds;
+          Alcotest.test_case "sequential agrees, stops early" `Quick test_check_counts_sequential_agrees;
+          Alcotest.test_case "wrong dist rejected" `Quick test_check_counts_rejects_wrong_dist;
+          Alcotest.test_case "impossible outcome certain" `Quick test_check_counts_impossible_outcome;
+          Alcotest.test_case "probe_assertion budgets" `Quick test_probe_assertion_budgets;
+          Alcotest.test_case "sequential tomography" `Quick test_sequential_tomography_matches_fixed;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -32,6 +32,19 @@ let oracle_qasm_roundtrip =
     (Gen.program ())
     Oracle.qasm_roundtrip
 
+(* check_counts samples thousands of shots per case: fewer circuits *)
+let oracle_sequential_vs_fixed =
+  QCheck.Test.make ~name:"sequential budget reproduces fixed verdict"
+    ~count:(max 10 (count / 5))
+    (Gen.pure ())
+    Oracle.sequential_vs_fixed_verdict
+
+let oracle_pvalue_uniform =
+  QCheck.Test.make ~name:"p-values uniform under the null"
+    ~count:(max 10 (count / 5))
+    (Gen.pure ())
+    Oracle.pvalue_uniform_under_null
+
 let oracle_transpile_passes =
   List.map
     (fun (name, pass) ->
@@ -186,6 +199,8 @@ let () =
              oracle_statevec_vs_tableau;
              oracle_statevec_vs_sparse;
              oracle_qasm_roundtrip;
+             oracle_sequential_vs_fixed;
+             oracle_pvalue_uniform;
            ]
           @ oracle_transpile_passes) );
       ( "metamorphic",

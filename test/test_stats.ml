@@ -160,6 +160,369 @@ let test_describe_histogram () =
   let h = Describe.histogram ~bins:2 ~lo:0. ~hi:1. xs in
   Alcotest.(check (list int)) "bins" [ 3; 3 ] (Array.to_list h)
 
+(* ---------------- golden values (Tests / Special) ----------------
+
+   Reference values computed with mpmath at 40 significant digits, and —
+   for the exact Kolmogorov-Smirnov distributions — with an independent
+   rational-arithmetic implementation (Durbin matrix / lattice path
+   counting over Fractions), so every row below is correct to well past
+   double precision. Comparison is relative, so tail probabilities down
+   to 1e-95 are held to the same number of significant digits as
+   central values. *)
+
+let check_rel ~rtol msg expected actual =
+  let denom = Float.max (Float.abs expected) Float.min_float in
+  if
+    Float.abs (expected -. actual) > (rtol *. denom) +. 1e-300
+    || Float.is_nan actual
+  then
+    Alcotest.failf "%s: expected %.17g, got %.17g (rel err %.3g)" msg expected
+      actual
+      (Float.abs (expected -. actual) /. denom)
+
+(* (label, thunk, expected, relative tolerance) *)
+let golden_special : (string * (unit -> float) * float * float) list =
+  [
+    ("lgamma 0.001", (fun () -> Special.lgamma 0.001), 6.9071788853838537, 1e-12);
+    ("lgamma 12.3", (fun () -> Special.lgamma 12.3), 18.238983407092242, 1e-12);
+    ("lgamma 150.5", (fun () -> Special.lgamma 150.5), 602.51395487058541, 1e-12);
+    ("lbeta 1e-3 1e3", (fun () -> Special.lbeta 1e-3 1e3), 6.9002716296879550, 1e-12);
+    ("lbeta 350 280", (fun () -> Special.lbeta 350. 280.), -434.38995275326938, 1e-12);
+    (* extreme-parameter incomplete beta (the betacf iteration-cap and
+       log1p front-factor regressions live here) *)
+    ("betainc tiny-tiny", (fun () -> Special.betainc 0.001 0.001 0.5), 0.5, 1e-10);
+    ("betainc 1000 2 0.999", (fun () -> Special.betainc 1000. 2. 0.999), 0.73539084954192809, 1e-9);
+    ("betainc 500 500 0.48", (fun () -> Special.betainc 500. 500. 0.48), 0.10291752730699592, 1e-9);
+    ("betainc 1e-4 10 1e-8", (fun () -> Special.betainc 1e-4 10. 1e-8), 0.99844203593158044, 1e-10);
+    ("betainc 5 1e-4 0.9999", (fun () -> Special.betainc 5. 1e-4 0.9999), 7.1249387014159099e-4, 1e-10);
+    ("betainc 0.5 0.5 1-1e-6", (fun () -> Special.betainc 0.5 0.5 0.999999), 0.99936338012152908, 1e-10);
+    ("betainc 8 3 1e-12", (fun () -> Special.betainc 8. 3. 1e-12), 4.4999999999920000e-95, 1e-10);
+    ("gammainc_p 0.5 1e-8", (fun () -> Special.gammainc_p 0.5 1e-8), 1.1283791633342487e-4, 1e-12);
+    ("gammainc_p 300 280", (fun () -> Special.gammainc_p 300. 280.), 0.12260728267114314, 1e-11);
+    ("gammainc_q 300 280", (fun () -> Special.gammainc_q 300. 280.), 0.87739271732885686, 1e-11);
+    ("gammainc_p 1 1", (fun () -> Special.gammainc_p 1. 1.), 0.63212055882855768, 1e-12);
+    ("gammainc_q 10 3", (fun () -> Special.gammainc_q 10. 3.), 0.99889751186988452, 1e-12);
+    ("gammainc_q 0.5 50", (fun () -> Special.gammainc_q 0.5 50.), 1.5239706048321052e-23, 1e-11);
+    ("erf 0.5", (fun () -> Special.erf 0.5), 0.52049987781304654, 1e-12);
+    ("erf 2", (fun () -> Special.erf 2.), 0.99532226501895273, 1e-12);
+    ("erfc 5", (fun () -> Special.erfc 5.), 1.5374597944280349e-12, 1e-11);
+    ("erfc 10", (fun () -> Special.erfc 10.), 2.0884875837625448e-45, 1e-11);
+    ("norm_sf 1.96", (fun () -> Special.norm_sf 1.96), 2.4997895148220434e-2, 1e-11);
+    ("norm_sf 6", (fun () -> Special.norm_sf 6.), 9.8658764503769814e-10, 1e-11);
+    ("norm_sf 10", (fun () -> Special.norm_sf 10.), 7.6198530241605261e-24, 1e-11);
+    ("norm_sf -3", (fun () -> Special.norm_sf (-3.)), 0.99865010196836991, 1e-12);
+  ]
+
+let golden_survival : (string * (unit -> float) * float * float) list =
+  [
+    ("t_sf 2.5 7", (fun () -> Tests.t_sf 2.5 7.), 2.0496109292876448e-2, 1e-11);
+    ("t_sf -1.3 3", (fun () -> Tests.t_sf (-1.3) 3.), 0.85776624563605130, 1e-11);
+    ("t_sf 8 2", (fun () -> Tests.t_sf 8. 2.), 7.6340360826690691e-3, 1e-11);
+    ("t_sf 4.2 60", (fun () -> Tests.t_sf 4.2 60.), 4.4927683781857029e-5, 1e-10);
+    ("chi2_sf 3.84 1", (fun () -> Tests.chi2_sf 3.84 1.), 5.0043521248705099e-2, 1e-11);
+    ("chi2_sf 0.1 5", (fun () -> Tests.chi2_sf 0.1 5.), 0.99983768338807738, 1e-12);
+    ("chi2_sf 120 100", (fun () -> Tests.chi2_sf 120. 100.), 8.4406681093691830e-2, 1e-10);
+    ("chi2_sf 300 10", (fun () -> Tests.chi2_sf 300. 10.), 1.5546747543803181e-58, 1e-10);
+    ("kolmogorov_sf 0.5", (fun () -> Tests.kolmogorov_sf 0.5), 0.96394524366487509, 1e-12);
+    ("kolmogorov_sf 1.0", (fun () -> Tests.kolmogorov_sf 1.0), 0.26999967167735452, 1e-12);
+    ("kolmogorov_sf 2.0", (fun () -> Tests.kolmogorov_sf 2.0), 6.7092525577969535e-4, 1e-12);
+  ]
+
+(* fixed small datasets; statistics AND p-values pinned *)
+let t1_xs = [| 2.1; 2.5; 1.9; 2.3; 2.7 |]
+let t2_a = [| 12.1; 11.9; 12.4; 12.3; 11.8; 12.6 |]
+let t2_b = [| 11.2; 11.5; 11.0; 11.7 |]
+let t3_c = [| 1.0; 1.0; 2.0 |] (* tied values, minimal n *)
+let t3_d = [| 2.0; 2.0; 3.0; 3.0 |]
+
+let golden_ttests : (string * (unit -> float) * float * float) list =
+  [
+    ( "t1 statistic",
+      (fun () -> (Tests.t_one_sample ~mu:2.0 t1_xs).Tests.statistic),
+      2.1213203435596426, 1e-11 );
+    ( "t1 two-sided p",
+      (fun () -> (Tests.t_one_sample ~mu:2.0 t1_xs).Tests.pvalue),
+      0.10119150721829545, 1e-10 );
+    ( "t1 greater p",
+      (fun () ->
+        (Tests.t_one_sample ~alternative:Tests.Greater ~mu:2.0 t1_xs)
+          .Tests.pvalue),
+      5.0595753609147726e-2, 1e-10 );
+    ( "welch statistic",
+      (fun () -> (Tests.t_two_sample t2_a t2_b).Tests.statistic),
+      4.1782891904054724, 1e-11 );
+    ( "welch df",
+      (fun () -> (Tests.t_two_sample t2_a t2_b).Tests.df),
+      6.5002434472125294, 1e-11 );
+    ( "welch two-sided p",
+      (fun () -> (Tests.t_two_sample t2_a t2_b).Tests.pvalue),
+      4.8828790791969742e-3, 1e-10 );
+    ( "pooled statistic",
+      (fun () -> (Tests.t_two_sample ~equal_var:true t2_a t2_b).Tests.statistic),
+      4.1931393468876732, 1e-11 );
+    ( "pooled two-sided p",
+      (fun () -> (Tests.t_two_sample ~equal_var:true t2_a t2_b).Tests.pvalue),
+      3.0247456583711371e-3, 1e-10 );
+    ( "tied small-n statistic",
+      (fun () -> (Tests.t_two_sample t3_c t3_d).Tests.statistic),
+      -2.6457513110645906, 1e-11 );
+    ( "tied small-n df",
+      (fun () -> (Tests.t_two_sample t3_c t3_d).Tests.df),
+      4.4545454545454546, 1e-11 );
+    ( "tied small-n less p",
+      (fun () ->
+        (Tests.t_two_sample ~alternative:Tests.Less t3_c t3_d).Tests.pvalue),
+      2.5635647517661071e-2, 1e-10 );
+    ( "chi2 gof statistic",
+      (fun () ->
+        (Tests.chi2_gof ~expected:[| 20.; 50.; 30. |] [| 18.; 55.; 27. |])
+          .Tests.statistic),
+      1.0, 1e-12 );
+    ( "chi2 gof p",
+      (fun () ->
+        (Tests.chi2_gof ~expected:[| 20.; 50.; 30. |] [| 18.; 55.; 27. |])
+          .Tests.pvalue),
+      0.60653065971263342, 1e-11 );
+    ( "chi2 gof p ddof=1",
+      (fun () ->
+        (Tests.chi2_gof ~ddof:1 ~expected:[| 20.; 50.; 30. |]
+           [| 18.; 55.; 27. |])
+          .Tests.pvalue),
+      0.31731050786291410, 1e-11 );
+  ]
+
+(* one-sample data: 10 points on a 0.01 grid vs U(0,1), D = 11/100 exactly;
+   two-sample: no ties by construction (b is a-grid shifted by 0.01) *)
+let ks1_xs = [| 0.05; 0.18; 0.22; 0.41; 0.47; 0.55; 0.61; 0.72; 0.88; 0.94 |]
+let ks2_a = [| 0.1; 0.3; 0.5; 0.7; 0.9 |]
+let ks2_b = [| 0.21; 0.41; 0.61; 0.81; 1.01; 1.21 |]
+let ks2_c = [| 0.10; 0.20; 0.30; 0.40 |] (* disjoint from ks2_e: D = 1 *)
+let ks2_e = [| 0.55; 0.65; 0.75; 0.85 |]
+
+let golden_ks : (string * (unit -> float) * float * float) list =
+  [
+    (* exact D_n CDF: small n, tail d, large n near the matrix-rescaling
+       regime, and the n = 140 limit of the exact path *)
+    ("ks_cdf_exact 10 0.3", (fun () -> Tests.ks_cdf_exact 10 0.3), 0.72946442520000000, 1e-10);
+    ("ks_cdf_exact 5 0.4", (fun () -> Tests.ks_cdf_exact 5 0.4), 0.69120000000000000, 1e-10);
+    ("ks_cdf_exact 100 0.1", (fun () -> Tests.ks_cdf_exact 100 0.1), 0.74730724299360987, 1e-9);
+    ("ks_cdf_exact 2 0.6", (fun () -> Tests.ks_cdf_exact 2 0.6), 0.68000000000000000, 1e-10);
+    ("ks_cdf_exact 25 0.25", (fun () -> Tests.ks_cdf_exact 25 0.25), 0.92699402941432649, 1e-10);
+    ("ks_cdf_exact 140 0.05", (fun () -> Tests.ks_cdf_exact 140 0.05), 0.14235197023438896, 1e-9);
+    ( "ks1 statistic",
+      (fun () ->
+        (Tests.ks_one_sample ~cdf:(fun x -> x) ks1_xs).Tests.statistic),
+      0.11, 1e-12 );
+    ( "ks1 exact p",
+      (fun () -> (Tests.ks_one_sample ~cdf:(fun x -> x) ks1_xs).Tests.pvalue),
+      0.99834230728422093, 1e-10 );
+    ( "ks2 statistic",
+      (fun () -> (Tests.ks_two_sample ks2_a ks2_b).Tests.statistic),
+      1. /. 3., 1e-12 );
+    ( "ks2 exact p",
+      (fun () -> (Tests.ks_two_sample ks2_a ks2_b).Tests.pvalue),
+      0.81818181818181818, 1e-11 );
+    ( "ks2 disjoint p",
+      (fun () -> (Tests.ks_two_sample ks2_c ks2_e).Tests.pvalue),
+      2.8571428571428571e-2, 1e-11 );
+  ]
+
+let run_golden rows () =
+  List.iter (fun (msg, thunk, expected, rtol) ->
+      check_rel ~rtol msg expected (thunk ()))
+    rows
+
+(* ---------------- SPRT ---------------- *)
+
+let test_sprt_boundaries () =
+  let s = Sprt.make ~alpha:0.05 ~beta:0.05 in
+  let log_b, log_a = Sprt.boundaries s in
+  check_float "log A" (log 19.) log_a ~eps:1e-12;
+  check_float "log B" (log (0.05 /. 0.95)) log_b ~eps:1e-12;
+  (match Sprt.decide s with
+  | Sprt.Continue -> ()
+  | _ -> Alcotest.fail "fresh SPRT must continue");
+  List.iter
+    (fun (a, b) ->
+      match Sprt.make ~alpha:a ~beta:b with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "Sprt.make %g %g should raise" a b)
+    [ (0., 0.05); (0.05, 1.); (-0.1, 0.5); (0.5, 0.) ]
+
+let test_sprt_bernoulli_reject () =
+  (* p1/p0 = 25: a single success overwhelms the alpha = beta = 0.05
+     boundary log 19 *)
+  let s = Sprt.make ~alpha:0.05 ~beta:0.05 in
+  let s = Sprt.observe_bernoulli ~p0:0.01 ~p1:0.25 s true in
+  (match Sprt.decide s with
+  | Sprt.Reject_h0 -> ()
+  | _ -> Alcotest.fail "one violation at LLR log 25 must reject");
+  check_float "llr" (log 25.) (Sprt.log_lr s) ~eps:1e-12
+
+let test_sprt_bernoulli_accept () =
+  (* per-pass LLR log (0.75 / 0.99) = -0.2776; the accept boundary
+     -log 19 = -2.944 is crossed at exactly ceil (2.944 / 0.2776) = 11 *)
+  let rec go s k =
+    match Sprt.decide s with
+    | Sprt.Accept_h0 -> k
+    | Sprt.Reject_h0 -> Alcotest.fail "all-passes run must not reject"
+    | Sprt.Continue ->
+        if k > 100 then Alcotest.fail "accept boundary never crossed"
+        else go (Sprt.observe_bernoulli ~p0:0.01 ~p1:0.25 s false) (k + 1)
+  in
+  let crossed_at = go (Sprt.make ~alpha:0.05 ~beta:0.05) 0 in
+  Alcotest.(check int) "passes to accept" 11 crossed_at
+
+let test_sprt_wald_error_rates () =
+  (* operating characteristic: under H0 the rejection rate must stay
+     near alpha (Wald's bound alpha / (1 - beta) ~ 0.053 plus overshoot;
+     0.1 leaves slack for 400 trials), and under H1 the acceptance rate
+     near beta *)
+  let rng = Rng.make 4242 in
+  let trials = 400 and cap = 2000 in
+  let run p =
+    let rec go s k =
+      if k >= cap then Sprt.decide s
+      else
+        match Sprt.decide s with
+        | Sprt.Continue ->
+            go
+              (Sprt.observe_bernoulli ~p0:0.05 ~p1:0.3 s (Rng.float rng 1. < p))
+              (k + 1)
+        | d -> d
+    in
+    go (Sprt.make ~alpha:0.05 ~beta:0.05) 0
+  in
+  let count pred p =
+    let c = ref 0 in
+    for _ = 1 to trials do
+      if pred (run p) then incr c
+    done;
+    float_of_int !c /. float_of_int trials
+  in
+  let false_reject = count (fun d -> d = Sprt.Reject_h0) 0.05 in
+  let false_accept = count (fun d -> d = Sprt.Accept_h0) 0.3 in
+  if false_reject > 0.1 then
+    Alcotest.failf "false-reject rate %.3f exceeds bound" false_reject;
+  if false_accept > 0.1 then
+    Alcotest.failf "false-accept rate %.3f exceeds bound" false_accept
+
+(* ---------------- bench-regression gate ---------------- *)
+
+(* the acceptance contract of [make bench-check]: identical back-to-back
+   runs pass, an injected 10x slowdown or counter drift fails, and rows
+   without enough timing samples are skipped rather than guessed at *)
+
+let bench_json rows =
+  Printf.sprintf
+    {|{ "schema": "morphqpv-bench-v2", "default_domains": 1, "results": [%s] }|}
+    (String.concat ", " rows)
+
+let bench_row ?(metrics = {|"shots": 4096|}) name samples =
+  Printf.sprintf
+    {|{"name": %S, "seconds": %g, "samples": [%s], "metrics": {%s}}|}
+    name
+    (List.nth samples (List.length samples / 2))
+    (String.concat ", " (List.map (Printf.sprintf "%g") samples))
+    metrics
+
+let parse_run_exn src =
+  match Testkit.Benchgate.parse_run src with
+  | Ok run -> run
+  | Error e -> Alcotest.failf "parse_run: %s" e
+
+let test_benchgate_identical () =
+  let run =
+    parse_run_exn
+      (bench_json
+         [
+           bench_row "kernel/a" [ 0.010; 0.011; 0.0105 ];
+           bench_row "kernel/b" [ 1.2; 1.25; 1.22 ];
+         ])
+  in
+  let report = Testkit.Benchgate.compare_runs ~prev:run run in
+  Alcotest.(check int) "no regressions" 0
+    (List.length report.Testkit.Benchgate.regressions);
+  Alcotest.(check int) "both rows compared" 2 report.Testkit.Benchgate.compared
+
+let test_benchgate_slowdown () =
+  let prev =
+    parse_run_exn (bench_json [ bench_row "kernel/a" [ 0.010; 0.011; 0.0105 ] ])
+  in
+  let cur =
+    parse_run_exn (bench_json [ bench_row "kernel/a" [ 0.100; 0.110; 0.105 ] ])
+  in
+  match
+    (Testkit.Benchgate.compare_runs ~prev cur).Testkit.Benchgate.regressions
+  with
+  | [ f ] ->
+      Alcotest.(check string) "record" "kernel/a" f.Testkit.Benchgate.record;
+      (match f.Testkit.Benchgate.pvalue with
+      | Some p when p < 0.01 -> ()
+      | _ -> Alcotest.fail "slowdown must carry a significant p-value")
+  | fs -> Alcotest.failf "expected exactly one regression, got %d" (List.length fs)
+
+let test_benchgate_counter_drift () =
+  let prev =
+    parse_run_exn (bench_json [ bench_row "kernel/a" [ 0.01; 0.011; 0.0105 ] ])
+  in
+  let cur =
+    parse_run_exn
+      (bench_json
+         [
+           bench_row ~metrics:{|"shots": 5000|} "kernel/a"
+             [ 0.01; 0.011; 0.0105 ];
+         ])
+  in
+  match
+    (Testkit.Benchgate.compare_runs ~prev cur).Testkit.Benchgate.regressions
+  with
+  | [ f ] ->
+      if f.Testkit.Benchgate.pvalue <> None then
+        Alcotest.fail "counter comparison is exact, not statistical"
+  | fs -> Alcotest.failf "expected one counter drift, got %d" (List.length fs)
+
+let test_benchgate_skips () =
+  (* a jittery-but-equivalent pair must NOT be flagged even when one
+     side is slightly slower; rows with < 2 samples are only skipped *)
+  let prev =
+    parse_run_exn
+      (bench_json
+         [
+           bench_row "kernel/a" [ 0.010; 0.011; 0.0105 ];
+           {|{"name": "exp", "seconds": 2.0, "metrics": {}}|};
+         ])
+  in
+  let cur =
+    parse_run_exn
+      (bench_json
+         [
+           bench_row "kernel/a" [ 0.0104; 0.0112; 0.0108 ];
+           {|{"name": "exp", "seconds": 9.0, "metrics": {}}|};
+         ])
+  in
+  let report = Testkit.Benchgate.compare_runs ~prev cur in
+  Alcotest.(check int) "no regressions" 0
+    (List.length report.Testkit.Benchgate.regressions);
+  Alcotest.(check bool) "sample-less row skipped" true
+    (List.exists
+       (fun s -> String.length s >= 3 && String.sub s 0 3 = "exp")
+       report.Testkit.Benchgate.skipped)
+
+let test_benchgate_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match Testkit.Benchgate.parse_run src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse_run accepted %S" src)
+    [
+      "";
+      "{";
+      {|{"schema": "something-else", "results": []}|};
+      {|{"schema": "morphqpv-bench-v2"}|};
+      {|{"schema": "morphqpv-bench-v2", "results": [{"seconds": 1}]}|};
+    ]
+
 (* ---------------- qcheck ---------------- *)
 
 let prop_betainc_bounds =
@@ -177,8 +540,53 @@ let prop_beta_fit_roundtrip =
       Float.abs (Beta_dist.mean d -. m) < 1e-3
       || Beta_dist.variance d < v +. 1e-6)
 
+let prop_pvalue_range =
+  QCheck.Test.make ~name:"test p-values in [0,1]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(2 -- 12) (float_range (-5.) 5.))
+        (list_of_size Gen.(2 -- 12) (float_range (-5.) 5.)))
+    (fun (xs, ys) ->
+      let xs = Array.of_list xs and ys = Array.of_list ys in
+      match Tests.t_two_sample xs ys with
+      | { Tests.pvalue; _ } -> pvalue >= 0. && pvalue <= 1.
+      | exception Invalid_argument _ -> true (* degenerate variance *))
+
+let prop_ks2_symmetric =
+  QCheck.Test.make ~name:"ks_two_sample symmetric in its arguments" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(2 -- 10) (float_range 0. 1.))
+        (list_of_size Gen.(2 -- 10) (float_range 0. 1.)))
+    (fun (xs, ys) ->
+      let xs = Array.of_list xs and ys = Array.of_list ys in
+      let a = Tests.ks_two_sample xs ys and b = Tests.ks_two_sample ys xs in
+      Float.abs (a.Tests.statistic -. b.Tests.statistic) < 1e-12
+      && Float.abs (a.Tests.pvalue -. b.Tests.pvalue) < 1e-9)
+
+let prop_chi2_gof_consistent =
+  (* the packaged test must agree with the survival function it is built
+     from, on its own reported statistic and df *)
+  QCheck.Test.make ~name:"chi2_gof p = chi2_sf(statistic, df)" ~count:100
+    QCheck.(list_of_size Gen.(2 -- 8) (int_range 1 60))
+    (fun counts ->
+      let observed = Array.of_list (List.map float_of_int counts) in
+      let total = Array.fold_left ( +. ) 0. observed in
+      let k = Array.length observed in
+      let expected = Array.make k (total /. float_of_int k) in
+      let r = Tests.chi2_gof ~expected observed in
+      Float.abs (r.Tests.pvalue -. Tests.chi2_sf r.Tests.statistic r.Tests.df)
+      < 1e-12)
+
 let qcheck_tests =
-  List.map QCheck_alcotest.to_alcotest [ prop_betainc_bounds; prop_beta_fit_roundtrip ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_betainc_bounds;
+      prop_beta_fit_roundtrip;
+      prop_pvalue_range;
+      prop_ks2_symmetric;
+      prop_chi2_gof_consistent;
+    ]
 
 let () =
   Alcotest.run "stats"
@@ -214,6 +622,28 @@ let () =
           Alcotest.test_case "basic" `Quick test_describe_basic;
           Alcotest.test_case "percentile" `Quick test_describe_percentile;
           Alcotest.test_case "histogram" `Quick test_describe_histogram;
+        ] );
+      ( "tests",
+        [
+          Alcotest.test_case "golden special" `Quick (run_golden golden_special);
+          Alcotest.test_case "golden survival" `Quick (run_golden golden_survival);
+          Alcotest.test_case "golden t / chi2" `Quick (run_golden golden_ttests);
+          Alcotest.test_case "golden ks" `Quick (run_golden golden_ks);
+        ] );
+      ( "sprt",
+        [
+          Alcotest.test_case "boundaries" `Quick test_sprt_boundaries;
+          Alcotest.test_case "bernoulli reject" `Quick test_sprt_bernoulli_reject;
+          Alcotest.test_case "bernoulli accept" `Quick test_sprt_bernoulli_accept;
+          Alcotest.test_case "wald error rates" `Quick test_sprt_wald_error_rates;
+        ] );
+      ( "benchgate",
+        [
+          Alcotest.test_case "identical runs pass" `Quick test_benchgate_identical;
+          Alcotest.test_case "10x slowdown fails" `Quick test_benchgate_slowdown;
+          Alcotest.test_case "counter drift fails" `Quick test_benchgate_counter_drift;
+          Alcotest.test_case "jitter and sample-less rows" `Quick test_benchgate_skips;
+          Alcotest.test_case "malformed input rejected" `Quick test_benchgate_rejects_garbage;
         ] );
       ("properties", qcheck_tests);
     ]
