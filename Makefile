@@ -31,9 +31,9 @@ bench: build
 # stripped). scale also asserts its routing invariants — every 24-32q
 # workload runs on the sparse/stabilizer/rank engines, never dense.
 bench-smoke: build
-	@MORPHQPV_DOMAINS=1 dune exec bench/main.exe -- fig1b scale --no-bechamel \
+	@MORPHQPV_DOMAINS=1 dune exec bench/main.exe -- cache fig1b scale --no-bechamel \
 	  | grep -v -E 'finished in|done in' > bench_smoke_1.out
-	@MORPHQPV_DOMAINS=2 dune exec bench/main.exe -- fig1b scale --no-bechamel \
+	@MORPHQPV_DOMAINS=2 dune exec bench/main.exe -- cache fig1b scale --no-bechamel \
 	  | grep -v -E 'finished in|done in' > bench_smoke_2.out
 	@if diff -u bench_smoke_1.out bench_smoke_2.out; then \
 	  echo "bench-smoke: outputs identical across 1 and 2 domains"; \

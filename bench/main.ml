@@ -28,6 +28,7 @@ let experiments =
     ("ablation", "alpha-recovery and PSD-projection ablations", Exp_ablation.run);
     ("perf", "multicore scaling + gate fusion (BENCH_results.json)", Exp_perf.run);
     ("scale", "24-32q characterization past the dense wall", Exp_perf.run_scale);
+    ("cache", "warm-vs-cold incremental verification cache", Exp_cache.run);
     ("fuzz", "differential/metamorphic fuzz sweep (pass/fail counts)", Exp_fuzz.run);
   ]
 

@@ -48,64 +48,10 @@ let read_full path =
         | None -> Printf.sprintf "%s: [%s] %s" path code message)
   | Sys_error msg -> Error msg
 
-let qubits_of_tracepoint circuit tp =
-  if tp = 0 then None
-  else
-    match List.assoc_opt tp (Circuit.tracepoints circuit) with
-    | Some qs -> Some (List.length qs)
-    | None -> None
-
-let parse_predicate circuit n_in spec =
-  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  let dim_of tp =
-    match qubits_of_tracepoint circuit tp with
-    | Some k -> Ok k
-    | None when tp = 0 -> Ok n_in
-    | None -> fail "unknown tracepoint %d" tp
-  in
-  match String.split_on_char ':' spec with
-  | [ "pure"; t ] -> Ok (Predicate.Is_pure (int_of_string t))
-  | [ "equals"; rest ] -> (
-      match String.split_on_char ',' rest with
-      | [ a; b ] -> Ok (Predicate.Equals (int_of_string a, int_of_string b))
-      | _ -> fail "equals expects A,B")
-  | [ "equals-basis"; rest ] -> (
-      match String.split_on_char ',' rest with
-      | [ t; k ] -> (
-          let tp = int_of_string t and k = int_of_string k in
-          match dim_of tp with
-          | Ok nq ->
-              let v = Qstate.Statevec.to_cvec (Qstate.Statevec.basis nq k) in
-              Ok (Predicate.Equals_const (tp, Linalg.Cmat.outer v v))
-          | Error e -> Error e)
-      | _ -> fail "equals-basis expects T,K")
-  | [ "diag"; rest ] -> (
-      match String.split_on_char ',' rest with
-      | [ t; k; lo; hi ] ->
-          Ok
-            (Predicate.Diag_in_range
-               (int_of_string t, int_of_string k, float_of_string lo, float_of_string hi))
-      | _ -> fail "diag expects T,K,LO,HI")
-  | [ "expect-ge"; rest ] -> (
-      match String.split_on_char ',' rest with
-      | [ t; p; v ] ->
-          Ok
-            (Predicate.Expect_ge
-               (int_of_string t, Qstate.Pauli.of_string p, float_of_string v))
-      | _ -> fail "expect-ge expects T,PAULI,V")
-  | [ "expect-le"; rest ] -> (
-      match String.split_on_char ',' rest with
-      | [ t; p; v ] ->
-          Ok
-            (Predicate.Expect_le
-               (int_of_string t, Qstate.Pauli.of_string p, float_of_string v))
-      | _ -> fail "expect-le expects T,PAULI,V")
-  | [ "purity-ge"; rest ] -> (
-      match String.split_on_char ',' rest with
-      | [ t; v ] ->
-          Ok (Predicate.Purity_ge (int_of_string t, float_of_string v))
-      | _ -> fail "purity-ge expects T,V")
-  | _ -> fail "unknown predicate spec %S" spec
+(* predicate / budget spec parsing lives in [Server.Spec] so the serve
+   daemon and the CLI accept exactly one grammar *)
+let parse_predicate = Server.Spec.parse_predicate
+let parse_budget = Server.Spec.parse_budget
 
 (* ------------------------------- info -------------------------------- *)
 
@@ -196,32 +142,6 @@ let sample_cmd file count kind seed =
 
 (* ------------------------------ verify ------------------------------- *)
 
-(* shot-budget spec: fixed:N | seq:ALPHA,BETA,MAX *)
-let parse_budget s =
-  let fail () =
-    Error
-      (Printf.sprintf
-         "verify: bad --budget %S (expected fixed:N or seq:ALPHA,BETA,MAX)" s)
-  in
-  match String.split_on_char ':' (String.trim s) with
-  | [ "fixed"; n ] -> (
-      match int_of_string_opt n with
-      | Some n when n > 0 -> Ok (`Fixed n)
-      | _ -> fail ())
-  | [ "seq"; rest ] -> (
-      match String.split_on_char ',' rest with
-      | [ a; b; m ] -> (
-          match
-            (float_of_string_opt a, float_of_string_opt b, int_of_string_opt m)
-          with
-          | Some alpha, Some beta, Some max_shots
-            when alpha > 0. && alpha < 1. && beta > 0. && beta < 1.
-                 && max_shots > 0 ->
-              Ok (`Sequential { Stats.Tests.alpha; beta; max_shots })
-          | _ -> fail ())
-      | _ -> fail ())
-  | _ -> fail ()
-
 (* check the file's [expect] pragmas against sampled measurement counts;
    returns false when any pragma is malformed or statistically violated *)
 let check_expects ~budget ~rng program (expects : Qasm.expect_pragma list) =
@@ -249,13 +169,21 @@ let check_expects ~budget ~rng program (expects : Qasm.expect_pragma list) =
           r.Verify.counts_hold)
     expects
 
-let verify_cmd file assumes guarantees count solver seed budget =
+let verify_cmd file assumes guarantees count solver seed budget use_cache =
   match (read_full file, parse_budget budget) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       1
   | Ok full, Ok budget -> (
       let c = full.Qasm.circuit in
+      (* --cache forces an in-memory cache even without the env vars;
+         MORPHQPV_CACHE_DIR / MORPHQPV_CACHE alone also enable it *)
+      let cache =
+        match (use_cache, Cache.of_env ()) with
+        | _, Some cache -> Some cache
+        | true, None -> Some (Cache.create ())
+        | false, None -> None
+      in
       let rng = Stats.Rng.make seed in
       let program = Program.make c in
       let n_in = Program.num_input_qubits program in
@@ -288,17 +216,14 @@ let verify_cmd file assumes guarantees count solver seed budget =
           let count =
             if count > 0 then count else Approx.samples_for_full_accuracy ~n_in
           in
-          let ch = Characterize.run ~rng program ~count in
+          let ch = Characterize.run ?cache ~rng program ~count in
           let approx = Approx.of_characterization ch in
-          let solver =
-            match solver with
-            | "sgd" -> `Adam
-            | "anneal" -> `Anneal
-            | "genetic" -> `Genetic
-            | _ -> `Qp
-          in
+          let solver = Server.Spec.parse_solver solver in
           let options = { Verify.default_options with solver } in
-          (match Verify.validate ~options ~rng ~confirm:program approx assertion with
+          (match
+             Verify.validate ~options ~rng ~confirm:program ?cache approx
+               assertion
+           with
           | Verify.Verified { confidence; max_objective } ->
               Format.printf
                 "VERIFIED: max guarantee objective %.3g; confidence %.4f \
@@ -311,6 +236,13 @@ let verify_cmd file assumes guarantees count solver seed budget =
                 objective Linalg.Cmat.pp counterexample);
           Format.printf "characterization cost: %a@." Sim.Cost.pp
             ch.Characterize.cost;
+          (match cache with
+          | None -> ()
+          | Some cache ->
+              let s : Cache.stats = Cache.stats cache in
+              Format.printf
+                "cache: %d hits, %d misses, %d entries (%d bytes)@." s.hits
+                s.misses s.entries s.bytes);
           if expects_ok then 0 else 1)
 
 (* ----------------------------- optimize ------------------------------ *)
@@ -482,6 +414,10 @@ let lint_cmd files strict quiet cost_threshold =
                   Analysis.Lint.check_cost ~estimate:characterization_seconds
                     ?threshold:cost_threshold c
                   @ Analysis.Lint.check_sim_class ~classify:simulation_class c
+                  (* MQ020 needs the canonical hasher from morphqpv.cache,
+                     one layer above the analysis library *)
+                  @ Analysis.Lint.check_cones ~digests:Cache.Canon.cone_digests
+                      c
               | exception _ -> [])
           in
           List.iter
@@ -498,6 +434,108 @@ let lint_cmd files strict quiet cost_threshold =
             diags)
     files;
   if !failed then 1 else 0
+
+(* --------------------------- serve / client --------------------------- *)
+
+module Jsonx = Server.Jsonx
+
+let addr_of ~socket ~tcp =
+  match tcp with
+  | Some port -> Server.Tcp port
+  | None -> Server.Unix_path socket
+
+(* morphqpv serve: the long-running verification daemon. All requests
+   share one content-addressed cache, so repeated verifications of the
+   same (or isomorphic) programs skip characterization entirely. *)
+let serve_cmd socket tcp cache_dir cache_mb =
+  let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) cache_mb in
+  let cache =
+    match cache_dir with
+    | Some dir -> Cache.create ?max_bytes ~dir ()
+    | None -> (
+        match Cache.of_env () with
+        | Some c -> c
+        | None -> Cache.create ?max_bytes ())
+  in
+  let addr = addr_of ~socket ~tcp in
+  let on_ready () =
+    match addr with
+    | Server.Unix_path p -> Format.eprintf "morphqpv serve: listening on %s@." p
+    | Server.Tcp port ->
+        Format.eprintf "morphqpv serve: listening on 127.0.0.1:%d@." port
+  in
+  (try Server.serve ~cache ~on_ready addr with
+  | Unix.Unix_error (e, fn, _) ->
+      Format.eprintf "morphqpv serve: %s: %s@." fn (Unix.error_message e);
+      exit 1);
+  Format.eprintf "morphqpv serve: stopped@.";
+  0
+
+(* morphqpv client: one request against a running daemon; event lines and
+   the terminal result line are printed as received. Exit 0 iff the
+   request succeeded (and, for verify, the program verified). *)
+let client_cmd socket tcp method_ file assumes guarantees count solver seed
+    budget mode =
+  let addr = addr_of ~socket ~tcp in
+  let method_ =
+    if method_ <> "" then Ok method_
+    else if file <> None then Ok "verify"
+    else Ok "ping"
+  in
+  let params =
+    match method_ with
+    | Error _ as e -> e
+    | Ok "verify" -> (
+        match file with
+        | None -> Error "client: method verify needs a FILE argument"
+        | Some file -> (
+            match In_channel.with_open_text file In_channel.input_all with
+            | exception Sys_error msg -> Error msg
+            | qasm ->
+                let strings = List.map (fun s -> Jsonx.Str s) in
+                Ok
+                  (Jsonx.Obj
+                     ([
+                        ("qasm", Jsonx.Str qasm);
+                        ("count", Jsonx.int count);
+                        ("solver", Jsonx.Str solver);
+                        ("seed", Jsonx.int seed);
+                        ("budget", Jsonx.Str budget);
+                        ("mode", Jsonx.Str mode);
+                      ]
+                     @ (if assumes = [] then []
+                        else [ ("assume", Jsonx.List (strings assumes)) ])
+                     @
+                     if guarantees = [] then []
+                     else [ ("guarantee", Jsonx.List (strings guarantees)) ]))))
+    | Ok _ -> Ok (Jsonx.Obj [])
+  in
+  match (method_, params) with
+  | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+  | Ok method_, Ok params -> (
+      let req =
+        Jsonx.Obj
+          [
+            ("id", Jsonx.int 1);
+            ("method", Jsonx.Str method_);
+            ("params", params);
+          ]
+      in
+      let on_event e = print_endline (Jsonx.to_string e) in
+      match Server.Client.request ~on_event addr req with
+      | Error e ->
+          prerr_endline ("client: " ^ e);
+          1
+      | Ok terminal -> (
+          print_endline (Jsonx.to_string terminal);
+          match Jsonx.member "result" terminal with
+          | None -> 1 (* error line *)
+          | Some r -> (
+              match Option.bind (Jsonx.member "verified" r) Jsonx.to_bool with
+              | Some false -> 1
+              | Some true | None -> 0)))
 
 (* ----------------------------- cmdliner ------------------------------ *)
 
@@ -594,9 +632,101 @@ let verify_term =
             "shot budget for expect pragmas: fixed:N, or seq:ALPHA,BETA,MAX \
              for a sequential (SPRT) budget with early stopping")
   in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "memoize characterization/verdicts in the content-addressed \
+             cache (in-memory; set MORPHQPV_CACHE_DIR for persistence \
+             across runs)")
+  in
   Term.(
     const verify_cmd $ file_arg $ assumes $ guarantees $ count $ solver
-    $ seed_arg $ budget)
+    $ seed_arg $ budget $ cache)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/morphqpv.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"use loopback TCP on PORT instead of the Unix socket")
+
+let serve_term =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "persist the shared cache to DIR (default: MORPHQPV_CACHE_DIR \
+             when set, else in-memory only)")
+  in
+  let cache_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-mb" ] ~docv:"MB" ~doc:"in-memory cache budget in MiB")
+  in
+  Term.(const serve_cmd $ socket_arg $ tcp_arg $ cache_dir $ cache_mb)
+
+let client_term =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"mini-QASM program (method verify)")
+  in
+  let method_ =
+    Arg.(
+      value & opt string ""
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:
+            "ping | stats | verify | shutdown (default: verify with FILE, \
+             ping without)")
+  in
+  let assumes =
+    Arg.(
+      value & opt_all string []
+      & info [ "assume" ] ~docv:"SPEC" ~doc:"assumption predicate")
+  in
+  let guarantees =
+    Arg.(
+      value & opt_all string []
+      & info [ "guarantee" ] ~docv:"SPEC" ~doc:"guarantee predicate")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~doc:"sampled inputs (0 = Theorem 2 budget)")
+  in
+  let solver =
+    Arg.(
+      value & opt string "qp"
+      & info [ "solver" ] ~doc:"qp | sgd | anneal | genetic")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt string "fixed:2048"
+      & info [ "budget" ] ~docv:"SPEC"
+          ~doc:"shot budget for expect pragmas (fixed:N | seq:ALPHA,BETA,MAX)")
+  in
+  let mode =
+    Arg.(
+      value & opt string "exact"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"characterization mode: exact | tomo:SHOTS | probs:SHOTS")
+  in
+  Term.(
+    const client_cmd $ socket_arg $ tcp_arg $ method_ $ file $ assumes
+    $ guarantees $ count $ solver $ seed_arg $ budget $ mode)
 
 let cmds =
   [
@@ -614,6 +744,15 @@ let cmds =
       (Cmd.info "profile"
          ~doc:"profile the pipeline phases and dump traces/metrics")
       profile_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "run the verification daemon (line-delimited JSON-RPC, shared \
+            incremental cache)")
+      serve_term;
+    Cmd.v
+      (Cmd.info "client" ~doc:"send one request to a running daemon")
+      client_term;
   ]
 
 let () =

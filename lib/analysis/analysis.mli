@@ -153,6 +153,18 @@ module Lint : sig
       positive integer, else 20. *)
   val dense_qubit_threshold : unit -> int
 
+  (** [check_cones ~digests c] emits MQ020: one Info diagnostic per
+      tracepoint reporting its backward-cone content hash, plus an Info
+      flag for every group of tracepoints sharing an identical cone —
+      under content-addressed caching such a group is characterized
+      once. [digests] is a callback because canonical hashing lives in
+      [morphqpv.cache], above this library (the CLI passes
+      [Cache.Canon.cone_digests]). *)
+  val check_cones :
+    digests:(Circuit.t -> (int * string) list) ->
+    Circuit.t ->
+    diagnostic list
+
   (** [lint_qasm src] parses and checks QASM text; syntax errors (MQ000)
       and construction errors (MQ001-MQ003, MQ013-MQ016) are returned as
       located diagnostics instead of raising. *)

@@ -38,6 +38,7 @@ let codes =
     ("MQ017", Warning, "estimated characterization cost exceeds threshold");
     ("MQ018", Info, "estimated simulation class");
     ("MQ019", Error, "invalid distribution expectation pragma");
+    ("MQ020", Info, "tracepoint lightcone content hash");
   ]
 
 let severity_of_code code =
@@ -309,6 +310,61 @@ let check_sim_class ~classify ?threshold c =
       };
     ]
   else [ info ]
+
+(* MQ020: per-tracepoint cone content hashes, plus a flag when several
+   tracepoints share one cone — under content-addressed caching those
+   tracepoints are characterized once. [digests] is a callback (like
+   MQ017's [estimate]) because canonical hashing lives in morphqpv.cache,
+   above this library. *)
+let check_cones ~digests c =
+  let ds : (int * string) list = digests c in
+  let per_tp =
+    List.map
+      (fun (id, h) ->
+        {
+          severity = Info;
+          code = "MQ020";
+          message = Printf.sprintf "tracepoint %d cone hash %s" id h;
+          loc = None;
+          instr = None;
+        })
+      ds
+  in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (id, h) ->
+      Hashtbl.replace groups h
+        (id :: Option.value ~default:[] (Hashtbl.find_opt groups h)))
+    ds;
+  let dups =
+    Hashtbl.fold
+      (fun h ids acc ->
+        match ids with
+        | _ :: _ :: _ ->
+            let ids = List.sort compare ids in
+            ( ids,
+              {
+                severity = Info;
+                code = "MQ020";
+                message =
+                  Printf.sprintf
+                    "%d tracepoints share identical cones (%s, hash %s) — \
+                     characterized once under caching"
+                    (List.length ids)
+                    (String.concat ", "
+                       (List.map (Printf.sprintf "T%d") ids))
+                    h;
+                loc = None;
+                instr = None;
+              } )
+            :: acc
+        | _ -> acc)
+      groups []
+    (* hash iteration order is unspecified; sort by the id group for a
+       deterministic report *)
+    |> List.sort compare |> List.map snd
+  in
+  per_tp @ dups
 
 (* MQ019: semantic validation of the [expect] distribution pragma — the
    parser keeps it purely syntactic so malformed pragmas reach here as

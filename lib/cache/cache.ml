@@ -1,0 +1,7 @@
+(* Entry point of morphqpv.cache (dune main-module convention): the LRU
+   store is the module itself; hashing and canonicalization ride along as
+   submodules. *)
+
+module Fnv = Fnv
+module Canon = Canon
+include Store

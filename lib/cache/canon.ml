@@ -1,0 +1,173 @@
+(* Canonical serialization of circuits for content-addressed caching.
+
+   Two forms:
+
+   - [canonical_bytes]: qubits and clbits renumbered to first-use order,
+     gate parameters normalized (-0.0 -> 0.0, shortest round-trippable
+     decimal), barriers dropped, tracepoint ids dropped. Hash-equal
+     canonical bytes mean the circuits are the *same program up to
+     relabeling*, hence simulation-equivalent on every tracepoint's
+     reduced state (the QCheck-pinned cache invariant). Register sizes
+     are deliberately excluded: idle qubits and clbits cannot affect any
+     reduced state.
+
+   - [exact_bytes]: verbatim program order with register sizes, barrier
+     and tracepoint ids intact — for memo layers whose value depends on
+     the concrete representation (segment plans carry fences and global
+     qubit indices; whole-result characterizations carry global traces).
+
+   [cone_unit] builds the characterization unit for one tracepoint: the
+   cone subcircuit plus the program's input qubits, remapped into
+   canonical first-use order so that simulating the unit is literally a
+   function of its canonical bytes — two differently-labeled programs
+   with hash-equal cones replay the *same* float operations in the same
+   order, making cached traces bit-identical across them. *)
+
+type unit_circuit = {
+  circuit : Circuit.t;
+  width : int;
+  embed : int array;
+  bytes : string;
+}
+
+(* shortest decimal that round-trips a float, with -0.0 folded into 0.0
+   so parameter sign-of-zero cannot split cache keys *)
+let norm_float x =
+  let x = if x = 0. then 0. else x in
+  let s = Printf.sprintf "%.15g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let add_ints b ids =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i q ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int q))
+    ids;
+  Buffer.add_char b ']'
+
+let add_gate b ~q (g : Circuit.Gate.t) =
+  Buffer.add_char b 'G';
+  Buffer.add_string b g.Circuit.Gate.name;
+  (match g.Circuit.Gate.params with
+  | [] -> ()
+  | ps ->
+      Buffer.add_char b '(';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (norm_float x))
+        ps;
+      Buffer.add_char b ')');
+  add_ints b (List.map q g.Circuit.Gate.controls);
+  add_ints b (List.map q g.Circuit.Gate.targets);
+  Buffer.add_char b ';'
+
+(* Shared serializer. In canonical mode [q]/[cl] assign first-use ids in
+   serialization order (controls before targets, matching
+   [Instr.qubits]); in exact mode they are the identity and the header
+   carries the register sizes. *)
+let serialize ~canonical c =
+  let b = Buffer.create 256 in
+  let fresh () =
+    let map = Hashtbl.create 16 and next = ref 0 in
+    fun g ->
+      match Hashtbl.find_opt map g with
+      | Some v -> v
+      | None ->
+          let v = !next in
+          incr next;
+          Hashtbl.add map g v;
+          v
+  in
+  let q = if canonical then fresh () else Fun.id in
+  let cl = if canonical then fresh () else Fun.id in
+  if not canonical then
+    Buffer.add_string b
+      (Printf.sprintf "Q%d;C%d;" (Circuit.num_qubits c) (Circuit.num_clbits c));
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Instr.Gate g -> add_gate b ~q g
+      | Circuit.Instr.Tracepoint { id; qubits } ->
+          Buffer.add_char b 'T';
+          if not canonical then Buffer.add_string b (string_of_int id);
+          add_ints b (List.map q qubits);
+          Buffer.add_char b ';'
+      | Circuit.Instr.Measure { qubit; clbit } ->
+          Buffer.add_string b
+            (Printf.sprintf "M%d>%d;" (q qubit) (cl clbit))
+      | Circuit.Instr.Reset qubit ->
+          Buffer.add_string b (Printf.sprintf "R%d;" (q qubit))
+      | Circuit.Instr.If_gate { clbits; value; gate } ->
+          Buffer.add_char b 'F';
+          add_ints b (List.map cl clbits);
+          Buffer.add_string b (Printf.sprintf "=%d:" value);
+          add_gate b ~q gate
+      | Circuit.Instr.Barrier qs ->
+          if not canonical then begin
+            Buffer.add_char b 'B';
+            add_ints b qs;
+            Buffer.add_char b ';'
+          end)
+    (Circuit.instrs c);
+  Buffer.contents b
+
+let canonical_bytes c = serialize ~canonical:true c
+let exact_bytes c = serialize ~canonical:false c
+let digest s = Fnv.hex s
+
+let cone_digest c cone =
+  let sub, _ = Analysis.Lightcone.restrict c cone in
+  digest (canonical_bytes sub)
+
+let cone_digests c =
+  List.map
+    (fun cone -> (cone.Analysis.Lightcone.id, cone_digest c cone))
+    (Analysis.Lightcone.cones c)
+
+let cone_unit c ~input_qubits (cone : Analysis.Lightcone.cone) =
+  let instrs = Array.of_list (Circuit.instrs c) in
+  (* first-use numbering over kept instructions, then the tracepoint's
+     own qubits, then any input qubit not already used, in the caller's
+     input order — never by original label, so a consistent relabeling
+     of program and input list leaves the unit bytes unchanged *)
+  let map = Hashtbl.create 16 and next = ref 0 in
+  let assign g =
+    if not (Hashtbl.mem map g) then begin
+      Hashtbl.add map g !next;
+      incr next
+    end
+  in
+  Array.iteri
+    (fun i instr ->
+      if cone.Analysis.Lightcone.keep.(i) then
+        List.iter assign (Circuit.Instr.qubits instr))
+    instrs;
+  let tp_qubits =
+    match instrs.(cone.Analysis.Lightcone.position) with
+    | Circuit.Instr.Tracepoint { qubits; _ } -> qubits
+    | _ -> invalid_arg "Canon.cone_unit: position is not a tracepoint"
+  in
+  List.iter assign tp_qubits;
+  List.iter assign input_qubits;
+  let width = max !next 1 in
+  let f g = Hashtbl.find map g in
+  let sub = ref (Circuit.empty ~clbits:(Circuit.num_clbits c) width) in
+  Array.iteri
+    (fun i instr ->
+      if cone.Analysis.Lightcone.keep.(i) then
+        sub := Circuit.add (Circuit.Instr.remap f instr) !sub)
+    instrs;
+  sub :=
+    Circuit.add
+      (Circuit.Instr.Tracepoint
+         { id = cone.Analysis.Lightcone.id; qubits = List.map f tp_qubits })
+      !sub;
+  let embed = Array.of_list (List.map f input_qubits) in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "U%d;" width);
+  Buffer.add_string b (canonical_bytes !sub);
+  Buffer.add_char b 'E';
+  add_ints b (Array.to_list embed);
+  { circuit = !sub; width; embed; bytes = Buffer.contents b }

@@ -1,0 +1,41 @@
+(* FNV-1a content hashing over canonical bytes.
+
+   OCaml's native [int] is 63-bit, so the 64-bit FNV-1a state lives in
+   [Int64] (multiplication wraps, exactly the modular arithmetic FNV
+   wants). A single 64-bit lane is plenty for a content-addressed cache
+   of at most millions of entries, but the digest doubles it anyway: two
+   independent lanes with distinct offset bases, the second also folding
+   in the input length, giving a 128-bit hex key whose accidental
+   collision probability is negligible. Not cryptographic — cache keys
+   are derived from trusted local data, never adversarial input. *)
+
+let prime = 0x100000001B3L
+let offset_basis = 0xCBF29CE484222325L
+
+(* second-lane offset: the FNV basis avalanched once through a SplitMix64
+   round so the two lanes start from unrelated states *)
+let offset_basis2 = 0x9E3779B97F4A7C15L
+
+let fnv1a64 ?(offset = offset_basis) s =
+  let h = ref offset in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
+    s;
+  !h
+
+let hex s =
+  let a = fnv1a64 s in
+  let b =
+    Int64.mul
+      (Int64.logxor
+         (fnv1a64 ~offset:offset_basis2 s)
+         (Int64.of_int (String.length s)))
+      prime
+  in
+  Printf.sprintf "%016Lx%016Lx" a b
+
+(* a non-negative native-int seed derived from a string — used to give
+   cache-keyed computations (e.g. tomography degradation streams) a
+   generator that is a pure function of their cache key *)
+let seed_of_string s = Int64.to_int (fnv1a64 s) land max_int

@@ -1,0 +1,52 @@
+(** Byte-bounded LRU store with optional on-disk persistence — the shared
+    backend behind every memo layer (segments, characterizations,
+    tomography estimates, verdicts). *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  stores : int;
+  entries : int;  (** entries currently resident in memory *)
+  bytes : int;  (** approximate resident bytes (keys + values + overhead) *)
+}
+
+val entry_version : int
+(** Bumped whenever any cached value's representation changes; embedded
+    in every disk entry header, so stale files read as misses. *)
+
+val create : ?max_bytes:int -> ?dir:string -> unit -> t
+(** [create ()] is an in-memory LRU bounded at 256 MiB by default;
+    [~dir] adds a persistent tier (one file per entry, atomic writes,
+    corrupt or version-mismatched files read as misses). *)
+
+val of_env : unit -> t option
+(** [Some cache] when [MORPHQPV_CACHE_DIR] is set (persistent) or
+    [MORPHQPV_CACHE] is [1]/[true]/[on] (memory only);
+    [MORPHQPV_CACHE_MB] overrides the byte budget. *)
+
+val find : t -> ns:string -> string -> string option
+(** Lookup, refreshing recency. A memory miss falls through to disk;
+    a disk hit is promoted into memory. Records
+    [cache_{hit,miss}_total{ns}]. *)
+
+val store : t -> ns:string -> string -> string -> unit
+(** Insert (or refresh) an entry, write through to disk if persistent,
+    then evict from the cold end until the byte budget holds (the most
+    recent entry is never evicted). Records
+    [cache_bytes_total{ns}] and [cache_evict_total{ns}]. *)
+
+val find_value : t -> ns:string -> string -> 'a option
+(** [find] + [Marshal] decode; any decode failure is a miss. The caller
+    owns type safety: one namespace, one value type. *)
+
+val store_value : t -> ns:string -> string -> 'a -> unit
+(** [Marshal] encode + [store]. Values must be closure-free pure data. *)
+
+val drop_memory : t -> unit
+(** Forget the resident tier (persistence-reload testing); disk entries
+    and cumulative statistics survive. *)
+
+val stats : t -> stats

@@ -58,7 +58,29 @@ type engine = [ `Auto | `Batched | `Sequential ]
     absent or [`Fixed], behavior and generator streams are exactly the
     pre-budget ones; [`Sequential] stops each estimate early once it is
     variance-matched to the [max_shots] fixed equivalent, recording the
-    saving in [verify_shots_saved_total]. *)
+    saving in [verify_shots_saved_total].
+
+    [cache] switches to the content-addressed incremental path. Ideal,
+    deterministic programs are characterized one backward cone at a time:
+    each tracepoint's unit (its cone plus the input qubits, in canonical
+    qubit order — {!Cache.Canon.cone_unit}) is keyed by canonical bytes,
+    input fingerprint, entry-generator fingerprint and mode, so a warm
+    re-verification performs zero simulation and zero tomography shots,
+    and an edited program re-characterizes only tracepoints whose cone
+    hash changed. Every cached value is a pure function of its key —
+    tomography degradation draws from a generator derived from (key,
+    sample index), never the caller's stream — so hits are
+    bit-indistinguishable from recomputation, across eviction and
+    persistence reload. The caller's generator is consumed exactly as on
+    the uncached path (sampled inputs + one split child per sample) even
+    on full hits, so downstream draws are position-independent of cache
+    state. Stochastic / noisy / wider-than-cacheable programs fall back
+    to a whole-result memo keyed by the exact circuit bytes; programs the
+    scalable-engine route would take run uncached. Without [cache] the
+    behavior is byte-for-byte the pre-cache one.
+
+    [wall] overrides {!Sim.Engine.dense_amp_wall} for this run's routing
+    decision without touching the global (safe under concurrency). *)
 val run :
   ?pool:Parallel.Pool.t ->
   ?rng:Stats.Rng.t ->
@@ -69,6 +91,8 @@ val run :
   ?trajectories:int ->
   ?engine:engine ->
   ?inputs:Qstate.Statevec.t list ->
+  ?cache:Cache.t ->
+  ?wall:float ->
   Program.t ->
   count:int ->
   t

@@ -111,7 +111,7 @@ let confirmed_violation ?rng confirm assertion counterexample =
             Assertion.holds ~tol:0.02 assertion env))
         candidates
 
-let validate ?(options = default_options) ?rng ?confirm approx assertion =
+let validate_direct ?(options = default_options) ?rng ?confirm approx assertion =
   Obs.Span.with_ ~name:"verify.validate" @@ fun () ->
   if Obs.enabled () then
     Obs.Metrics.counter_add "verify_restarts_total" (max 1 options.restarts);
@@ -174,12 +174,57 @@ let validate ?(options = default_options) ?rng ?confirm approx assertion =
           max_objective = Option.value ~default:neg_infinity !best_clean;
         }
 
+(* Verdict memo: the key folds in everything the verdict is a function
+   of — the characterized relation (the approximation's data fields; its
+   lazy basis/solver are derived from them), the assertion, the solver
+   options, the entry generator fingerprint and the confirmation program.
+   Unlike the characterization layer, a hit does NOT replay the solver's
+   generator consumption (that would cost the solve being skipped), so
+   callers memoizing verdicts should give [validate] a generator whose
+   continuation they don't rely on — every orchestration layer here
+   (CLI, server, bench) uses it as the final consumer. *)
+let validate ?(options = default_options) ?rng ?confirm ?cache approx assertion =
+  match cache with
+  | None -> validate_direct ~options ?rng ?confirm approx assertion
+  | Some cache -> (
+      let rng = match rng with Some r -> r | None -> Stats.Rng.make 11 in
+      let confirm_fp =
+        match confirm with
+        | None -> "none"
+        | Some p ->
+            Cache.Canon.exact_bytes p.Program.circuit
+            ^ Marshal.to_string p.Program.input_qubits []
+      in
+      let key =
+        Cache.Canon.digest
+          (String.concat "\x00"
+             [
+               "verdict-v1";
+               Cache.Canon.digest
+                 (Marshal.to_string
+                    ( approx.Approx.n_in,
+                      approx.Approx.inputs,
+                      approx.Approx.outputs )
+                    []);
+               Marshal.to_string assertion [];
+               Marshal.to_string options [];
+               string_of_int (Stats.Rng.fingerprint rng);
+               confirm_fp;
+             ])
+      in
+      match Cache.find_value cache ~ns:"verdict" key with
+      | Some v -> v
+      | None ->
+          let v = validate_direct ~options ~rng ?confirm approx assertion in
+          Cache.store_value cache ~ns:"verdict" key v;
+          v)
+
 (* Like [validate], but also returns the span-tree summary of the
    verification's own work (solver spans included). Kept separate so the
    [verdict] type — and every pattern match on it — stays unchanged. *)
-let validate_traced ?options ?rng ?confirm approx assertion =
+let validate_traced ?options ?rng ?confirm ?cache approx assertion =
   let since = Obs.Span.mark () in
-  let verdict = validate ?options ?rng ?confirm approx assertion in
+  let verdict = validate ?options ?rng ?confirm ?cache approx assertion in
   (verdict, Obs.Span.summary ~since ())
 
 let check_on_program ?rng ?tol program assertion ~input =

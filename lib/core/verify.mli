@@ -40,11 +40,19 @@ val default_options : options
     (dominant eigenvector input, plus its nearest basis state) and demoted
     to [Verified] if the real execution satisfies the assertion —
     eliminating optimizer artifacts, as the paper's validation step does by
-    reporting concrete counter-examples. *)
+    reporting concrete counter-examples.
+
+    [cache] memoizes the verdict, keyed by the approximation's data (its
+    characterized relation), the assertion, [options], the entry
+    generator fingerprint and the confirmation program — a pure function
+    of all verdict inputs. A hit skips the solve entirely and therefore
+    does not advance [rng]; pass a generator whose continuation nothing
+    else relies on. *)
 val validate :
   ?options:options ->
   ?rng:Stats.Rng.t ->
   ?confirm:Program.t ->
+  ?cache:Cache.t ->
   Approx.t ->
   Assertion.t ->
   verdict
@@ -57,6 +65,7 @@ val validate_traced :
   ?options:options ->
   ?rng:Stats.Rng.t ->
   ?confirm:Program.t ->
+  ?cache:Cache.t ->
   Approx.t ->
   Assertion.t ->
   verdict * Obs.Span.summary

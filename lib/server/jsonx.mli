@@ -1,0 +1,27 @@
+(** Minimal JSON values for the line-delimited RPC protocol. The writer
+    always emits a single line (control characters are escaped). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val mem_str : string -> t -> string option
+val mem_int : string -> t -> int option
+val mem_list : string -> t -> t list option
+
+val int : int -> t
+(** [int i] is [Num (float_of_int i)]. *)

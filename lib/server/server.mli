@@ -1,0 +1,45 @@
+(** Long-running verification daemon and its client: line-delimited JSON
+    over a Unix-domain or loopback TCP socket.
+
+    One request object per line, [{"id":N,"method":M,"params":{...}}];
+    the server streams zero or more [{"id":N,"event":...}] lines and
+    terminates every request with exactly one [{"id":N,"result":{...}}]
+    or [{"id":N,"error":"..."}] line. Methods: [ping], [stats],
+    [verify] (params [qasm] (required), [assume]/[guarantee] spec lists,
+    [count], [solver], [seed], [budget], [mode] — the {!Spec} grammar),
+    and [shutdown].
+
+    All requests share one process-wide content-addressed {!Cache.t}, so
+    a warm re-verification of a program the daemon has seen performs
+    zero characterization shots, and the [result.cache] object (per-
+    request hit/miss/store deltas) makes that observable to clients. *)
+
+module Jsonx : module type of Jsonx
+module Spec : module type of Spec
+
+type addr = Unix_path of string | Tcp of int  (** TCP binds loopback only *)
+
+type state
+
+val make_state : ?cache:Cache.t -> unit -> state
+
+(** [handle_line state ~emit line] processes one request line, calling
+    [emit] once per response line; [`Stop] after a [shutdown] request.
+    Transport-free — unit tests drive the protocol through this. *)
+val handle_line :
+  state -> emit:(Jsonx.t -> unit) -> string -> [ `Continue | `Stop ]
+
+(** [serve ?cache ?on_ready addr] binds, listens, and blocks serving
+    connections sequentially until a [shutdown] request or SIGINT /
+    SIGTERM; the socket (and Unix path) is cleaned up on exit and the
+    previous signal dispositions are restored. [on_ready] runs once the
+    socket is listening (used by tests to synchronize). *)
+val serve : ?cache:Cache.t -> ?on_ready:(unit -> unit) -> addr -> unit
+
+module Client : sig
+  (** [request ?on_event addr req] sends one request and reads lines
+      until the terminal [result]/[error] line, which it returns;
+      [on_event] sees each intermediate event line. *)
+  val request :
+    ?on_event:(Jsonx.t -> unit) -> addr -> Jsonx.t -> (Jsonx.t, string) result
+end

@@ -1,0 +1,128 @@
+(* Textual predicate and shot-budget specs, shared by the CLI and the
+   server (moved here from bin/main.ml so both front ends parse the same
+   grammar).
+
+   Predicate specs (tracepoint 0 = the program input):
+     pure:T                 the state at tracepoint T is pure
+     equals:A,B             states at tracepoints A and B are equal
+     equals-basis:T,K       state at T equals |K><K|
+     diag:T,K,LO,HI         diagonal entry K of T's state lies in [LO, HI]
+     expect-ge:T,PAULI,V    Pauli expectation at T is >= V  (e.g. ZII)
+     expect-le:T,PAULI,V    Pauli expectation at T is <= V
+     purity-ge:T,V          purity at T is >= V
+
+   Budget specs: fixed:N | seq:ALPHA,BETA,MAX *)
+
+open Morphcore
+
+let qubits_of_tracepoint circuit tp =
+  if tp = 0 then None
+  else
+    match List.assoc_opt tp (Circuit.tracepoints circuit) with
+    | Some qs -> Some (List.length qs)
+    | None -> None
+
+let parse_predicate circuit n_in spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let dim_of tp =
+    match qubits_of_tracepoint circuit tp with
+    | Some k -> Ok k
+    | None when tp = 0 -> Ok n_in
+    | None -> fail "unknown tracepoint %d" tp
+  in
+  try
+    match String.split_on_char ':' spec with
+    | [ "pure"; t ] -> Ok (Predicate.Is_pure (int_of_string t))
+    | [ "equals"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ a; b ] -> Ok (Predicate.Equals (int_of_string a, int_of_string b))
+        | _ -> fail "equals expects A,B")
+    | [ "equals-basis"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ t; k ] -> (
+            let tp = int_of_string t and k = int_of_string k in
+            match dim_of tp with
+            | Ok nq ->
+                let v = Qstate.Statevec.to_cvec (Qstate.Statevec.basis nq k) in
+                Ok (Predicate.Equals_const (tp, Linalg.Cmat.outer v v))
+            | Error e -> Error e)
+        | _ -> fail "equals-basis expects T,K")
+    | [ "diag"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ t; k; lo; hi ] ->
+            Ok
+              (Predicate.Diag_in_range
+                 ( int_of_string t,
+                   int_of_string k,
+                   float_of_string lo,
+                   float_of_string hi ))
+        | _ -> fail "diag expects T,K,LO,HI")
+    | [ "expect-ge"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ t; p; v ] ->
+            Ok
+              (Predicate.Expect_ge
+                 (int_of_string t, Qstate.Pauli.of_string p, float_of_string v))
+        | _ -> fail "expect-ge expects T,PAULI,V")
+    | [ "expect-le"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ t; p; v ] ->
+            Ok
+              (Predicate.Expect_le
+                 (int_of_string t, Qstate.Pauli.of_string p, float_of_string v))
+        | _ -> fail "expect-le expects T,PAULI,V")
+    | [ "purity-ge"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ t; v ] ->
+            Ok (Predicate.Purity_ge (int_of_string t, float_of_string v))
+        | _ -> fail "purity-ge expects T,V")
+    | _ -> fail "unknown predicate spec %S" spec
+  with Failure _ | Invalid_argument _ ->
+    fail "malformed predicate spec %S" spec
+
+let parse_budget s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad budget %S (expected fixed:N or seq:ALPHA,BETA,MAX)" s)
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "fixed"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (`Fixed n)
+      | _ -> fail ())
+  | [ "seq"; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ a; b; m ] -> (
+          match
+            (float_of_string_opt a, float_of_string_opt b, int_of_string_opt m)
+          with
+          | Some alpha, Some beta, Some max_shots
+            when alpha > 0. && alpha < 1. && beta > 0. && beta < 1.
+                 && max_shots > 0 ->
+              Ok (`Sequential { Stats.Tests.alpha; beta; max_shots })
+          | _ -> fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
+(* characterization-mode spec: exact | tomo:SHOTS | probs:SHOTS *)
+let parse_mode s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ "exact" ] | [ "" ] -> Ok Characterize.Exact
+  | [ "tomo"; n ] -> (
+      match int_of_string_opt n with
+      | Some shots when shots > 0 ->
+          Ok (Characterize.Tomography { shots; project = true })
+      | _ -> Error (Printf.sprintf "bad mode %S (tomo:SHOTS)" s))
+  | [ "probs"; n ] -> (
+      match int_of_string_opt n with
+      | Some shots when shots > 0 -> Ok (Characterize.Probs_only { shots })
+      | _ -> Error (Printf.sprintf "bad mode %S (probs:SHOTS)" s))
+  | _ -> Error (Printf.sprintf "bad mode %S (exact | tomo:SHOTS | probs:SHOTS)" s)
+
+let parse_solver s =
+  match String.trim s with
+  | "sgd" -> `Adam
+  | "anneal" -> `Anneal
+  | "genetic" -> `Genetic
+  | _ -> `Qp

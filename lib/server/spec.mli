@@ -1,0 +1,25 @@
+(** Textual predicate / budget / mode specs shared by the [morphqpv]
+    CLI and the RPC server, so both front ends accept one grammar.
+
+    Predicate specs (tracepoint 0 = the program input):
+    [pure:T], [equals:A,B], [equals-basis:T,K], [diag:T,K,LO,HI],
+    [expect-ge:T,PAULI,V], [expect-le:T,PAULI,V], [purity-ge:T,V].
+    Budget specs: [fixed:N] | [seq:ALPHA,BETA,MAX].
+    Mode specs: [exact] | [tomo:SHOTS] | [probs:SHOTS]. *)
+
+open Morphcore
+
+val qubits_of_tracepoint : Circuit.t -> int -> int option
+(** Width of tracepoint [tp]'s recorded state; [None] for the reserved
+    input id 0 and for unknown ids. *)
+
+val parse_predicate :
+  Circuit.t -> int -> string -> (Predicate.t, string) result
+(** [parse_predicate circuit n_in spec] — malformed numbers and unknown
+    forms return [Error], never raise. *)
+
+val parse_budget : string -> (Stats.Tests.budget, string) result
+val parse_mode : string -> (Characterize.mode, string) result
+
+val parse_solver : string -> Optimize.Solvers.method_
+(** [sgd]/[anneal]/[genetic], anything else is the QP default. *)

@@ -281,11 +281,12 @@ let count_routed engine =
    above it the sparse engine is preferred when its static cost model
    wins by 4x (sparse entries cost a few dense amplitude updates each),
    with the stabilizer-rank engine as the near-Clifford fallback. *)
-let auto_route c =
+let auto_route ?wall c =
+  let wall = match wall with Some w -> w | None -> !dense_amp_wall in
   if stabilizer_applicable c then Some `Stabilizer
   else begin
     let dense = Cost.dense_sim_ops c in
-    if dense <= !dense_amp_wall then None
+    if dense <= wall then None
     else if sparse_applicable c && 4. *. Cost.sparse_sim_ops c <= dense then
       Some `Sparse
     else if rank_applicable c && Cost.rank_sim_ops c <= dense then Some `Rank
@@ -369,7 +370,7 @@ let rank_traces ?(prep = 0) ?meter c =
     (Analysis.Lightcone.cones c)
 
 let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
-    ?initial ?(engine = `Auto) ?meter c =
+    ?initial ?(engine = `Auto) ?meter ?wall c =
   let ideal_start = initial = None && Noise.is_ideal noise in
   let route =
     match engine with
@@ -386,7 +387,7 @@ let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
         if not (ideal_start && rank_applicable c) then
           invalid_arg "Engine.tracepoint_states: rank engine inapplicable";
         Some `Rank
-    | `Auto -> if ideal_start then auto_route c else None
+    | `Auto -> if ideal_start then auto_route ?wall c else None
   in
   let engine_name =
     match route with

@@ -70,12 +70,14 @@ val rank_applicable : ?cutoff:int -> ?tp_cap:int -> Circuit.t -> bool
     benchmarks can force or disable the routing. *)
 val dense_amp_wall : float ref
 
-(** [auto_route c] is the static routing decision for an ideal program
-    started from [|0...0>]: [`Stabilizer] for Clifford programs (the
-    PR 4 route, unchanged), and above {!dense_amp_wall} [`Sparse] when
-    the support-bound cost model beats dense by 4x, else [`Rank] for
-    near-Clifford programs; [None] means the dense engines. *)
-val auto_route : Circuit.t -> [ `Stabilizer | `Sparse | `Rank ] option
+(** [auto_route ?wall c] is the static routing decision for an ideal
+    program started from [|0...0>]: [`Stabilizer] for Clifford programs
+    (the PR 4 route, unchanged), and above the wall [`Sparse] when the
+    support-bound cost model beats dense by 4x, else [`Rank] for
+    near-Clifford programs; [None] means the dense engines. [wall]
+    (default [!dense_amp_wall]) is an explicit parameter so concurrent
+    callers — e.g. server requests — never race on the global ref. *)
+val auto_route : ?wall:float -> Circuit.t -> [ `Stabilizer | `Sparse | `Rank ] option
 
 (** Estimated simulation class for diagnostics (lint MQ018): the
     routing preference order, ignoring the dense wall. *)
@@ -120,6 +122,7 @@ val tracepoint_states :
   ?initial:Qstate.Statevec.t ->
   ?engine:[ `Auto | `Statevec | `Stabilizer | `Sparse | `Rank ] ->
   ?meter:Cost.t ->
+  ?wall:float ->
   Circuit.t ->
   (int * Linalg.Cmat.t) list
 

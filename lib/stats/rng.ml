@@ -11,6 +11,16 @@ let mix i =
   let z = (z lxor (z lsr 27)) * 0x2545f4914f6cdd1d in
   z lxor (z lsr 31)
 
+(* Fingerprint without advancing [t]: draw from a copy, then avalanche.
+   Two generators fingerprint equal iff their continuations are
+   bit-identical (bar astronomically unlikely collisions), which is what
+   cache keys need — equal fingerprints mean replaying a cached result
+   is indistinguishable from recomputing it. *)
+let fingerprint t =
+  let c = Random.State.copy t in
+  let a = Random.State.bits c and b = Random.State.bits c in
+  mix (a lxor mix (b lxor mix (Random.State.bits c)))
+
 let split t i =
   if i < 0 then invalid_arg "Rng.split: negative index";
   if Obs.enabled () then Obs.Metrics.counter_add "rng_splits_total" 1;

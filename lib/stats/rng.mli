@@ -21,6 +21,13 @@ val make : int -> t
     how many domains later consume them. *)
 val split : t -> int -> t
 
+(** [fingerprint t] is a stable digest of [t]'s current state, computed
+    from a copy — [t] itself is not advanced. Generators with equal
+    fingerprints produce bit-identical continuations, making the
+    fingerprint usable as a cache-key component for results that depend
+    on the stream. *)
+val fingerprint : t -> int
+
 (** [float t bound] is uniform in [0, bound). *)
 val float : t -> float -> float
 

@@ -244,14 +244,6 @@ let rank_vs_statevec circ =
        (Sim.Engine.rank_traces c)
        (Sim.Engine.run c).Sim.Engine.traces
 
-(* run [f] with the dense-amplitude wall forced to zero (so the sparse /
-   stabilizer-rank routes fire even on small QCheck circuits), restoring
-   the caller's wall either way *)
-let with_forced_wall f =
-  let saved = !Sim.Engine.dense_amp_wall in
-  Sim.Engine.dense_amp_wall := 0.;
-  Fun.protect ~finally:(fun () -> Sim.Engine.dense_amp_wall := saved) f
-
 let samples_agree ?(bitwise = false) (a : Morphcore.Characterize.t)
     (b : Morphcore.Characterize.t) =
   costs_equal a.Morphcore.Characterize.cost b.Morphcore.Characterize.cost
@@ -307,11 +299,10 @@ let characterize_stabilizer_route ?pool circ =
    (e.g. Clifford circuits go to the stabilizer route, covered above). *)
 let characterize_scale_route ?pool circ =
   let c = Gen.build circ in
-  with_forced_wall @@ fun () ->
-  match Sim.Engine.auto_route c with
+  match Sim.Engine.auto_route ~wall:0. c with
   | Some (`Sparse | `Rank) ->
       let run engine =
-        Morphcore.Characterize.run ?pool ~rng:(Stats.Rng.make 99)
+        Morphcore.Characterize.run ?pool ~wall:0. ~rng:(Stats.Rng.make 99)
           ~kind:Clifford.Sampling.Basis ~engine (Morphcore.Program.make c)
           ~count:4
       in
@@ -334,6 +325,73 @@ let characterize_engines_agree ?pool circ =
          && traces_match sa.Morphcore.Characterize.traces
               sb.Morphcore.Characterize.traces)
        a.Morphcore.Characterize.samples b.Morphcore.Characterize.samples
+
+(* ---- cache transparency ---- *)
+
+let samples_traces_identical (a : Morphcore.Characterize.t)
+    (b : Morphcore.Characterize.t) =
+  Array.length a.Morphcore.Characterize.samples
+  = Array.length b.Morphcore.Characterize.samples
+  && Array.for_all2
+       (fun (sa : Morphcore.Characterize.sample)
+            (sb : Morphcore.Characterize.sample) ->
+         cmat_bits sa.Morphcore.Characterize.input_dm
+           sb.Morphcore.Characterize.input_dm
+         && List.length sa.Morphcore.Characterize.traces
+            = List.length sb.Morphcore.Characterize.traces
+         && List.for_all2
+              (fun (ia, ma) (ib, mb) -> ia = ib && cmat_bits ma mb)
+              sa.Morphcore.Characterize.traces
+              sb.Morphcore.Characterize.traces)
+       a.Morphcore.Characterize.samples b.Morphcore.Characterize.samples
+
+let samples_traces_close (a : Morphcore.Characterize.t)
+    (b : Morphcore.Characterize.t) =
+  Array.length a.Morphcore.Characterize.samples
+  = Array.length b.Morphcore.Characterize.samples
+  && Array.for_all2
+       (fun (sa : Morphcore.Characterize.sample)
+            (sb : Morphcore.Characterize.sample) ->
+         cmat_bits sa.Morphcore.Characterize.input_dm
+           sb.Morphcore.Characterize.input_dm
+         && traces_match sa.Morphcore.Characterize.traces
+              sb.Morphcore.Characterize.traces)
+       a.Morphcore.Characterize.samples b.Morphcore.Characterize.samples
+
+(* Content-addressed caching must be invisible in the results. Four runs
+   of the same characterization — uncached, cold cache, warm cache, and
+   through a byte-starved cache whose entries keep getting evicted — and
+   a persistence reload (resident tier dropped, entries re-read from
+   disk) when [dir] is given: the cached runs must agree bit-for-bit
+   with each other (every cached value is a pure function of its key;
+   tomography degradation draws from key-derived generators), and with
+   the uncached run within the engine tolerance (the incremental path
+   simulates lightcone-restricted units, the same ~1e-15 reordering as
+   batched-vs-sequential). *)
+let cache_transparent ?pool ?dir circ =
+  let c = Gen.build circ in
+  let program = Morphcore.Program.make c in
+  let run ?cache () =
+    Morphcore.Characterize.run ?pool ?cache ~rng:(Stats.Rng.make 2718)
+      ~trajectories:4 program ~count:3
+  in
+  let uncached = run () in
+  let cache = Cache.create ?dir () in
+  let cold = run ~cache () in
+  let warm = run ~cache () in
+  samples_traces_identical cold warm
+  && samples_traces_close uncached cold
+  && (let tiny = Cache.create ~max_bytes:512 () in
+      let tcold = run ~cache:tiny () in
+      let twarm = run ~cache:tiny () in
+      samples_traces_identical cold tcold
+      && samples_traces_identical tcold twarm)
+  &&
+  match dir with
+  | None -> true
+  | Some _ ->
+      Cache.drop_memory cache;
+      samples_traces_identical cold (run ~cache ())
 
 (* ---- observability transparency ---- *)
 

@@ -130,13 +130,22 @@ val characterize_auto_unchanged :
     true otherwise. *)
 val characterize_stabilizer_route : ?pool:Parallel.Pool.t -> Gen.circ -> bool
 
-(** [characterize_scale_route ?pool c] — with [Sim.Engine.dense_amp_wall]
-    forced to zero (restored on exit) so the scalable routes fire on small
-    circuits: whenever [auto_route] picks [`Sparse] or [`Rank],
-    [Basis]-kind characterization under [`Auto] matches [`Sequential]
-    (identical cost meters, traces within {!eps}); vacuously true
-    otherwise. *)
+(** [characterize_scale_route ?pool c] — with the dense-amplitude wall
+    forced to zero via [Characterize.run ~wall:0.] (the global
+    [Sim.Engine.dense_amp_wall] is never touched) so the scalable routes
+    fire on small circuits: whenever [auto_route ~wall:0.] picks
+    [`Sparse] or [`Rank], [Basis]-kind characterization under [`Auto]
+    matches [`Sequential] (identical cost meters, traces within {!eps});
+    vacuously true otherwise. *)
 val characterize_scale_route : ?pool:Parallel.Pool.t -> Gen.circ -> bool
+
+(** [cache_transparent ?pool ?dir c] — content-addressed caching is
+    invisible: cold, warm and eviction-thrashed (512-byte budget) cached
+    characterizations agree bit-for-bit, the cached path agrees with the
+    uncached one within {!eps}, and — when [dir] names a cache
+    directory — so does a persistence reload ([Cache.drop_memory], then
+    re-read from disk). *)
+val cache_transparent : ?pool:Parallel.Pool.t -> ?dir:string -> Gen.circ -> bool
 
 (** [characterize_engines_agree ?pool c] — [Morphcore.Characterize.run]
     under [`Batched] vs [`Sequential] on the same seed: identical cost

@@ -80,8 +80,8 @@ let emit_fused ?(clifford_direct = false) emit sup gates =
       | Some total when block_cost blk > total -> all_direct ()
       | _ -> emit (Sim.Batch.Block blk))
 
-let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff)
-    ?(clifford_direct = false) c =
+let compile_direct ?(cutoff = default_cutoff)
+    ?(block_cutoff = default_block_cutoff) ?(clifford_direct = false) c =
   if cutoff < 1 || block_cutoff < 1 then
     invalid_arg "Segments.compile: cutoffs must be >= 1";
   Obs.Span.with_ ~name:"segments.compile" @@ fun () ->
@@ -160,3 +160,27 @@ let compile ?(cutoff = default_cutoff) ?(block_cutoff = default_block_cutoff)
     items = List.rev !items;
     source_ops = !source_ops;
   }
+
+(* Plan memo: keyed by the exact circuit bytes (barriers and fences are
+   semantically load-bearing here, so no canonicalization) plus the
+   cutoffs. A plan is pure data (fused operators, direct gates, fence
+   instructions), so a cached plan is the compiled plan. *)
+let compile ?cutoff ?block_cutoff ?clifford_direct ?cache c =
+  match cache with
+  | None -> compile_direct ?cutoff ?block_cutoff ?clifford_direct c
+  | Some cache -> (
+      let key =
+        Cache.Canon.digest
+          (String.concat "\x00"
+             [
+               "plan-v1";
+               Cache.Canon.exact_bytes c;
+               Marshal.to_string (cutoff, block_cutoff, clifford_direct) [];
+             ])
+      in
+      match Cache.find_value cache ~ns:"segments" key with
+      | Some plan -> plan
+      | None ->
+          let plan = compile_direct ?cutoff ?block_cutoff ?clifford_direct c in
+          Cache.store_value cache ~ns:"segments" key plan;
+          plan)

@@ -49,10 +49,14 @@ val default_block_cutoff : int
     same plan as before, cheaper compile. With [clifford_direct] (default
     [false]) segments classified Clifford by [Analysis.Classify] also skip
     dense fusion: their sparse kernels are cheap and keeping them as plain
-    gates preserves the option of running them on the stabilizer tableau. *)
+    gates preserves the option of running them on the stabilizer tableau.
+
+    [cache] memoizes the whole plan, keyed by the exact circuit bytes
+    (barriers fence fusion, so no canonicalization) and the cutoffs. *)
 val compile :
   ?cutoff:int ->
   ?block_cutoff:int ->
   ?clifford_direct:bool ->
+  ?cache:Cache.t ->
   Circuit.t ->
   Sim.Batch.plan

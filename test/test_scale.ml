@@ -196,23 +196,18 @@ let test_auto_route () =
   Alcotest.(check bool) "below the wall -> dense" true
     (Sim.Engine.auto_route small = None);
   (* forcing the wall to zero exposes the static preferences *)
-  let saved = !Sim.Engine.dense_amp_wall in
-  Fun.protect
-    ~finally:(fun () -> Sim.Engine.dense_amp_wall := saved)
-    (fun () ->
-      Sim.Engine.dense_amp_wall := 0.;
-      let diagonal =
-        Circuit.(
-          empty 6 |> x 0 |> t_gate 0
-          |> mcz [ 0; 1; 2; 3; 4; 5 ]
-          |> tracepoint 1 [ 0 ])
-      in
-      Alcotest.(check bool) "low support -> sparse" true
-        (Sim.Engine.auto_route diagonal = Some `Sparse);
-      Alcotest.(check bool) "near-clifford -> rank" true
-        (Sim.Engine.auto_route
-           Circuit.(ghz ~ts:[ 17 ] 18 |> tracepoint 1 [ 17 ])
-        = Some `Rank))
+  let diagonal =
+    Circuit.(
+      empty 6 |> x 0 |> t_gate 0
+      |> mcz [ 0; 1; 2; 3; 4; 5 ]
+      |> tracepoint 1 [ 0 ])
+  in
+  Alcotest.(check bool) "low support -> sparse" true
+    (Sim.Engine.auto_route ~wall:0. diagonal = Some `Sparse);
+  Alcotest.(check bool) "near-clifford -> rank" true
+    (Sim.Engine.auto_route ~wall:0.
+       Circuit.(ghz ~ts:[ 17 ] 18 |> tracepoint 1 [ 17 ])
+    = Some `Rank)
 
 let test_forced_engines_reject () =
   (match
