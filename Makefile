@@ -1,4 +1,4 @@
-.PHONY: build test test-fast test-full lint bench bench-smoke bench-check profile clean
+.PHONY: build test test-fast test-full lint certify bench bench-smoke bench-check profile clean
 
 build:
 	dune build
@@ -23,6 +23,21 @@ test-full: build
 lint: build
 	dune exec bin/main.exe -- lint --strict examples/qasm/*.qasm
 
+# Translation validation over the example corpus: every transpile pass
+# emits a certificate, the independent checker re-proves each obligation
+# (exit 1 = MQ021), and the grep asserts the runs discharged real rewrite
+# obligations rather than certifying vacuously.
+certify: build
+	dune exec bin/main.exe -- certify examples/qasm/*.qasm | tee certify.out
+	@grep -q 'certified' certify.out
+	@if grep -E 'obligations=[1-9]' certify.out >/dev/null; then \
+	  echo "certify: all examples certified with nonzero obligations"; \
+	  rm -f certify.out; \
+	else \
+	  echo "certify: FAILED — zero obligations discharged (vacuous run)" >&2; \
+	  rm -f certify.out; exit 1; \
+	fi
+
 bench: build
 	dune exec bench/main.exe
 
@@ -31,9 +46,9 @@ bench: build
 # stripped). scale also asserts its routing invariants — every 24-32q
 # workload runs on the sparse/stabilizer/rank engines, never dense.
 bench-smoke: build
-	@MORPHQPV_DOMAINS=1 dune exec bench/main.exe -- cache fig1b scale --no-bechamel \
+	@MORPHQPV_DOMAINS=1 dune exec bench/main.exe -- cache certify fig1b scale --no-bechamel \
 	  | grep -v -E 'finished in|done in' > bench_smoke_1.out
-	@MORPHQPV_DOMAINS=2 dune exec bench/main.exe -- cache fig1b scale --no-bechamel \
+	@MORPHQPV_DOMAINS=2 dune exec bench/main.exe -- cache certify fig1b scale --no-bechamel \
 	  | grep -v -E 'finished in|done in' > bench_smoke_2.out
 	@if diff -u bench_smoke_1.out bench_smoke_2.out; then \
 	  echo "bench-smoke: outputs identical across 1 and 2 domains"; \
@@ -61,4 +76,4 @@ profile: build
 
 clean:
 	dune clean
-	rm -f bench_smoke_*.out BENCH_results.json BENCH_results.prev.json
+	rm -f bench_smoke_*.out certify.out BENCH_results.json BENCH_results.prev.json

@@ -1,0 +1,119 @@
+(* certify: translation-validation obligation census and checker timing
+   (also run by `make bench-smoke`).
+
+   Every program in the corpus — the example QASM files plus constructed
+   redundancy-heavy circuits — is transpiled through the certificate-
+   emitting pass variants (peephole fixpoint, lightcone pruning, segment
+   compilation) and the resulting chain is re-validated by the
+   independent checker ([Transpile.Certify.check_plan]).
+
+   Every printed row is exact (chain steps and obligation counts by kind,
+   checker verdict, mutants rejected), so the output is byte-identical
+   across domain counts and the bench-smoke diff covers it. Checker wall
+   seconds land only in BENCH_results.json, where the regression gate
+   t-tests them: the checker is advertised as O(total obligation size),
+   and these rows would catch it quietly becoming circuit-sized. *)
+
+let examples =
+  [
+    ("bv", "examples/qasm/bv.qasm");
+    ("ghz", "examples/qasm/ghz.qasm");
+    ("teleport", "examples/qasm/teleport.qasm");
+  ]
+
+(* adjoint annihilation: the peephole fixpoint cancels everything, so the
+   certificate is almost entirely Local_equiv deletion groups *)
+let adjoint_collapse =
+  let base =
+    Circuit.(empty 3 |> h 0 |> rz 0.9 1 |> cx 0 1 |> t_gate 2 |> cx 1 2)
+  in
+  Circuit.append base (Circuit.adjoint base) |> Circuit.tracepoint 1 [ 0; 1; 2 ]
+
+(* rotation runs + identity gates + an unobserved spectator wire: merges,
+   identity eliminations and lightcone pruning all fire *)
+let mixed_rewrites =
+  Circuit.(
+    empty ~clbits:2 4 |> h 0 |> cx 0 1
+    |> rz 0.3 1 |> rz 0.4 1 |> rz 0.0 2 |> rx (4. *. Float.pi) 2
+    |> h 3 |> t_gate 3 (* outside every cone below *)
+    |> tracepoint 1 [ 0; 1 ] |> measure 0 0 |> measure 1 1)
+
+(* measurement + feedback: fences constrain fusion, and the mutation
+   harness's reordered-measurement mutant applies *)
+let feedback =
+  Circuit.(
+    empty ~clbits:2 2 |> h 0 |> measure 0 0
+    |> if_gate [ 0 ] 1 (Gate.make "x" [ 1 ])
+    |> h 1 |> h 1 |> measure 1 1)
+
+let constructed =
+  [
+    ("adjoint-collapse", adjoint_collapse);
+    ("mixed-rewrites", mixed_rewrites);
+    ("feedback", feedback);
+  ]
+
+(* the pipeline the verifier certifies, with the chain kept apart from the
+   check so only the checker is timed *)
+let build_chain c =
+  let c1, opt_steps = Transpile.Passes.optimize_cert c in
+  let c2, prune_step = Transpile.Passes.prune_lightcone_cert c1 in
+  let plan, seg_step = Transpile.Segments.compile_cert c2 in
+  (opt_steps @ [ prune_step; seg_step ], plan)
+
+let check_one ~domains (name, c) =
+  let cert, plan = build_chain c in
+  let result, t_check, reps =
+    Util.timed_samples
+      ~name:("certify." ^ name)
+      (fun () -> Transpile.Certify.check_plan cert c plan)
+  in
+  let s =
+    match result with
+    | Ok s -> s
+    | Error (f :: _) ->
+        failwith
+          (Printf.sprintf "certify: %s failed to certify: %s" name
+             (Transpile.Certify.failure_message f))
+    | Error [] -> failwith "certify: empty failure list"
+  in
+  Util.row
+    "certify %-18s steps=%d obligations=%-3d local_equiv=%-3d outside_cone=%d \
+     identity_elim=%d barrier_elim=%d mapped=%d"
+    name s.Transpile.Certify.chain_steps
+    (Transpile.Certify.total_obligations s)
+    s.Transpile.Certify.local_equiv s.Transpile.Certify.outside_cone
+    s.Transpile.Certify.identity_elim s.Transpile.Certify.barrier_elim
+    s.Transpile.Certify.permutation;
+  Util.record ("certify/" ^ name) ~seconds:t_check ~samples:reps ~domains ();
+  Transpile.Certify.total_obligations s
+
+let run () =
+  Util.header "certify: translation-validation of the transpile pipeline";
+  let domains = 1 in
+  let corpus =
+    List.map (fun (name, path) -> (name, Qasm.parse_file path)) examples
+    @ constructed
+  in
+  let total =
+    List.fold_left (fun acc case -> acc + check_one ~domains case) 0 corpus
+  in
+  if total = 0 then
+    failwith "certify: the corpus discharged zero rewrite obligations";
+  (* mutation rejection rides along: every applicable doctored certificate
+     must be refused by the checker *)
+  let rejected, attempted =
+    List.fold_left
+      (fun (r, a) (_, c) ->
+        let ms = Testkit.Mutate.mutants c in
+        ( r + List.length (List.filter Testkit.Mutate.rejected ms),
+          a + List.length ms ))
+      (0, 0) constructed
+  in
+  if rejected <> attempted || attempted = 0 then
+    failwith
+      (Printf.sprintf "certify: %d of %d mutants escaped the checker"
+         (attempted - rejected) attempted);
+  Util.row "certify mutants rejected: %d/%d" rejected attempted;
+  Util.row "all certificates checked (%d obligations over %d programs)" total
+    (List.length corpus)

@@ -44,6 +44,18 @@ let checks () =
       Gen.gen_pure (),
       Oracle.sequential_vs_fixed_verdict );
     ("pvalue-uniform", Gen.gen_pure (), Oracle.pvalue_uniform_under_null);
+    ( "certified-passes-pure",
+      Gen.gen_pure (),
+      Oracle.certified_pass_sound );
+    ( "certified-passes-nearclif",
+      Gen.gen_near_clifford (),
+      Oracle.certified_pass_sound );
+    ( "certified-passes-programs",
+      Gen.gen_program (),
+      Oracle.certified_pass_sound );
+    ( "certify-mutants-rejected",
+      Gen.gen_program (),
+      Oracle.certified_mutants_rejected );
     ("adjoint-cancels", Gen.gen_pure (), Metamorph.adjoint_cancels);
     ("global-phase", Gen.gen_pure (), Metamorph.global_phase_invariant);
     ("fused-traces", Gen.gen_pure (), Metamorph.fused_traces_agree);

@@ -30,6 +30,7 @@ let experiments =
     ("scale", "24-32q characterization past the dense wall", Exp_perf.run_scale);
     ("cache", "warm-vs-cold incremental verification cache", Exp_cache.run);
     ("fuzz", "differential/metamorphic fuzz sweep (pass/fail counts)", Exp_fuzz.run);
+    ("certify", "translation-validation obligations + checker timing", Exp_certify.run);
   ]
 
 (* ------------------------- bechamel suite ---------------------------- *)

@@ -5,6 +5,7 @@
      simulate  — run a program; print counts and tracepoint states
      sample    — characterize a program and report approximation accuracy
      verify    — validate an assume-guarantee assertion
+     certify   — translation-validate the transpile pipeline (MQ021)
 
    Predicate specs for `verify` (tracepoint 0 = the program input):
      pure:T                 the state at tracepoint T is pure
@@ -140,6 +141,59 @@ let sample_cmd file count kind seed =
         (Approx.tracepoint_ids approx);
       0
 
+(* ------------------------------ certify ------------------------------ *)
+
+(* render the checker's structured failures as lint-style MQ021 lines *)
+let print_certify_failures ~file failures =
+  List.iter
+    (fun (f : Transpile.Certify.failure) ->
+      let loc =
+        match f.Transpile.Certify.loc with
+        | Some (line, col) -> Printf.sprintf ":%d:%d" line col
+        | None -> ""
+      in
+      Format.eprintf "%s%s: error[MQ021]: %s@." file loc
+        (Transpile.Certify.failure_message f))
+    failures
+
+(* pre-flight used by verify/serve and the standalone subcommand: run the
+   transpile pipeline through the certificate-emitting pass variants and
+   re-check the chain with the independent checker *)
+let run_certify ?cache ~file full =
+  let report =
+    Verify.certify_transpile ?cache ~locs:full.Qasm.locs full.Qasm.circuit
+  in
+  let s = report.Verify.cert_summary in
+  if report.Verify.certified then
+    Format.printf
+      "%s: certified steps=%d obligations=%d (local_equiv=%d outside_cone=%d \
+       identity_elim=%d barrier_elim=%d mapped=%d)@."
+      file s.Transpile.Certify.chain_steps
+      (Transpile.Certify.total_obligations s)
+      s.Transpile.Certify.local_equiv s.Transpile.Certify.outside_cone
+      s.Transpile.Certify.identity_elim s.Transpile.Certify.barrier_elim
+      s.Transpile.Certify.permutation
+  else begin
+    Format.printf "%s: NOT CERTIFIED (%d failures)@." file
+      (List.length report.Verify.cert_failures);
+    print_certify_failures ~file report.Verify.cert_failures
+  end;
+  report.Verify.certified
+
+(* morphqpv certify: translation-validate the transpile pipeline over one
+   or more programs; exit 1 as soon as any obligation fails to check *)
+let certify_cmd files =
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      match read_full file with
+      | Error e ->
+          prerr_endline e;
+          failed := true
+      | Ok full -> if not (run_certify ~file full) then failed := true)
+    files;
+  if !failed then 1 else 0
+
 (* ------------------------------ verify ------------------------------- *)
 
 (* check the file's [expect] pragmas against sampled measurement counts;
@@ -169,7 +223,8 @@ let check_expects ~budget ~rng program (expects : Qasm.expect_pragma list) =
           r.Verify.counts_hold)
     expects
 
-let verify_cmd file assumes guarantees count solver seed budget use_cache =
+let verify_cmd file assumes guarantees count solver seed budget use_cache
+    certify =
   match (read_full file, parse_budget budget) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -184,6 +239,10 @@ let verify_cmd file assumes guarantees count solver seed budget use_cache =
         | true, None -> Some (Cache.create ())
         | false, None -> None
       in
+      (* --certify: translation-validate the transpile pipeline before any
+         verification work; a failed certificate is a hard MQ021 error *)
+      if certify && not (run_certify ?cache ~file full) then 1
+      else
       let rng = Stats.Rng.make seed in
       let program = Program.make c in
       let n_in = Program.num_input_qubits program in
@@ -247,13 +306,31 @@ let verify_cmd file assumes guarantees count solver seed budget use_cache =
 
 (* ----------------------------- optimize ------------------------------ *)
 
-let optimize_cmd file output =
-  match read_circuit file with
+let optimize_cmd file output certify =
+  match read_full file with
   | Error e ->
       prerr_endline e;
       1
-  | Ok c ->
-      let optimized = Transpile.Passes.optimize c in
+  | Ok full ->
+      let c = full.Qasm.circuit in
+      (* --certify: run the certificate-emitting variant and validate the
+         chain with the independent checker instead of trusting the pass *)
+      let optimized, cert_ok =
+        if not certify then (Transpile.Passes.optimize c, true)
+        else
+          let optimized, cert = Transpile.Passes.optimize_cert c in
+          match
+            Transpile.Certify.check ~locs:full.Qasm.locs cert c optimized
+          with
+          | Ok s ->
+              Format.eprintf "certificate: OK (steps=%d, obligations=%d)@."
+                s.Transpile.Certify.chain_steps
+                (Transpile.Certify.total_obligations s);
+              (optimized, true)
+          | Error failures ->
+              print_certify_failures ~file failures;
+              (optimized, false)
+      in
       Format.eprintf "gates: %d -> %d (%.0f%% removed); equivalence check: %b@."
         (Circuit.gate_count c)
         (Circuit.gate_count optimized)
@@ -268,7 +345,7 @@ let optimize_cmd file output =
           let oc = open_out path in
           output_string oc qasm;
           close_out oc);
-      0
+      if cert_ok then 0 else 1
 
 (* ------------------------------ profile ------------------------------ *)
 
@@ -394,7 +471,7 @@ let profile_cmd file shots count seed trace_out metrics_out =
 (* morph-lint: run the static-analysis diagnostics (Analysis.Lint) over one
    or more mini-QASM files. Exit status 1 when any error-severity diagnostic
    is found (or any warning under --strict), 0 on a clean corpus. *)
-let lint_cmd files strict quiet cost_threshold =
+let lint_cmd files strict quiet cost_threshold certify =
   let failed = ref false in
   List.iter
     (fun file ->
@@ -409,8 +486,9 @@ let lint_cmd files strict quiet cost_threshold =
              already reported *)
           let diags =
             diags
-            @ (match Qasm.parse_file file with
-              | c ->
+            @ (match Qasm.parse_file_full file with
+              | full ->
+                  let c = full.Qasm.circuit in
                   Analysis.Lint.check_cost ~estimate:characterization_seconds
                     ?threshold:cost_threshold c
                   @ Analysis.Lint.check_sim_class ~classify:simulation_class c
@@ -418,6 +496,23 @@ let lint_cmd files strict quiet cost_threshold =
                      one layer above the analysis library *)
                   @ Analysis.Lint.check_cones ~digests:Cache.Canon.cone_digests
                       c
+                  (* MQ021 (--certify) needs the certificate checker from
+                     morphqpv.transpile: transpile through the certificate-
+                     emitting passes and render every checker failure *)
+                  @ (if not certify then []
+                     else
+                       Analysis.Lint.check_certify
+                         ~certify:(fun c ->
+                           let r =
+                             Verify.certify_transpile ~locs:full.Qasm.locs c
+                           in
+                           List.map
+                             (fun (f : Transpile.Certify.failure) ->
+                               ( Transpile.Certify.failure_message f,
+                                 f.Transpile.Certify.loc,
+                                 f.Transpile.Certify.before_index ))
+                             r.Verify.cert_failures)
+                         c)
               | exception _ -> [])
           in
           List.iter
@@ -447,7 +542,7 @@ let addr_of ~socket ~tcp =
 (* morphqpv serve: the long-running verification daemon. All requests
    share one content-addressed cache, so repeated verifications of the
    same (or isomorphic) programs skip characterization entirely. *)
-let serve_cmd socket tcp cache_dir cache_mb =
+let serve_cmd socket tcp cache_dir cache_mb certify =
   let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) cache_mb in
   let cache =
     match cache_dir with
@@ -464,7 +559,7 @@ let serve_cmd socket tcp cache_dir cache_mb =
     | Server.Tcp port ->
         Format.eprintf "morphqpv serve: listening on 127.0.0.1:%d@." port
   in
-  (try Server.serve ~cache ~on_ready addr with
+  (try Server.serve ~cache ~certify ~on_ready addr with
   | Unix.Unix_error (e, fn, _) ->
       Format.eprintf "morphqpv serve: %s: %s@." fn (Unix.error_message e);
       exit 1);
@@ -475,7 +570,7 @@ let serve_cmd socket tcp cache_dir cache_mb =
    the terminal result line are printed as received. Exit 0 iff the
    request succeeded (and, for verify, the program verified). *)
 let client_cmd socket tcp method_ file assumes guarantees count solver seed
-    budget mode =
+    budget mode certify =
   let addr = addr_of ~socket ~tcp in
   let method_ =
     if method_ <> "" then Ok method_
@@ -502,6 +597,7 @@ let client_cmd socket tcp method_ file assumes guarantees count solver seed
                         ("seed", Jsonx.int seed);
                         ("budget", Jsonx.Str budget);
                         ("mode", Jsonx.Str mode);
+                        ("certify", Jsonx.Bool certify);
                       ]
                      @ (if assumes = [] then []
                         else [ ("assume", Jsonx.List (strings assumes)) ])
@@ -547,6 +643,8 @@ let file_arg =
 let seed_arg =
   Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"random seed")
 
+let certify_flag doc = Arg.(value & flag & info [ "certify" ] ~doc)
+
 let info_term = Term.(const info_cmd $ file_arg)
 
 let simulate_term =
@@ -565,7 +663,20 @@ let optimize_term =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"write optimized QASM to a file")
   in
-  Term.(const optimize_cmd $ file_arg $ output)
+  let certify =
+    certify_flag
+      "emit a translation-validation certificate for every pass and check it \
+       with the independent checker; exit 1 (MQ021) on any failed obligation"
+  in
+  Term.(const optimize_cmd $ file_arg $ output $ certify)
+
+let certify_term =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"mini-QASM programs to certify")
+  in
+  Term.(const certify_cmd $ files)
 
 let lint_term =
   let files =
@@ -586,7 +697,12 @@ let lint_term =
             "MQ017 threshold in estimated device seconds (default: \
              MORPHQPV_LINT_COST_THRESHOLD or 1.0)")
   in
-  Term.(const lint_cmd $ files $ strict $ quiet $ cost_threshold)
+  let certify =
+    certify_flag
+      "also run MQ021: translation-validate the transpile pipeline on each \
+       file with the independent certificate checker"
+  in
+  Term.(const lint_cmd $ files $ strict $ quiet $ cost_threshold $ certify)
 
 let profile_term =
   let shots =
@@ -641,9 +757,14 @@ let verify_term =
              cache (in-memory; set MORPHQPV_CACHE_DIR for persistence \
              across runs)")
   in
+  let certify =
+    certify_flag
+      "translation-validate the transpile pipeline before verifying; a \
+       failed certificate aborts with MQ021 and exit status 1"
+  in
   Term.(
     const verify_cmd $ file_arg $ assumes $ guarantees $ count $ solver
-    $ seed_arg $ budget $ cache)
+    $ seed_arg $ budget $ cache $ certify)
 
 let socket_arg =
   Arg.(
@@ -674,7 +795,13 @@ let serve_term =
       & opt (some int) None
       & info [ "cache-mb" ] ~docv:"MB" ~doc:"in-memory cache budget in MiB")
   in
-  Term.(const serve_cmd $ socket_arg $ tcp_arg $ cache_dir $ cache_mb)
+  let certify =
+    certify_flag
+      "translation-validate the transpile pipeline on every verify request \
+       (individual requests can also opt in with a certify:true param)"
+  in
+  Term.(
+    const serve_cmd $ socket_arg $ tcp_arg $ cache_dir $ cache_mb $ certify)
 
 let client_term =
   let file =
@@ -724,9 +851,12 @@ let client_term =
       & info [ "mode" ] ~docv:"MODE"
           ~doc:"characterization mode: exact | tomo:SHOTS | probs:SHOTS")
   in
+  let certify =
+    certify_flag "ask the daemon to certify the transpile pipeline (MQ021)"
+  in
   Term.(
     const client_cmd $ socket_arg $ tcp_arg $ method_ $ file $ assumes
-    $ guarantees $ count $ solver $ seed_arg $ budget $ mode)
+    $ guarantees $ count $ solver $ seed_arg $ budget $ mode $ certify)
 
 let cmds =
   [
@@ -737,6 +867,12 @@ let cmds =
     Cmd.v
       (Cmd.info "optimize" ~doc:"transpile a program and check equivalence")
       optimize_term;
+    Cmd.v
+      (Cmd.info "certify"
+         ~doc:
+           "translation-validate the transpile pipeline: every pass emits a \
+            certificate, checked by an independent checker")
+      certify_term;
     Cmd.v
       (Cmd.info "lint" ~doc:"run static-analysis diagnostics over programs")
       lint_term;

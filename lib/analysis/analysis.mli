@@ -165,6 +165,19 @@ module Lint : sig
     Circuit.t ->
     diagnostic list
 
+  (** [check_certify ~certify c] emits MQ021: one Error diagnostic per
+      certificate-check failure of the transpile pipeline on [c]. The
+      [certify] callback returns the rendered failures as
+      [(message, source loc, instruction index)] — it is a callback
+      because the certificate checker lives in [morphqpv.transpile],
+      above this library (the CLI wraps
+      [Morphcore.Verify.certify_transpile]). An empty result means every
+      rewrite obligation was discharged by the independent checker. *)
+  val check_certify :
+    certify:(Circuit.t -> (string * (int * int) option * int option) list) ->
+    Circuit.t ->
+    diagnostic list
+
   (** [lint_qasm src] parses and checks QASM text; syntax errors (MQ000)
       and construction errors (MQ001-MQ003, MQ013-MQ016) are returned as
       located diagnostics instead of raising. *)

@@ -39,6 +39,7 @@ let codes =
     ("MQ018", Info, "estimated simulation class");
     ("MQ019", Error, "invalid distribution expectation pragma");
     ("MQ020", Info, "tracepoint lightcone content hash");
+    ("MQ021", Error, "transpile certificate check failed");
   ]
 
 let severity_of_code code =
@@ -365,6 +366,18 @@ let check_cones ~digests c =
     |> List.sort compare |> List.map snd
   in
   per_tp @ dups
+
+(* MQ021: translation validation of the transpile pipeline. [certify] is
+   a callback (like MQ017's [estimate]) because the certificate checker
+   lives in morphqpv.transpile, above this library — the CLI passes a
+   wrapper over [Verify.certify_transpile] that renders each structured
+   failure to (message, source loc, instruction index). An empty result
+   means every pass obligation was discharged. *)
+let check_certify ~certify c =
+  List.map
+    (fun (message, loc, instr) ->
+      { severity = Error; code = "MQ021"; message; loc; instr })
+    (certify c)
 
 (* MQ019: semantic validation of the [expect] distribution pragma — the
    parser keeps it purely syntactic so malformed pragmas reach here as

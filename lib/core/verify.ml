@@ -520,3 +520,33 @@ let probe_accuracies ?rng ?(count = 20) approx program ~tracepoint =
           List.assoc tracepoint (Program.run_traces ~rng program ~input)
         in
         accuracy_of input truth)
+
+(* ------------------- certified transpilation (MQ021) ------------------- *)
+
+type certify_report = {
+  certified : bool;
+  cert_summary : Transpile.Certify.summary;
+  cert_failures : Transpile.Certify.failure list;
+  cert_plan : Sim.Batch.plan;
+}
+
+let certify_transpile ?cache ?locs circuit =
+  let optimized, opt_steps = Transpile.Passes.optimize_cert circuit in
+  let pruned, prune_step = Transpile.Passes.prune_lightcone_cert optimized in
+  let plan, seg_step = Transpile.Segments.compile_cert ?cache pruned in
+  let cert = opt_steps @ [ prune_step; seg_step ] in
+  match Transpile.Certify.check_plan ?locs cert circuit plan with
+  | Ok summary ->
+      {
+        certified = true;
+        cert_summary = summary;
+        cert_failures = [];
+        cert_plan = plan;
+      }
+  | Error failures ->
+      {
+        certified = false;
+        cert_summary = Transpile.Certify.summarize cert;
+        cert_failures = failures;
+        cert_plan = plan;
+      }

@@ -31,12 +31,15 @@ type addr = Unix_path of string | Tcp of int
 
 type state = {
   cache : Cache.t option;
+  certify : bool;
+      (* force translation validation of the transpile pipeline on every
+         verify request, even when the request doesn't ask for it *)
   started : float;
   mutable requests : int;
 }
 
-let make_state ?cache () =
-  { cache; started = Unix.gettimeofday (); requests = 0 }
+let make_state ?cache ?(certify = false) () =
+  { cache; certify; started = Unix.gettimeofday (); requests = 0 }
 
 (* ----------------------------- responses ------------------------------ *)
 
@@ -187,6 +190,35 @@ let verify_request state ~emit ~id params =
          ("tracepoints", Jsonx.int (List.length (Circuit.tracepoints c)));
          ("expects", Jsonx.int (List.length full.Qasm.expects));
        ]);
+  (* translation validation: transpile through the certificate-emitting
+     pass variants and re-check the chain with the independent checker.
+     The certified plan is cached under its own key prefix, so a daemon
+     asked to certify never serves a plan that skipped certification. *)
+  let want_certify =
+    state.certify
+    || Option.value ~default:false
+         (Option.bind (Jsonx.member "certify" params) Jsonx.to_bool)
+  in
+  if want_certify then begin
+    let report =
+      Verify.certify_transpile ?cache:state.cache ~locs:full.Qasm.locs c
+    in
+    let summary = report.Verify.cert_summary in
+    emit
+      (event id
+         [
+           ("event", Jsonx.Str "certify");
+           ("certified", Jsonx.Bool report.Verify.certified);
+           ("steps", Jsonx.int summary.Transpile.Certify.chain_steps);
+           ( "obligations",
+             Jsonx.int (Transpile.Certify.total_obligations summary) );
+         ]);
+    if not report.Verify.certified then
+      failf "MQ021: %s"
+        (match report.Verify.cert_failures with
+        | f :: _ -> Transpile.Certify.failure_message f
+        | [] -> "transpile certificate check failed")
+  end;
   let expects_ok =
     check_expects ~emit ~id ~budget ~rng program full.Qasm.expects
   in
@@ -368,8 +400,8 @@ let handle_connection state stop fd =
    with Sys_error _ | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let serve ?cache ?(on_ready = fun () -> ()) addr =
-  let state = make_state ?cache () in
+let serve ?cache ?certify ?(on_ready = fun () -> ()) addr =
+  let state = make_state ?cache ?certify () in
   let stop = ref false in
   let old_int =
     Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))

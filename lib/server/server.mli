@@ -21,7 +21,13 @@ type addr = Unix_path of string | Tcp of int  (** TCP binds loopback only *)
 
 type state
 
-val make_state : ?cache:Cache.t -> unit -> state
+(** [certify] (default [false]) forces translation validation on every
+    [verify] request: the transpile pipeline runs through the certificate-
+    emitting pass variants, the chain is re-checked by the independent
+    checker ({!Transpile.Certify}), and a ["certify"] event reports the
+    verdict. A failed check aborts the request with an MQ021 error line.
+    Individual requests can also opt in with a ["certify": true] param. *)
+val make_state : ?cache:Cache.t -> ?certify:bool -> unit -> state
 
 (** [handle_line state ~emit line] processes one request line, calling
     [emit] once per response line; [`Stop] after a [shutdown] request.
@@ -34,7 +40,8 @@ val handle_line :
     SIGTERM; the socket (and Unix path) is cleaned up on exit and the
     previous signal dispositions are restored. [on_ready] runs once the
     socket is listening (used by tests to synchronize). *)
-val serve : ?cache:Cache.t -> ?on_ready:(unit -> unit) -> addr -> unit
+val serve :
+  ?cache:Cache.t -> ?certify:bool -> ?on_ready:(unit -> unit) -> addr -> unit
 
 module Client : sig
   (** [request ?on_event addr req] sends one request and reads lines

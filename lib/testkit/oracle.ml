@@ -85,6 +85,32 @@ let all_passes =
     ("optimize", fun c -> Transpile.Passes.optimize c);
   ]
 
+(* ---- translation validation (Transpile.Certify) ---- *)
+
+let cert_ok = function Ok _ -> true | Error _ -> false
+
+let certified_pass_sound circ =
+  let c = Gen.build circ in
+  let single f =
+    let c', st = f c in
+    cert_ok (Transpile.Certify.check [ st ] c c')
+  in
+  single Transpile.Passes.cancel_inverses_cert
+  && single Transpile.Passes.merge_rotations_cert
+  && single (fun c -> Transpile.Passes.drop_identities_cert c)
+  && single Transpile.Passes.fuse_1q_cert
+  && single Transpile.Passes.prune_lightcone_cert
+  && (let c', cert = Transpile.Passes.optimize_cert c in
+      cert_ok (Transpile.Certify.check cert c c'))
+  && (let plan, st = Transpile.Segments.compile_cert c in
+      cert_ok (Transpile.Certify.check_plan [ st ] c plan))
+  && (let plan, st = Transpile.Segments.compile_cert ~clifford_direct:true c in
+      cert_ok (Transpile.Certify.check_plan [ st ] c plan))
+  && (Morphcore.Verify.certify_transpile c).Morphcore.Verify.certified
+
+let certified_mutants_rejected circ =
+  List.for_all Mutate.rejected (Mutate.mutants (Gen.build circ))
+
 (* ---- segment-compiled batch execution vs the gate-by-gate engine ---- *)
 
 let outcomes_close (a : Sim.Engine.outcome) (b : Sim.Engine.outcome) =

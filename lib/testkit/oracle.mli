@@ -52,6 +52,19 @@ val transpile_preserves : (Circuit.t -> Circuit.t) -> Gen.circ -> bool
     against each. *)
 val all_passes : (string * (Circuit.t -> Circuit.t)) list
 
+(** [certified_pass_sound c] — every certificate-emitting pass variant
+    (the peephole passes, the optimize fixpoint, lightcone pruning,
+    segment compilation with and without Clifford-direct routing, and the
+    full [Morphcore.Verify.certify_transpile] pipeline) produces a
+    certificate the independent checker accepts on the generated circuit.
+    Runs on every circuit class, including near-Clifford and feedback
+    programs. *)
+val certified_pass_sound : Gen.circ -> bool
+
+(** [certified_mutants_rejected c] — every applicable {!Mutate} mutant of
+    the generated circuit is rejected by the checker. *)
+val certified_mutants_rejected : Gen.circ -> bool
+
 (** [batch_vs_engine c] — segment-compile the circuit and run it once
     through [Sim.Batch.run_seq] against [Sim.Engine.run] with identically
     seeded generators: classical bits must agree exactly, state and

@@ -60,45 +60,111 @@ let merged (g : Circuit.Gate.t) (g' : Circuit.Gate.t) =
       (Circuit.Gate.make ~params:[ sum ] ~controls:g.Circuit.Gate.controls
          g.Circuit.Gate.name g.Circuit.Gate.targets)
 
-(* place gate [g] against the reversed output [res], cancelling or merging
-   with the nearest instruction sharing a wire when allowed *)
-let place ~do_cancel ~do_merge g res =
+(* ------------------------ provenance threading ------------------------ *)
+
+(* Every pass below is written once, over items that carry their input
+   provenance: [origins] is the ascending list of input indices whose
+   product this instruction is (a singleton means untouched). The plain
+   passes are [fst] of the certificate variants, so a certified run's
+   output is bit-identical to an uncertified one by construction. Groups
+   whose product was proved the identity and removed outright are
+   collected separately in [gone]. *)
+type tracked = { origins : int list; instr : Circuit.Instr.t }
+
+let tracked_qubits t = qubits_of_instr t.instr
+
+(* place gate [g] (input index [i]) against the reversed output [res],
+   cancelling or merging with the nearest instruction sharing a wire when
+   allowed *)
+let place ~do_cancel ~do_merge (i, g) (res, gone) =
   let gq = Circuit.Gate.qubits g in
   let rec scan acc = function
     | [] -> None
     | item :: rest -> (
-        if disjoint (qubits_of_instr item) gq then scan (item :: acc) rest
+        if disjoint (tracked_qubits item) gq then scan (item :: acc) rest
         else
-          match item with
+          match item.instr with
           | Circuit.Instr.Gate g' when do_cancel && cancels g g' ->
-              Some (List.rev_append acc rest)
+              Some (List.rev_append acc rest, (item.origins @ [ i ]) :: gone)
           | Circuit.Instr.Gate g' when do_merge && mergeable g g' -> (
               match merged g g' with
-              | Some m -> Some (List.rev_append acc (Circuit.Instr.Gate m :: rest))
-              | None -> Some (List.rev_append acc rest))
+              | Some m ->
+                  let item' =
+                    {
+                      origins = item.origins @ [ i ];
+                      instr = Circuit.Instr.Gate m;
+                    }
+                  in
+                  Some (List.rev_append acc (item' :: rest), gone)
+              | None ->
+                  Some
+                    (List.rev_append acc rest, (item.origins @ [ i ]) :: gone))
           | _ -> None)
   in
   match scan [] res with
-  | Some res' -> res'
-  | None -> Circuit.Instr.Gate g :: res
+  | Some out -> out
+  | None -> ({ origins = [ i ]; instr = Circuit.Instr.Gate g } :: res, gone)
 
-let run_pass ~do_cancel ~do_merge c =
-  let res =
+(* rebuild the circuit and derive the certificate step from provenance:
+   singleton origins are untouched ([mapped]), multi-origin items and the
+   identity groups in [gone] become [Local_equiv] obligations *)
+let finish ~pass c (res, gone) =
+  let items = List.rev res in
+  let out =
     List.fold_left
-      (fun res instr ->
-        match instr with
-        | Circuit.Instr.Gate g -> place ~do_cancel ~do_merge g res
-        | fence -> fence :: res)
-      []
+      (fun acc t -> Circuit.add t.instr acc)
+      (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+      items
+  in
+  let _, mapped_rev, groups_rev =
+    List.fold_left
+      (fun (k, mapped, groups) t ->
+        match t.origins with
+        | [ i ] -> (k + 1, (i, k) :: mapped, groups)
+        | os ->
+            ( k + 1,
+              mapped,
+              Certify.Local_equiv { before = os; after = [ k ] } :: groups ))
+      (0, [], []) items
+  in
+  let deletions =
+    List.rev_map
+      (fun os -> Certify.Local_equiv { before = os; after = [] })
+      gone
+  in
+  let step =
+    {
+      Certify.pass;
+      obligations = List.rev groups_rev @ deletions;
+      mapped = List.rev mapped_rev;
+      output = Certify.Circ out;
+    }
+  in
+  (out, step)
+
+let run_pass_cert ~pass ~do_cancel ~do_merge c =
+  let _, acc =
+    List.fold_left
+      (fun (i, acc) instr ->
+        ( i + 1,
+          match instr with
+          | Circuit.Instr.Gate g -> place ~do_cancel ~do_merge (i, g) acc
+          | fence ->
+              let res, gone = acc in
+              ({ origins = [ i ]; instr = fence } :: res, gone) ))
+      (0, ([], []))
       (Circuit.instrs c)
   in
-  List.fold_left
-    (fun c i -> Circuit.add i c)
-    (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
-    (List.rev res)
+  finish ~pass c acc
 
-let cancel_inverses c = run_pass ~do_cancel:true ~do_merge:false c
-let merge_rotations c = run_pass ~do_cancel:false ~do_merge:true c
+let cancel_inverses_cert c =
+  run_pass_cert ~pass:"cancel_inverses" ~do_cancel:true ~do_merge:false c
+
+let merge_rotations_cert c =
+  run_pass_cert ~pass:"merge_rotations" ~do_cancel:false ~do_merge:true c
+
+let cancel_inverses c = fst (cancel_inverses_cert c)
+let merge_rotations c = fst (merge_rotations_cert c)
 
 (* ----------------- adjacent single-qubit gate fusion ------------------ *)
 
@@ -119,69 +185,115 @@ let fused_gate target (m : Linalg.Cmat.t) =
     ~params:[ r00; i00; r01; i01; r10; i10; r11; i11 ]
     "u2x2" [ target ]
 
-let place_fused g res =
-  if not (fusable g) then Circuit.Instr.Gate g :: res
+let place_fused (i, g) (res, gone) =
+  if not (fusable g) then
+    ({ origins = [ i ]; instr = Circuit.Instr.Gate g } :: res, gone)
   else
     let gq = Circuit.Gate.qubits g in
     let rec scan acc = function
       | [] -> None
       | item :: rest -> (
-          if disjoint (qubits_of_instr item) gq then scan (item :: acc) rest
+          if disjoint (tracked_qubits item) gq then scan (item :: acc) rest
           else
-            match item with
+            match item.instr with
             | Circuit.Instr.Gate g'
               when fusable g'
                    && g'.Circuit.Gate.targets = g.Circuit.Gate.targets ->
                 (* g runs after g', so the fused matrix is U_g * U_g' *)
                 let m = Linalg.Cmat.mul (gate_matrix g) (gate_matrix g') in
                 let f = fused_gate (List.hd g.Circuit.Gate.targets) m in
-                Some (List.rev_append acc (Circuit.Instr.Gate f :: rest))
+                let item' =
+                  {
+                    origins = item.origins @ [ i ];
+                    instr = Circuit.Instr.Gate f;
+                  }
+                in
+                Some (List.rev_append acc (item' :: rest), gone)
             | _ -> None)
     in
     match scan [] res with
-    | Some res' -> res'
-    | None -> Circuit.Instr.Gate g :: res
+    | Some out -> out
+    | None -> ({ origins = [ i ]; instr = Circuit.Instr.Gate g } :: res, gone)
 
-let fuse_1q c =
-  let res =
+let fuse_1q_cert c =
+  let _, acc =
     List.fold_left
-      (fun res instr ->
-        match instr with
-        | Circuit.Instr.Gate g -> place_fused g res
-        | fence -> fence :: res)
-      []
+      (fun (i, acc) instr ->
+        ( i + 1,
+          match instr with
+          | Circuit.Instr.Gate g -> place_fused (i, g) acc
+          | fence ->
+              let res, gone = acc in
+              ({ origins = [ i ]; instr = fence } :: res, gone) ))
+      (0, ([], []))
       (Circuit.instrs c)
   in
-  List.fold_left
-    (fun c i -> Circuit.add i c)
-    (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
-    (List.rev res)
+  finish ~pass:"fuse_1q" c acc
 
-let drop_identities ?(eps = 1e-12) c =
-  Circuit.map_gates
-    (fun g ->
-      match (g.Circuit.Gate.name, g.Circuit.Gate.params) with
-      | "id", [] -> None
-      | (("rx" | "ry" | "rz" | "p" | "u1") as name), [ a ]
-        when Float.abs a < eps || is_identity_angle name a ->
-          None
-      | _ -> Some g)
-    c
+let fuse_1q c = fst (fuse_1q_cert c)
 
-let optimize ?(max_passes = 10) c =
-  Obs.Span.with_ ~name:"passes.optimize" @@ fun () ->
-  let step c = drop_identities (run_pass ~do_cancel:true ~do_merge:true c) in
-  let rec go c k =
-    if k = 0 then c
-    else
-      let c' = step c in
-      if Circuit.gate_count c' = Circuit.gate_count c then c' else go c' (k - 1)
+let drop_identities_cert ?(eps = 1e-12) c =
+  let droppable (g : Circuit.Gate.t) =
+    match (g.Circuit.Gate.name, g.Circuit.Gate.params) with
+    | "id", [] -> true
+    | (("rx" | "ry" | "rz" | "p" | "u1") as name), [ a ] ->
+        Float.abs a < eps || is_identity_angle name a
+    | _ -> false
   in
-  let out = go c max_passes in
+  let _, k, out, mapped_rev, obls_rev =
+    List.fold_left
+      (fun (i, k, out, mapped, obls) instr ->
+        match instr with
+        | Circuit.Instr.Gate g when droppable g ->
+            ( i + 1,
+              k,
+              out,
+              mapped,
+              Certify.Identity_elim { index = i; eps } :: obls )
+        | _ ->
+            (i + 1, k + 1, Circuit.add instr out, (i, k) :: mapped, obls))
+      ( 0,
+        0,
+        Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c),
+        [],
+        [] )
+      (Circuit.instrs c)
+  in
+  ignore k;
+  let step =
+    {
+      Certify.pass = "drop_identities";
+      obligations = List.rev obls_rev;
+      mapped = List.rev mapped_rev;
+      output = Certify.Circ out;
+    }
+  in
+  (out, step)
+
+let drop_identities ?eps c = fst (drop_identities_cert ?eps c)
+
+let optimize_cert ?(max_passes = 10) c =
+  Obs.Span.with_ ~name:"passes.optimize" @@ fun () ->
+  let step c =
+    let c1, s1 = run_pass_cert ~pass:"peephole" ~do_cancel:true ~do_merge:true c in
+    let c2, s2 = drop_identities_cert c1 in
+    (c2, [ s1; s2 ])
+  in
+  let rec go c steps k =
+    if k = 0 then (c, steps)
+    else
+      let c', ss = step c in
+      let steps = steps @ ss in
+      if Circuit.gate_count c' = Circuit.gate_count c then (c', steps)
+      else go c' steps (k - 1)
+  in
+  let out, steps = go c [] max_passes in
   if Obs.enabled () then
     Obs.Metrics.counter_add "pass_gates_removed_total"
       (max 0 (Circuit.gate_count c - Circuit.gate_count out));
-  out
+  (out, steps)
+
+let optimize ?max_passes c = fst (optimize_cert ?max_passes c)
 
 let gate_reduction ~before ~after =
   let b = Circuit.gate_count before in
@@ -196,14 +308,32 @@ let gate_reduction ~before ~after =
    distribution; it does NOT preserve the final statevector on qubits no
    tracepoint or measurement observes, so it is a pass for
    characterization pipelines rather than general circuit rewriting. *)
-let prune_lightcone c =
+let prune_lightcone_cert c =
   Obs.Span.with_ ~name:"passes.prune_lightcone" @@ fun () ->
   let keep = Analysis.Lightcone.union_keep c in
-  let _, pruned =
+  let _, k, pruned, mapped_rev, obls_rev =
     List.fold_left
-      (fun (i, acc) instr ->
-        (i + 1, if keep.(i) then Circuit.add instr acc else acc))
-      (0, Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+      (fun (i, k, acc, mapped, obls) instr ->
+        if keep.(i) then
+          (i + 1, k + 1, Circuit.add instr acc, (i, k) :: mapped, obls)
+        else
+          (i + 1, k, acc, mapped, Certify.Outside_cone { index = i } :: obls))
+      ( 0,
+        0,
+        Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c),
+        [],
+        [] )
       (Circuit.instrs c)
   in
-  pruned
+  ignore k;
+  let step =
+    {
+      Certify.pass = "prune_lightcone";
+      obligations = List.rev obls_rev;
+      mapped = List.rev mapped_rev;
+      output = Certify.Circ pruned;
+    }
+  in
+  (pruned, step)
+
+let prune_lightcone c = fst (prune_lightcone_cert c)

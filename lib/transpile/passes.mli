@@ -46,3 +46,18 @@ val gate_reduction : before:Circuit.t -> after:Circuit.t -> float
     it for characterization pipelines, not general rewriting. Verified
     tracepoint-state-preserving by [Testkit.Oracle.prune_preserves_traces]. *)
 val prune_lightcone : Circuit.t -> Circuit.t
+
+(** {2 Certificate-emitting variants}
+
+    Each [_cert] function is the same pass — the plain entry points above
+    are [fst] of these, so certified and uncertified runs produce
+    bit-identical circuits — additionally returning a translation-validation
+    {!Certify.step} (or, for {!optimize_cert}, the chain of steps in
+    application order) for {!Certify.check}. *)
+
+val cancel_inverses_cert : Circuit.t -> Circuit.t * Certify.step
+val merge_rotations_cert : Circuit.t -> Circuit.t * Certify.step
+val drop_identities_cert : ?eps:float -> Circuit.t -> Circuit.t * Certify.step
+val fuse_1q_cert : Circuit.t -> Circuit.t * Certify.step
+val optimize_cert : ?max_passes:int -> Circuit.t -> Circuit.t * Certify.certificate
+val prune_lightcone_cert : Circuit.t -> Circuit.t * Certify.step

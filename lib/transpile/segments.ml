@@ -53,7 +53,10 @@ let block_cost (blk : Sim.Batch.block) =
   Array.iteri (fun i x -> if x <> 0. || im.(i) <> 0. then incr nnz) re;
   float_of_int !nnz /. float_of_int m
 
-let emit_fused ?(clifford_direct = false) emit sup gates =
+(* [tagged] pairs each gate with its source instruction index, so the plan
+   can carry provenance for the certificate without a second compile *)
+let emit_fused ?(clifford_direct = false) emit sup tagged =
+  let gates = List.map snd tagged in
   let dcost =
     List.fold_left
       (fun acc g ->
@@ -62,7 +65,9 @@ let emit_fused ?(clifford_direct = false) emit sup gates =
         | _ -> None)
       (Some 0.) gates
   in
-  let all_direct () = List.iter (fun g -> emit (Sim.Batch.Direct g)) gates in
+  let all_direct () =
+    List.iter (fun (i, g) -> emit ([ i ], Sim.Batch.Direct g)) tagged
+  in
   match dcost with
   | Some total when total < 1.0 ->
       (* a unitary has no zero row, so block_cost >= 1 and fusion could
@@ -78,17 +83,18 @@ let emit_fused ?(clifford_direct = false) emit sup gates =
       let blk = block_of sup gates in
       match dcost with
       | Some total when block_cost blk > total -> all_direct ()
-      | _ -> emit (Sim.Batch.Block blk))
+      | _ -> emit (List.map fst tagged, Sim.Batch.Block blk))
 
-let compile_direct ?(cutoff = default_cutoff)
+let compile_direct_cert ?(cutoff = default_cutoff)
     ?(block_cutoff = default_block_cutoff) ?(clifford_direct = false) c =
   if cutoff < 1 || block_cutoff < 1 then
     invalid_arg "Segments.compile: cutoffs must be >= 1";
   Obs.Span.with_ ~name:"segments.compile" @@ fun () ->
   let items = ref [] in
   let pending = ref [] in
+  let dropped_barriers = ref [] in
   let source_ops = ref 0 in
-  let emit item =
+  let emit ((_, item) as tagged_item) =
     if Obs.enabled () then begin
       match item with
       | Sim.Batch.Block b ->
@@ -98,18 +104,18 @@ let compile_direct ?(cutoff = default_cutoff)
       | Sim.Batch.Direct _ -> Obs.Metrics.counter_add "segment_direct_total" 1
       | Sim.Batch.Fence _ -> ()
     end;
-    items := item :: !items
+    items := tagged_item :: !items
   in
   (* flush the pending unitary run as fused operators *)
   let flush_segment () =
     match List.rev !pending with
     | [] -> ()
-    | gates ->
+    | tagged ->
         pending := [];
-        let sup = support gates in
+        let sup = support (List.map snd tagged) in
         if IntSet.cardinal sup <= cutoff then
           (* narrow segment: one block over its whole support *)
-          emit_fused ~clifford_direct emit sup gates
+          emit_fused ~clifford_direct emit sup tagged
         else begin
           (* wide segment: greedily pack consecutive gates while the
              running support stays within [block_cutoff] qubits *)
@@ -117,70 +123,124 @@ let compile_direct ?(cutoff = default_cutoff)
           let flush_cur () =
             match List.rev !cur with
             | [] -> ()
-            | [ g ] when IntSet.cardinal !cur_sup > block_cutoff ->
+            | [ (i, g) ] when IntSet.cardinal !cur_sup > block_cutoff ->
                 (* a single gate too wide to fuse (e.g. a many-control
                    Toffoli): the row-sweeping kernel beats a huge block *)
-                emit (Sim.Batch.Direct g)
+                emit ([ i ], Sim.Batch.Direct g)
             | gs -> emit_fused ~clifford_direct emit !cur_sup gs
           in
           List.iter
-            (fun g ->
+            (fun (i, g) ->
               let gsup = support [ g ] in
               let u = IntSet.union !cur_sup gsup in
               if !cur = [] || IntSet.cardinal u <= block_cutoff then begin
-                cur := g :: !cur;
+                cur := (i, g) :: !cur;
                 cur_sup := u
               end
               else begin
                 flush_cur ();
-                cur := [ g ];
+                cur := [ (i, g) ];
                 cur_sup := gsup
               end)
-            gates;
+            tagged;
           flush_cur ()
         end
   in
-  List.iter
-    (fun instr ->
+  List.iteri
+    (fun idx instr ->
       match instr with
       | Circuit.Instr.Gate g ->
           incr source_ops;
-          pending := g :: !pending
+          pending := (idx, g) :: !pending
       | Circuit.Instr.Barrier _ ->
           (* a barrier fences fusion but emits nothing at run time *)
-          flush_segment ()
+          flush_segment ();
+          dropped_barriers := idx :: !dropped_barriers
       | fence ->
           flush_segment ();
-          emit (Sim.Batch.Fence fence))
+          emit ([ idx ], Sim.Batch.Fence fence))
     (Circuit.instrs c);
   flush_segment ();
-  {
-    Sim.Batch.num_qubits = Circuit.num_qubits c;
-    num_clbits = Circuit.num_clbits c;
-    items = List.rev !items;
-    source_ops = !source_ops;
-  }
+  let tagged_items = List.rev !items in
+  let plan =
+    {
+      Sim.Batch.num_qubits = Circuit.num_qubits c;
+      num_clbits = Circuit.num_clbits c;
+      items = List.map snd tagged_items;
+      source_ops = !source_ops;
+    }
+  in
+  let _, mapped_rev, groups_rev =
+    List.fold_left
+      (fun (k, mapped, groups) (origins, item) ->
+        match (item, origins) with
+        | Sim.Batch.Block _, os ->
+            ( k + 1,
+              mapped,
+              Certify.Local_equiv { before = os; after = [ k ] } :: groups )
+        | (Sim.Batch.Direct _ | Sim.Batch.Fence _), [ i ] ->
+            (k + 1, (i, k) :: mapped, groups)
+        | _ -> assert false)
+      (0, [], []) tagged_items
+  in
+  let barrier_obls =
+    List.rev_map
+      (fun idx -> Certify.Barrier_elim { index = idx })
+      !dropped_barriers
+  in
+  let step =
+    {
+      Certify.pass = "segments";
+      obligations = List.rev groups_rev @ barrier_obls;
+      mapped = List.rev mapped_rev;
+      output = Certify.Plan plan;
+    }
+  in
+  (plan, step)
+
+let compile_direct ?cutoff ?block_cutoff ?clifford_direct c =
+  fst (compile_direct_cert ?cutoff ?block_cutoff ?clifford_direct c)
 
 (* Plan memo: keyed by the exact circuit bytes (barriers and fences are
    semantically load-bearing here, so no canonicalization) plus the
    cutoffs. A plan is pure data (fused operators, direct gates, fence
    instructions), so a cached plan is the compiled plan. *)
+let plan_key ~tag ?cutoff ?block_cutoff ?clifford_direct c =
+  Cache.Canon.digest
+    (String.concat "\x00"
+       [
+         tag;
+         Cache.Canon.exact_bytes c;
+         Marshal.to_string (cutoff, block_cutoff, clifford_direct) [];
+       ])
+
 let compile ?cutoff ?block_cutoff ?clifford_direct ?cache c =
   match cache with
   | None -> compile_direct ?cutoff ?block_cutoff ?clifford_direct c
   | Some cache -> (
-      let key =
-        Cache.Canon.digest
-          (String.concat "\x00"
-             [
-               "plan-v1";
-               Cache.Canon.exact_bytes c;
-               Marshal.to_string (cutoff, block_cutoff, clifford_direct) [];
-             ])
-      in
+      let key = plan_key ~tag:"plan-v1" ?cutoff ?block_cutoff ?clifford_direct c in
       match Cache.find_value cache ~ns:"segments" key with
       | Some plan -> plan
       | None ->
           let plan = compile_direct ?cutoff ?block_cutoff ?clifford_direct c in
           Cache.store_value cache ~ns:"segments" key plan;
           plan)
+
+(* Certified plans live under their own key prefix: a plain "plan-v1"
+   entry carries no certificate, so a certified request can never be
+   served an uncertified plan — the lookups are disjoint by construction. *)
+let compile_cert ?cutoff ?block_cutoff ?clifford_direct ?cache c =
+  match cache with
+  | None -> compile_direct_cert ?cutoff ?block_cutoff ?clifford_direct c
+  | Some cache -> (
+      let key =
+        plan_key ~tag:"plan-cert-v1" ?cutoff ?block_cutoff ?clifford_direct c
+      in
+      match Cache.find_value cache ~ns:"segments" key with
+      | Some pair -> pair
+      | None ->
+          let pair =
+            compile_direct_cert ?cutoff ?block_cutoff ?clifford_direct c
+          in
+          Cache.store_value cache ~ns:"segments" key pair;
+          pair)

@@ -60,3 +60,20 @@ val compile :
   ?cache:Cache.t ->
   Circuit.t ->
   Sim.Batch.plan
+
+(** [compile_cert] is {!compile} — same plan bit-for-bit ([compile] is
+    [fst] of it) — additionally returning the translation-validation
+    {!Certify.step} relating the circuit to the plan: each [Block] is a
+    [Local_equiv] group over the instructions it fused, [Direct] gates and
+    [Fence] instructions are mapped untouched, and dropped barriers carry
+    [Barrier_elim] obligations. With [cache], certified plans are memoized
+    under their own key prefix ([plan-cert-v1]), disjoint from {!compile}'s
+    — a certified request is never served a plan that was cached without
+    its certificate. *)
+val compile_cert :
+  ?cutoff:int ->
+  ?block_cutoff:int ->
+  ?clifford_direct:bool ->
+  ?cache:Cache.t ->
+  Circuit.t ->
+  Sim.Batch.plan * Certify.step

@@ -94,12 +94,37 @@ let test_examples_clean () =
 let test_severity_table () =
   (* one entry per code, codes ascending, MQ000 error / MQ011 info pinned *)
   let names = List.map (fun (c, _, _) -> c) Analysis.Lint.codes in
-  Alcotest.(check int) "21 codes" 21 (List.length names);
+  Alcotest.(check int) "22 codes" 22 (List.length names);
   Alcotest.(check bool) "sorted" true (List.sort compare names = names);
   Alcotest.(check bool) "MQ000 is error" true
     (Analysis.Lint.severity_of_code "MQ000" = Analysis.Lint.Error);
   Alcotest.(check bool) "MQ011 is info" true
     (Analysis.Lint.severity_of_code "MQ011" = Analysis.Lint.Info)
+
+let test_check_certify () =
+  (* the MQ021 callback check: a clean certify callback yields no
+     diagnostics; each reported failure becomes one Error with its
+     source location and instruction index threaded through *)
+  let c = Circuit.(empty 1 |> h 0) in
+  Alcotest.(check int)
+    "clean" 0
+    (List.length (Analysis.Lint.check_certify ~certify:(fun _ -> []) c));
+  match
+    Analysis.Lint.check_certify
+      ~certify:(fun _ -> [ ("local_equiv product differs", Some (3, 1), Some 0) ])
+      c
+  with
+  | [ d ] ->
+      Alcotest.(check string) "code" "MQ021" d.Analysis.Lint.code;
+      Alcotest.(check bool)
+        "error severity" true
+        (d.Analysis.Lint.severity = Analysis.Lint.Error);
+      Alcotest.(check bool) "loc threaded" true (d.Analysis.Lint.loc = Some (3, 1));
+      Alcotest.(check bool) "instr threaded" true (d.Analysis.Lint.instr = Some 0);
+      Alcotest.(check bool)
+        "table severity" true
+        (Analysis.Lint.severity_of_code "MQ021" = Analysis.Lint.Error)
+  | ds -> Alcotest.failf "expected one MQ021 diagnostic, got %d" (List.length ds)
 
 let test_first_tracepoint_exempt () =
   (* a leading tracepoint on untouched qubits is the input-pragma idiom *)
@@ -306,6 +331,7 @@ let () =
           Alcotest.test_case "golden corpus" `Quick test_golden_corpus;
           Alcotest.test_case "examples clean" `Quick test_examples_clean;
           Alcotest.test_case "severity table" `Quick test_severity_table;
+          Alcotest.test_case "MQ021 certify callback" `Quick test_check_certify;
           Alcotest.test_case "first tracepoint exempt" `Quick
             test_first_tracepoint_exempt;
           Alcotest.test_case "pp format" `Quick test_lint_pp;

@@ -510,6 +510,54 @@ let test_server_verify_warm () =
       Alcotest.(check int) "warm executed nothing" 0 (executions second)
   | _ -> Alcotest.failf "expected 2 results, got %d" (List.length results)
 
+(* translation validation over the protocol: a daemon started with
+   [~certify:true] must emit a "certify" event (checker verdict +
+   obligation counts) for every verify request — including the warm one,
+   whose cached certified plan is re-checked — while a plain daemon only
+   certifies requests that opt in with a certify:true param *)
+let test_server_verify_certify () =
+  let certify_events out =
+    List.filter
+      (fun j ->
+        match Jsonx.member "event" j with
+        | Some (Jsonx.Str "certify") -> true
+        | _ -> false)
+      out
+  in
+  let state = Server.make_state ~cache:(Cache.create ()) ~certify:true () in
+  let out, _ = drive state [ verify_req 1; verify_req 2 ] in
+  (match certify_events out with
+  | [ _; _ ] as evs ->
+      List.iter
+        (fun j ->
+          Alcotest.(check bool)
+            "certified" true
+            (member_exn "certified" j |> bool_exn);
+          Alcotest.(check bool)
+            "chain has steps" true
+            (member_exn "steps" j |> int_exn > 0))
+        evs
+  | evs -> Alcotest.failf "expected 2 certify events, got %d" (List.length evs));
+  Alcotest.(check bool)
+    "still verifies under certification" true
+    (List.exists
+       (fun j ->
+         match Jsonx.member "result" j with
+         | Some r -> member_exn "verified" r |> bool_exn
+         | None -> false)
+       out);
+  (* per-request opt-in on an uncertifying daemon *)
+  let state = Server.make_state () in
+  let with_certify =
+    {|{"id":3,"method":"verify","params":{"qasm":|}
+    ^ Jsonx.to_string (Jsonx.Str ghz_qasm)
+    ^ {|,"guarantee":"pure:1","count":4,"seed":7,"certify":true}}|}
+  in
+  let out, _ = drive state [ verify_req 4; with_certify ] in
+  Alcotest.(check int)
+    "only the opted-in request is certified" 1
+    (List.length (certify_events out))
+
 let test_server_shutdown () =
   let state = Server.make_state () in
   let out, k = drive state [ {|{"id":9,"method":"shutdown"}|} ] in
@@ -632,6 +680,8 @@ let () =
           Alcotest.test_case "jsonx roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "ping + errors" `Quick test_server_ping_and_errors;
           Alcotest.test_case "verify warm" `Quick test_server_verify_warm;
+          Alcotest.test_case "verify certified" `Quick
+            test_server_verify_certify;
           Alcotest.test_case "shutdown" `Quick test_server_shutdown;
           Alcotest.test_case "socket smoke" `Quick test_serve_socket_smoke;
           Alcotest.test_case "spec grammar" `Quick test_spec_grammar;

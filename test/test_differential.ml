@@ -54,6 +54,19 @@ let oracle_transpile_passes =
         (Oracle.transpile_preserves pass))
     Oracle.all_passes
 
+(* certificate checking runs the full pass + independent-checker pipeline
+   per circuit: near-Clifford circuits exercise the Clifford-direct
+   routing, programs exercise measurement/feedback fences and pruning *)
+let oracle_certified_passes =
+  [
+    QCheck.Test.make ~name:"certified passes sound (pure)" ~count
+      (Gen.pure ()) Oracle.certified_pass_sound;
+    QCheck.Test.make ~name:"certified passes sound (near-clifford)" ~count
+      (Gen.near_clifford ()) Oracle.certified_pass_sound;
+    QCheck.Test.make ~name:"certified passes sound (programs)" ~count
+      (Gen.program ()) Oracle.certified_pass_sound;
+  ]
+
 (* ---------------- metamorphic properties ---------------- *)
 
 let meta_adjoint =
@@ -202,7 +215,7 @@ let () =
              oracle_sequential_vs_fixed;
              oracle_pvalue_uniform;
            ]
-          @ oracle_transpile_passes) );
+          @ oracle_transpile_passes @ oracle_certified_passes) );
       ( "metamorphic",
         List.map qtest
           [

@@ -121,6 +121,13 @@ let test_gate_reduction_metric () =
   if Float.abs (red -. (2. /. 3.)) > 1e-9 then
     Alcotest.failf "reduction %.3f" red
 
+let test_gate_reduction_empty () =
+  (* a gate-free circuit must yield a defined 0.0, not a 0/0 NaN *)
+  let before = Circuit.(empty 1 |> tracepoint 1 [ 0 ]) in
+  let red = Passes.gate_reduction ~before ~after:(Passes.optimize before) in
+  Alcotest.(check (float 0.)) "empty before" 0. red;
+  Alcotest.(check bool) "finite" true (Float.is_finite red)
+
 (* ---------------- Equiv ---------------- *)
 
 let test_equiv_global_phase () =
@@ -148,6 +155,11 @@ let prop_optimize_preserves =
     (fun circ ->
       let c = Testkit.Gen.build circ in
       Equiv.unitaries_equal c (Passes.optimize c))
+
+let prop_mutants_rejected =
+  QCheck.Test.make ~name:"certificate mutants rejected" ~count:25
+    (Testkit.Gen.program ~max_qubits:3 ())
+    Testkit.Oracle.certified_mutants_rejected
 
 let () =
   Alcotest.run "transpile"
@@ -177,6 +189,7 @@ let () =
           Alcotest.test_case "random circuits preserved" `Quick test_optimize_preserves_random_circuits;
           Alcotest.test_case "adjoint annihilates" `Quick test_optimize_reduces_redundant;
           Alcotest.test_case "reduction metric" `Quick test_gate_reduction_metric;
+          Alcotest.test_case "reduction on empty circuit" `Quick test_gate_reduction_empty;
         ] );
       ( "equiv",
         [
@@ -184,5 +197,6 @@ let () =
           Alcotest.test_case "detects difference" `Quick test_equiv_detects_difference;
           Alcotest.test_case "sampling agrees" `Quick test_equiv_sampling_agrees;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_optimize_preserves ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest
+          [ prop_optimize_preserves; prop_mutants_rejected ]);
     ]
