@@ -153,4 +153,87 @@ let run () =
      shots=%d (cold/3)"
     edited_exec edited_shots;
   Util.record "cache/edited" ~seconds:t_edit ~samples:[ t_edit ] ~domains ();
+
+  (* ---- serve-obs: the daemon envelope under full observability ----
+     The same cold/warm pair driven through [Server.handle_line] (its own
+     state and cache per condition) with obs disabled, then enabled. The
+     envelope's tracing/metrics/logging must not change what the daemon
+     computes: warm requests still execute nothing, and the protocol lines
+     are byte-identical across the two conditions once wall-clock
+     [seconds] fields are stripped. Printed rows carry counts only, so the
+     smoke diff covers this section too. *)
+  let req id =
+    Server.Jsonx.to_string
+      (Server.Jsonx.Obj
+         [
+           ("id", Server.Jsonx.int id);
+           ("request_id", Server.Jsonx.Str (Printf.sprintf "bench-%d" id));
+           ("method", Server.Jsonx.Str "verify");
+           ( "params",
+             Server.Jsonx.Obj
+               [
+                 ("qasm", Server.Jsonx.Str (Qasm.to_string (circuit 0.7)));
+                 ("count", Server.Jsonx.int count);
+                 ("seed", Server.Jsonx.int 11);
+                 ( "guarantee",
+                   Server.Jsonx.List [ Server.Jsonx.Str "purity-ge:3,0.2" ] );
+               ] );
+         ])
+  in
+  let rec strip_seconds = function
+    | Server.Jsonx.Obj fields ->
+        Server.Jsonx.Obj
+          (List.filter_map
+             (fun (k, v) ->
+               if k = "seconds" then None else Some (k, strip_seconds v))
+             fields)
+    | Server.Jsonx.List l -> Server.Jsonx.List (List.map strip_seconds l)
+    | v -> v
+  in
+  let drive () =
+    (* fresh daemon state and cache: request 1 is cold, request 2 warm *)
+    let state = Server.make_state ~cache:(Cache.create ()) () in
+    let out = ref [] in
+    let emit j = out := j :: !out in
+    ignore (Server.handle_line state ~emit (req 1));
+    let cold_lines = List.rev !out in
+    out := [];
+    let (_ : [ `Continue | `Stop ]), t_warm =
+      Util.time (fun () -> Server.handle_line state ~emit (req 2))
+    in
+    (cold_lines @ List.rev !out, t_warm)
+  in
+  let warm_executions lines =
+    List.find_map
+      (fun j ->
+        match Server.Jsonx.member "result" j with
+        | Some r when Server.Jsonx.mem_int "id" j = Some 2 ->
+            Server.Jsonx.mem_int "executions" r
+        | _ -> None)
+      lines
+  in
+  let obs_was = Obs.enabled () in
+  let (lines_off, t_off), (lines_on, t_on) =
+    Fun.protect
+      ~finally:(fun () -> Obs.configure ~enabled:obs_was)
+      (fun () ->
+        Obs.configure ~enabled:false;
+        let off = drive () in
+        Obs.configure ~enabled:true;
+        let on = drive () in
+        (off, on))
+  in
+  (match (warm_executions lines_off, warm_executions lines_on) with
+  | Some 0, Some 0 -> ()
+  | _ -> failwith "cache: warm daemon request executed circuits");
+  let strip lines =
+    List.map (fun j -> Server.Jsonx.to_string (strip_seconds j)) lines
+  in
+  if strip lines_off <> strip lines_on then
+    failwith "cache: daemon output differs between obs off and on";
+  Util.row
+    "cache serve-obs warm executions=0  lines identical obs off/on: yes \
+     (seconds stripped)";
+  Util.record "cache/serve-obs" ~seconds:t_on ~samples:[ t_off; t_on ]
+    ~speedup:(t_off /. t_on) ~domains ();
   Parallel.Pool.shutdown pool

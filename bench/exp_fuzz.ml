@@ -37,6 +37,9 @@ let checks () =
       Gen.gen_near_clifford (),
       fun c -> Oracle.characterize_scale_route c );
     ("obs-transparent", Gen.gen_program (), Oracle.obs_transparent);
+    ( "server-obs-transparent",
+      Gen.gen_program (),
+      Oracle.server_obs_transparent );
     ( "cache-transparent",
       Gen.gen_program (),
       fun c -> Oracle.cache_transparent c );

@@ -366,8 +366,20 @@ let simulation_class c =
 (* morphqpv profile: run the program through the pipeline's phases with
    observability forced on, then print the span-tree summary as a
    per-phase/per-kernel table. [--trace] dumps the spans as Chrome
-   trace_event JSONL, [--metrics] the metrics registry as JSON. *)
-let profile_cmd file shots count seed trace_out metrics_out =
+   trace_event JSONL, [--metrics] the metrics registry as JSON, [--prom]
+   the registry in Prometheus text exposition format; each accepts [-]
+   for stdout. *)
+let write_output ~what path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents);
+    Format.printf "%s written to %s@." what path
+  end
+
+let profile_cmd file shots count seed trace_out metrics_out prom_out =
   match read_circuit file with
   | Error e ->
       prerr_endline e;
@@ -456,13 +468,17 @@ let profile_cmd file shots count seed trace_out metrics_out =
         (Obs.Metrics.snapshot ());
       (match trace_out with
       | Some path ->
-          Obs.Export.write_trace ~since path;
-          Format.printf "@.trace written to %s@." path
+          if path <> "-" then Format.printf "@.";
+          write_output ~what:"trace" path (Obs.Export.trace_jsonl ~since ())
       | None -> ());
       (match metrics_out with
       | Some path ->
-          Obs.Export.write_metrics path;
-          Format.printf "metrics written to %s@." path
+          write_output ~what:"metrics" path
+            (Obs.Metrics.snapshot_json () ^ "\n")
+      | None -> ());
+      (match prom_out with
+      | Some path ->
+          write_output ~what:"prometheus metrics" path (Obs.Export.prometheus ())
       | None -> ());
       0
 
@@ -542,7 +558,24 @@ let addr_of ~socket ~tcp =
 (* morphqpv serve: the long-running verification daemon. All requests
    share one content-addressed cache, so repeated verifications of the
    same (or isomorphic) programs skip characterization entirely. *)
-let serve_cmd socket tcp cache_dir cache_mb certify =
+let serve_cmd socket tcp cache_dir cache_mb certify log log_level =
+  (match log with
+  | Some dest ->
+      let level =
+        Option.value ~default:Obs.Log.Info
+          (Option.bind log_level Obs.Log.level_of_string)
+      in
+      let sink =
+        match dest with
+        | "stderr" -> `Stderr
+        | "-" | "stdout" -> `Stdout
+        | path -> `File path
+      in
+      (try Obs.Log.configure ~level sink
+       with Sys_error msg ->
+         Format.eprintf "morphqpv serve: --log %s: %s@." dest msg;
+         exit 1)
+  | None -> ());
   let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) cache_mb in
   let cache =
     match cache_dir with
@@ -568,9 +601,15 @@ let serve_cmd socket tcp cache_dir cache_mb certify =
 
 (* morphqpv client: one request against a running daemon; event lines and
    the terminal result line are printed as received. Exit 0 iff the
-   request succeeded (and, for verify, the program verified). *)
+   request succeeded (and, for verify, the program verified).
+
+   [--request-id] names the request (top-level field, echoed on the
+   terminal line and usable with method trace later); for method trace
+   it is the id of the request to fetch. Method metrics prints the raw
+   Prometheus exposition, so the output is scrapeable as-is. [--watch]
+   re-issues the request every SECS seconds until it fails. *)
 let client_cmd socket tcp method_ file assumes guarantees count solver seed
-    budget mode certify =
+    budget mode certify request_id watch =
   let addr = addr_of ~socket ~tcp in
   let method_ =
     if method_ <> "" then Ok method_
@@ -604,34 +643,179 @@ let client_cmd socket tcp method_ file assumes guarantees count solver seed
                      @
                      if guarantees = [] then []
                      else [ ("guarantee", Jsonx.List (strings guarantees)) ]))))
+    | Ok "trace" -> (
+        match request_id with
+        | Some r -> Ok (Jsonx.Obj [ ("request_id", Jsonx.Str r) ])
+        | None -> Error "client: method trace needs --request-id")
     | Ok _ -> Ok (Jsonx.Obj [])
   in
   match (method_, params) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-  | Ok method_, Ok params -> (
+  | Ok method_, Ok params ->
       let req =
         Jsonx.Obj
-          [
-            ("id", Jsonx.int 1);
-            ("method", Jsonx.Str method_);
-            ("params", params);
-          ]
+          ([ ("id", Jsonx.int 1) ]
+          @ (match request_id with
+            (* for trace, --request-id is the lookup target, not this
+               request's own id — naming the trace request the same id
+               would shadow the target in the flight recorder *)
+            | Some r when method_ <> "trace" ->
+                [ ("request_id", Jsonx.Str r) ]
+            | _ -> [])
+          @ [ ("method", Jsonx.Str method_); ("params", params) ])
       in
       let on_event e = print_endline (Jsonx.to_string e) in
-      match Server.Client.request ~on_event addr req with
-      | Error e ->
-          prerr_endline ("client: " ^ e);
-          1
-      | Ok terminal -> (
-          print_endline (Jsonx.to_string terminal);
-          match Jsonx.member "result" terminal with
-          | None -> 1 (* error line *)
-          | Some r -> (
-              match Option.bind (Jsonx.member "verified" r) Jsonx.to_bool with
-              | Some false -> 1
-              | Some true | None -> 0)))
+      let print_terminal terminal =
+        match
+          Option.bind (Jsonx.member "result" terminal) (Jsonx.mem_str "prometheus")
+        with
+        | Some text when method_ = "metrics" -> print_string text
+        | _ -> print_endline (Jsonx.to_string terminal)
+      in
+      let once () =
+        match Server.Client.request ~on_event addr req with
+        | Error e ->
+            prerr_endline ("client: " ^ e);
+            1
+        | Ok terminal -> (
+            print_terminal terminal;
+            match Jsonx.member "result" terminal with
+            | None -> 1 (* error line *)
+            | Some r -> (
+                match Option.bind (Jsonx.member "verified" r) Jsonx.to_bool with
+                | Some false -> 1
+                | Some true | None -> 0))
+      in
+      (match watch with
+      | None -> once ()
+      | Some secs ->
+          let rec loop () =
+            let rc = once () in
+            if rc <> 0 then rc
+            else begin
+              (try Unix.sleepf secs with Unix.Unix_error _ -> ());
+              loop ()
+            end
+          in
+          loop ())
+
+(* morphqpv top: a live per-RPC console for a running daemon. Polls the
+   stats and metrics RPCs every --interval seconds and renders one table
+   row per verb: request/error tallies (from stats, available even with
+   observability off) plus latency totals parsed out of the
+   morphqpv_request_seconds histogram when the daemon runs with
+   MORPHQPV_OBS=1 (dashes otherwise). *)
+let top_cmd socket tcp interval iterations =
+  let addr = addr_of ~socket ~tcp in
+  let fetch method_ =
+    Server.Client.request addr
+      (Jsonx.Obj
+         [
+           ("id", Jsonx.int 1);
+           ("method", Jsonx.Str method_);
+           ("params", Jsonx.Obj []);
+         ])
+  in
+  let result v = Jsonx.member "result" v in
+  let verb_of series =
+    let marker = "verb=\"" in
+    let mlen = String.length marker in
+    let n = String.length series in
+    let rec find i =
+      if i + mlen > n then None
+      else if String.sub series i mlen = marker then begin
+        let j = ref (i + mlen) in
+        while !j < n && series.[!j] <> '"' do
+          incr j
+        done;
+        Some (String.sub series (i + mlen) (!j - i - mlen))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* morphqpv_request_seconds_sum{verb="verify"} 1.23 → ("verify", 1.23) *)
+  let hist_totals prom =
+    let sums = ref [] and counts = ref [] in
+    List.iter
+      (fun line ->
+        let grab prefix store =
+          let plen = String.length prefix in
+          if String.length line > plen && String.sub line 0 plen = prefix then
+            match String.index_opt line ' ' with
+            | None -> ()
+            | Some sp -> (
+                let series = String.sub line 0 sp in
+                match
+                  ( verb_of series,
+                    float_of_string_opt
+                      (String.sub line (sp + 1) (String.length line - sp - 1))
+                  )
+                with
+                | Some verb, Some v -> store := (verb, v) :: !store
+                | _ -> ())
+        in
+        grab "morphqpv_request_seconds_sum{" sums;
+        grab "morphqpv_request_seconds_count{" counts)
+      (String.split_on_char '\n' prom);
+    (!sums, !counts)
+  in
+  let render stats prom =
+    let by_verb =
+      match Option.bind (result stats) (Jsonx.member "by_verb") with
+      | Some (Jsonx.Obj fields) -> fields
+      | _ -> []
+    in
+    let sums, counts =
+      match prom with Some p -> hist_totals p | None -> ([], [])
+    in
+    Format.printf "%-10s %10s %8s %12s %12s@." "verb" "requests" "errors"
+      "total(ms)" "avg(ms)";
+    List.iter
+      (fun (verb, v) ->
+        let reqs = Option.value ~default:0 (Jsonx.mem_int "requests" v) in
+        let errs = Option.value ~default:0 (Jsonx.mem_int "errors" v) in
+        match (List.assoc_opt verb sums, List.assoc_opt verb counts) with
+        | Some s, Some c when c > 0. ->
+            Format.printf "%-10s %10d %8d %12.2f %12.2f@." verb reqs errs
+              (1e3 *. s)
+              (1e3 *. s /. c)
+        | _ -> Format.printf "%-10s %10d %8d %12s %12s@." verb reqs errs "-" "-")
+      by_verb;
+    match
+      ( Option.bind (result stats) (fun r ->
+            Option.bind (Jsonx.member "uptime_s" r) Jsonx.to_num),
+        Option.bind (result stats) (Jsonx.mem_int "requests"),
+        Option.bind (result stats) (Jsonx.mem_int "span_dropped") )
+    with
+    | Some u, Some r, dropped ->
+        Format.printf "@.uptime %.1fs · %d requests · %d spans dropped@." u r
+          (Option.value ~default:0 dropped)
+    | _ -> ()
+  in
+  let rec go i =
+    match fetch "stats" with
+    | Error e ->
+        prerr_endline ("top: " ^ e);
+        1
+    | Ok stats ->
+        let prom =
+          match fetch "metrics" with
+          | Ok m -> Option.bind (result m) (Jsonx.mem_str "prometheus")
+          | Error _ -> None
+        in
+        if iterations <> 1 then Format.printf "\027[2J\027[H";
+        render stats prom;
+        Format.print_flush ();
+        if iterations > 0 && i + 1 >= iterations then 0
+        else begin
+          (try Unix.sleepf interval with Unix.Unix_error _ -> ());
+          go (i + 1)
+        end
+  in
+  go 0
 
 (* ----------------------------- cmdliner ------------------------------ *)
 
@@ -705,6 +889,15 @@ let lint_term =
   Term.(const lint_cmd $ files $ strict $ quiet $ cost_threshold $ certify)
 
 let profile_term =
+  (* a plain-string positional (not [Arg.file]) so a missing program file
+     is reported by [read_circuit] as a one-line error with exit 1,
+     rather than a cmdliner usage error *)
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"mini-QASM program")
+  in
   let shots =
     Arg.(value & opt int 256 & info [ "shots" ] ~doc:"shots for the simulate phase")
   in
@@ -716,15 +909,29 @@ let profile_term =
       value
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
-          ~doc:"write spans as Chrome trace_event JSONL (chrome://tracing, Perfetto)")
+          ~doc:
+            "write spans as Chrome trace_event JSONL (chrome://tracing, \
+             Perfetto); - for stdout")
   in
   let metrics =
     Arg.(
       value
       & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE" ~doc:"write the metrics snapshot as JSON")
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"write the metrics snapshot as JSON; - for stdout")
   in
-  Term.(const profile_cmd $ file_arg $ shots $ count $ seed_arg $ trace $ metrics)
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "write the metrics registry in Prometheus text exposition \
+             format; - for stdout")
+  in
+  Term.(
+    const profile_cmd $ file $ shots $ count $ seed_arg $ trace $ metrics
+    $ prom)
 
 let verify_term =
   let assumes =
@@ -800,8 +1007,25 @@ let serve_term =
       "translation-validate the transpile pipeline on every verify request \
        (individual requests can also opt in with a certify:true param)"
   in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"DEST"
+          ~doc:
+            "structured JSONL log destination: a file path, stderr, or - \
+             for stdout (same as MORPHQPV_LOG)")
+  in
+  let log_level =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"debug | info | warn | error (default info)")
+  in
   Term.(
-    const serve_cmd $ socket_arg $ tcp_arg $ cache_dir $ cache_mb $ certify)
+    const serve_cmd $ socket_arg $ tcp_arg $ cache_dir $ cache_mb $ certify
+    $ log $ log_level)
 
 let client_term =
   let file =
@@ -815,8 +1039,8 @@ let client_term =
       value & opt string ""
       & info [ "method" ] ~docv:"METHOD"
           ~doc:
-            "ping | stats | verify | shutdown (default: verify with FILE, \
-             ping without)")
+            "ping | stats | metrics | trace | verify | shutdown (default: \
+             verify with FILE, ping without)")
   in
   let assumes =
     Arg.(
@@ -854,9 +1078,40 @@ let client_term =
   let certify =
     certify_flag "ask the daemon to certify the transpile pipeline (MQ021)"
   in
+  let request_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-id" ] ~docv:"ID"
+          ~doc:
+            "name this request (echoed on the terminal line, keys the \
+             trace RPC); for method trace: the id of the request to fetch")
+  in
+  let watch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECS"
+          ~doc:"re-issue the request every SECS seconds until it fails")
+  in
   Term.(
     const client_cmd $ socket_arg $ tcp_arg $ method_ $ file $ assumes
-    $ guarantees $ count $ solver $ seed_arg $ budget $ mode $ certify)
+    $ guarantees $ count $ solver $ seed_arg $ budget $ mode $ certify
+    $ request_id $ watch)
+
+let top_term =
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"refresh interval in seconds")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"stop after N refreshes (0 = run until interrupted)")
+  in
+  Term.(const top_cmd $ socket_arg $ tcp_arg $ interval $ iterations)
 
 let cmds =
   [
@@ -889,6 +1144,10 @@ let cmds =
     Cmd.v
       (Cmd.info "client" ~doc:"send one request to a running daemon")
       client_term;
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:"live per-RPC request/latency table for a running daemon")
+      top_term;
   ]
 
 let () =

@@ -186,6 +186,11 @@ let disk_read t ~ns key =
 
 (* ------------------------------ api ---------------------------------- *)
 
+let log_lookup outcome ~ns ~tier =
+  if Obs.Log.enabled Obs.Log.Debug then
+    Obs.Log.emit Obs.Log.Debug outcome
+      [ ("ns", Obs.Log.S ns); ("tier", Obs.Log.S tier) ]
+
 let find t ~ns key =
   let full = ns ^ "\x00" ^ key in
   with_lock t (fun () ->
@@ -195,6 +200,7 @@ let find t ~ns key =
           push_front t n;
           t.hits <- t.hits + 1;
           Obs.Metrics.counter_add ~labels:[ ("ns", ns) ] "cache_hit_total" 1;
+          log_lookup "cache.hit" ~ns ~tier:"memory";
           Some n.value
       | None -> (
           match disk_read t ~ns key with
@@ -202,10 +208,12 @@ let find t ~ns key =
               insert_locked t ~ns full v;
               t.hits <- t.hits + 1;
               Obs.Metrics.counter_add ~labels:[ ("ns", ns) ] "cache_hit_total" 1;
+              log_lookup "cache.hit" ~ns ~tier:"disk";
               Some v
           | None ->
               t.misses <- t.misses + 1;
               Obs.Metrics.counter_add ~labels:[ ("ns", ns) ] "cache_miss_total" 1;
+              log_lookup "cache.miss" ~ns ~tier:"none";
               None))
 
 let store t ~ns key value =

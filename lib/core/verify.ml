@@ -284,7 +284,14 @@ let seq_counters ~cap ~used ~early =
     if cap > used then
       Obs.Metrics.counter_add "verify_shots_saved_total" (cap - used);
     if early then Obs.Metrics.counter_add "verify_early_stop_total" 1
-  end
+  end;
+  if early then
+    Obs.Log.emit Obs.Log.Info "verify.early_stop"
+      [
+        ("cap", Obs.Log.I cap);
+        ("shots", Obs.Log.I used);
+        ("saved", Obs.Log.I (cap - used));
+      ]
 
 let check_counts ?(budget = `Fixed 2048) ?rng ?noise program
     (dist : Assertion.Dist.t) ~input =

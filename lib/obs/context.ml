@@ -1,0 +1,20 @@
+(* Request-scoped context: a domain-local request id.
+
+   The serve daemon handles requests sequentially on the accept loop, so
+   one domain-local slot per domain is enough to scope every span and log
+   line recorded while a request is being handled: [Span.with_] stamps
+   the current id onto each span's attributes and [Log.emit] onto each
+   log line. Work fanned out to [Parallel.Pool] domains runs outside the
+   slot (propagating it would mean synchronizing with the submitting
+   domain on the hot path); per-request capture of those worker spans is
+   instead done by [Span.mark]-bounded reads around the whole request,
+   which see every ring. *)
+
+let key = Domain.DLS.new_key (fun () -> (None : string option))
+
+let current () = Domain.DLS.get key
+
+let with_request id f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some id);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f

@@ -1,6 +1,8 @@
 module Span = Span
 module Metrics = Metrics
 module Export = Export
+module Log = Log
+module Context = Context
 
 let enabled = Control.enabled
 let configure = Control.configure

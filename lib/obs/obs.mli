@@ -54,15 +54,24 @@ module Span : sig
   (** Watermark for scoped reads: [events ~since:(mark ()) ()] later
       returns only events recorded after this point. *)
 
-  val events : ?since:int -> unit -> event list
-  (** All buffered events (across every domain ring), oldest first. *)
+  val events : ?since:int -> ?until:int -> unit -> event list
+  (** All buffered events (across every domain ring), oldest first.
+      [~since:m0 ~until:m1] with two {!mark} watermarks returns exactly
+      what was recorded between them. *)
 
-  val summary : ?since:int -> unit -> summary
+  val summary : ?since:int -> ?until:int -> unit -> summary
   (** Aggregate closed spans by name, sorted by total time descending. *)
 
   val dropped : unit -> int
   (** Events discarded because a domain ring hit its capacity (the ring
       keeps the oldest events, so a trace is always a prefix). *)
+
+  val reclaim : before:int -> unit -> unit
+  (** Drop every buffered event with [seq < before], compacting quiescent
+      rings in place so a long-running daemon's bounded rings never
+      saturate across requests. Rings with an open span are left intact;
+      {!dropped} is preserved (cumulative). The caller must ensure no
+      domain is concurrently recording. *)
 
   val reset : unit -> unit
 end
@@ -105,11 +114,62 @@ module Metrics : sig
 end
 
 module Export : sig
-  val trace_jsonl : ?since:int -> unit -> string
+  val trace_jsonl : ?since:int -> ?until:int -> unit -> string
   (** Spans as Chrome [trace_event] records, one JSON object per line
       ([ph:"B"/"E"], [ts] in microseconds), loadable in
       [chrome://tracing] / Perfetto. *)
 
-  val write_trace : ?since:int -> string -> unit
+  val event_json : Span.event -> string
+  (** One span event as a single Chrome [trace_event] JSON object. *)
+
+  val write_trace : ?since:int -> ?until:int -> string -> unit
   val write_metrics : string -> unit
+
+  val prometheus : unit -> string
+  (** The metrics registry in Prometheus text exposition format 0.0.4:
+      every series under the [morphqpv_] prefix with a [# TYPE] line per
+      metric, histograms with cumulative [le] buckets plus [_sum] and
+      [_count], and {!Span.dropped} synthesized at scrape time as
+      [morphqpv_obs_span_dropped_total]. *)
+
+  val write_prometheus : string -> unit
+end
+
+(** Structured, leveled logging: one flat JSON object per line to a
+    process-wide sink, zero-cost when disabled (each site guards on one
+    atomic read). Lines automatically carry the current {!Context}
+    request id as a [req] field. Enable with [MORPHQPV_LOG=<path>|stderr|-]
+    and [MORPHQPV_LOG_LEVEL], or {!Log.configure}. *)
+module Log : sig
+  type level = Debug | Info | Warn | Error
+  type value = S of string | I of int | F of float | B of bool
+
+  type sink =
+    [ `Stderr | `Stdout | `File of string | `Fn of string -> unit | `Off ]
+
+  val enabled : level -> bool
+  (** One atomic read; true when [level] reaches the configured
+      threshold. Guard any log site whose field list is costly. *)
+
+  val configure : ?level:level -> sink -> unit
+  (** Route lines to [sink], keeping those at or above [level]
+      (default [Info]). [`Off] disables logging entirely. *)
+
+  val emit : level -> string -> (string * value) list -> unit
+  (** [emit level event fields] writes one JSONL line
+      [{"ts":...,"level":...,"event":event,"req":...,fields...}].
+      No-op below the threshold. *)
+
+  val level_of_string : string -> level option
+end
+
+(** Request-scoped context: a domain-local request id stamped onto every
+    span ([req] attribute) and log line ([req] field) recorded while a
+    request is being handled. *)
+module Context : sig
+  val current : unit -> string option
+
+  val with_request : string -> (unit -> 'a) -> 'a
+  (** [with_request id f] runs [f] with [current () = Some id] on this
+      domain, restoring the previous value afterwards (re-entrant). *)
 end

@@ -83,6 +83,14 @@ let with_ ?(attrs = []) ~name f =
     let r = my_ring () in
     let sid = next_seq () in
     let parent = match r.stack with [] -> -1 | p :: _ -> p in
+    (* request-scoped tracing: spans recorded while a request context is
+       open carry its id, so one request's trace filters out of a shared
+       stream by attribute as well as by mark-bounded reads *)
+    let attrs =
+      match Context.current () with
+      | Some req -> ("req", req) :: attrs
+      | None -> attrs
+    in
     push r
       { seq = sid; ts_us = Control.now_us (); name; ph = B; tid = r.tid;
         span = sid; parent; attrs };
@@ -107,7 +115,7 @@ let snapshot_rings () =
   Mutex.unlock rings_lock;
   rs
 
-let events ?(since = -1) () =
+let events ?(since = -1) ?(until = max_int) () =
   let out = ref [] in
   List.iter
     (fun r ->
@@ -117,8 +125,10 @@ let events ?(since = -1) () =
       for i = len - 1 downto 0 do
         let ev = r.buf.(i) in
         (* [mark] returns the next seq to be assigned, so the first event
-           recorded after a mark has seq = mark — hence >= *)
-        if ev.seq >= since then out := ev :: !out
+           recorded after a mark has seq = mark — hence >= for [since]
+           and strict < for [until]: [events ~since:m0 ~until:m1] is
+           exactly what ran between the two marks *)
+        if ev.seq >= since && ev.seq < until then out := ev :: !out
       done)
     (snapshot_rings ());
   List.sort (fun a b -> compare a.seq b.seq) !out
@@ -136,12 +146,50 @@ let reset () =
     !rings;
   Mutex.unlock rings_lock
 
+(* Mark-based reclaim for long-running processes: drop every buffered
+   event with [seq < before] so the bounded rings never saturate across
+   requests. The serve daemon calls this after archiving a request's
+   events into its flight recorder; without it the 64Ki ring fills once
+   and every later request traces as empty (only [dropped] moving).
+
+   Only quiescent rings (no open span) are compacted — an open span's B
+   event must survive until its E lands or [summary] would lose the
+   pair. The caller must ensure no other domain is recording while it
+   reclaims (the daemon runs requests sequentially and pool workers are
+   idle between requests); [dropped] is intentionally preserved — it is
+   a cumulative saturation counter, exported as
+   [morphqpv_obs_span_dropped_total]. *)
+let reclaim ~before () =
+  List.iter
+    (fun r ->
+      if r.stack = [] && r.len > 0 then begin
+        let len = r.len in
+        (* seqs are appended in increasing order per ring, so survivors
+           form a suffix *)
+        let keep_from = ref len in
+        (try
+           for i = 0 to len - 1 do
+             if r.buf.(i).seq >= before then begin
+               keep_from := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let kept = len - !keep_from in
+        if !keep_from > 0 then begin
+          if kept > 0 then Array.blit r.buf !keep_from r.buf 0 kept;
+          Array.fill r.buf kept !keep_from dummy;
+          r.len <- kept
+        end
+      end)
+    (snapshot_rings ())
+
 (* ----------------------------- summary ------------------------------- *)
 
 type row = { name : string; count : int; total_s : float }
 type summary = row list
 
-let summary ?since () =
+let summary ?since ?until () =
   let open_b : (int, event) Hashtbl.t = Hashtbl.create 32 in
   let agg : (string, int * float) Hashtbl.t = Hashtbl.create 32 in
   List.iter
@@ -158,7 +206,7 @@ let summary ?since () =
                 Option.value ~default:(0, 0.) (Hashtbl.find_opt agg ev.name)
               in
               Hashtbl.replace agg ev.name (c + 1, t +. dur)))
-    (events ?since ());
+    (events ?since ?until ());
   Hashtbl.fold
     (fun name (count, us) acc -> { name; count; total_s = us /. 1e6 } :: acc)
     agg []

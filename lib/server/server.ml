@@ -26,8 +26,11 @@ open Morphcore
    outside unless re-exported here *)
 module Jsonx = Jsonx
 module Spec = Spec
+module Recorder = Recorder
 
 type addr = Unix_path of string | Tcp of int
+
+type verb_stat = { mutable vcount : int; mutable verrors : int }
 
 type state = {
   cache : Cache.t option;
@@ -36,15 +39,40 @@ type state = {
          verify request, even when the request doesn't ask for it *)
   started : float;
   mutable requests : int;
+  recorder : Recorder.t;
+  mutable next_rid : int;
+      (* generator for server-assigned request ids (req-1, req-2, ...) *)
+  by_verb : (string, verb_stat) Hashtbl.t;
+      (* request/error tallies per RPC verb; kept outside the obs
+         registry so `stats` reports them even with obs disabled *)
 }
 
-let make_state ?cache ?(certify = false) () =
-  { cache; certify; started = Unix.gettimeofday (); requests = 0 }
+let make_state ?cache ?(certify = false) ?recorder_capacity () =
+  {
+    cache;
+    certify;
+    started = Unix.gettimeofday ();
+    requests = 0;
+    recorder = Recorder.create ?capacity:recorder_capacity ();
+    next_rid = 0;
+    by_verb = Hashtbl.create 8;
+  }
+
+let recorder state = state.recorder
 
 (* ----------------------------- responses ------------------------------ *)
 
 let event id fields = Jsonx.Obj (("id", id) :: fields)
-let error_line id msg = Jsonx.Obj [ ("id", id); ("error", Jsonx.Str msg) ]
+
+let error_line ?rid id msg =
+  let rid_field =
+    match rid with None -> [] | Some r -> [ ("request_id", Jsonx.Str r) ]
+  in
+  Jsonx.Obj ([ ("id", id) ] @ rid_field @ [ ("error", Jsonx.Str msg) ])
+
+let result_line ~rid id result =
+  Jsonx.Obj
+    [ ("id", id); ("request_id", Jsonx.Str rid); ("result", result) ]
 
 let cache_json = function
   | None -> Jsonx.Null
@@ -146,7 +174,7 @@ let verify_result ~t0 ~stats0 ~cache ~verified ~expects_ok ~executions ~shots =
       ("seconds", Jsonx.Num (Unix.gettimeofday () -. t0));
     ]
 
-let verify_request state ~emit ~id params =
+let verify_request state ~emit ~id ~rid params =
   let t0 = Unix.gettimeofday () in
   let qasm =
     match Jsonx.mem_str "qasm" params with
@@ -213,11 +241,22 @@ let verify_request state ~emit ~id params =
            ( "obligations",
              Jsonx.int (Transpile.Certify.total_obligations summary) );
          ]);
-    if not report.Verify.certified then
-      failf "MQ021: %s"
-        (match report.Verify.cert_failures with
+    if not report.Verify.certified then begin
+      let msg =
+        match report.Verify.cert_failures with
         | f :: _ -> Transpile.Certify.failure_message f
-        | [] -> "transpile certificate check failed")
+        | [] -> "transpile certificate check failed"
+      in
+      Obs.Log.emit Obs.Log.Error "certify.fail"
+        [
+          ("code", Obs.Log.S "MQ021");
+          ("reason", Obs.Log.S msg);
+          ( "steps",
+            Obs.Log.I report.Verify.cert_summary.Transpile.Certify.chain_steps
+          );
+        ];
+      failf "MQ021: %s" msg
+    end
   end;
   let expects_ok =
     check_expects ~emit ~id ~budget ~rng program full.Qasm.expects
@@ -237,13 +276,9 @@ let verify_request state ~emit ~id params =
   | Ok _, Ok [] when full.Qasm.expects <> [] ->
       (* distribution-only verification via the expect pragmas *)
       emit
-        (Jsonx.Obj
-           [
-             ("id", id);
-             ( "result",
-               verify_result ~t0 ~stats0 ~cache:state.cache
-                 ~verified:expects_ok ~expects_ok ~executions:0 ~shots:0 );
-           ])
+        (result_line ~rid id
+           (verify_result ~t0 ~stats0 ~cache:state.cache ~verified:expects_ok
+              ~expects_ok ~executions:0 ~shots:0))
   | Ok _, Ok [] ->
       raise
         (Fail
@@ -288,17 +323,250 @@ let verify_request state ~emit ~id params =
             false
       in
       emit
-        (Jsonx.Obj
-           [
-             ("id", id);
-             ( "result",
-               verify_result ~t0 ~stats0 ~cache:state.cache
-                 ~verified:(verified && expects_ok) ~expects_ok
-                 ~executions:ch.Characterize.cost.Sim.Cost.executions
-                 ~shots:ch.Characterize.cost.Sim.Cost.shots );
-           ])
+        (result_line ~rid id
+           (verify_result ~t0 ~stats0 ~cache:state.cache
+              ~verified:(verified && expects_ok) ~expects_ok
+              ~executions:ch.Characterize.cost.Sim.Cost.executions
+              ~shots:ch.Characterize.cost.Sim.Cost.shots))
+
+(* ------------------------- request summaries --------------------------- *)
+
+(* flat [name{k=v,...}] keys, matching the bench harness's counter-delta
+   naming so a recorder summary reads like a BENCH_results entry *)
+let flat_counter_name name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+      ^ "}"
+
+let counter_entries () =
+  List.filter_map
+    (fun (e : Obs.Metrics.entry) ->
+      match e.Obs.Metrics.data with
+      | Obs.Metrics.Counter v ->
+          Some (flat_counter_name e.Obs.Metrics.name e.Obs.Metrics.labels, v)
+      | _ -> None)
+    (Obs.Metrics.snapshot ())
+
+let counter_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let b = Option.value ~default:0 (List.assoc_opt name before) in
+      if v <> b then Some (name, v - b) else None)
+    after
+
+(* RED latency histogram edges (seconds): a warm cache hit lands in the
+   first buckets, a cold multi-qubit characterization in the last *)
+let latency_buckets = [| 0.001; 0.005; 0.02; 0.1; 0.5; 2.; 10. |]
+
+let trace_event_jsonx (ev : Obs.Span.event) =
+  let args =
+    match ev.Obs.Span.attrs with
+    | [] -> []
+    | attrs ->
+        [ ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) attrs)) ]
+  in
+  Jsonx.Obj
+    ([
+       ("name", Jsonx.Str ev.Obs.Span.name);
+       ("cat", Jsonx.Str "morphqpv");
+       ( "ph",
+         Jsonx.Str
+           (match ev.Obs.Span.ph with Obs.Span.B -> "B" | Obs.Span.E -> "E") );
+       ("ts", Jsonx.Num ev.Obs.Span.ts_us);
+       ("pid", Jsonx.int 1);
+       ("tid", Jsonx.int ev.Obs.Span.tid);
+     ]
+    @ args)
+
+let summary_jsonx (s : Recorder.summary) =
+  Jsonx.Obj
+    ([
+       ("request_id", Jsonx.Str s.Recorder.rid);
+       ("verb", Jsonx.Str s.Recorder.verb);
+       ("ok", Jsonx.Bool s.Recorder.ok);
+       ("seconds", Jsonx.Num s.Recorder.seconds);
+       ("events", Jsonx.int (List.length s.Recorder.events));
+       ( "counters",
+         Jsonx.Obj
+           (List.map (fun (k, v) -> (k, Jsonx.int v)) s.Recorder.counters) );
+     ]
+    @
+    match s.Recorder.error with
+    | None -> []
+    | Some e -> [ ("error", Jsonx.Str e) ])
+
+let bump_verb state verb ~ok =
+  let st =
+    match Hashtbl.find_opt state.by_verb verb with
+    | Some st -> st
+    | None ->
+        let st = { vcount = 0; verrors = 0 } in
+        Hashtbl.add state.by_verb verb st;
+        st
+  in
+  st.vcount <- st.vcount + 1;
+  if not ok then st.verrors <- st.verrors + 1
+
+let by_verb_jsonx state =
+  Jsonx.Obj
+    (Hashtbl.fold
+       (fun verb st acc ->
+         ( verb,
+           Jsonx.Obj
+             [
+               ("requests", Jsonx.int st.vcount);
+               ("errors", Jsonx.int st.verrors);
+             ] )
+         :: acc)
+       state.by_verb []
+    |> List.sort (fun (a, _) (b, _) -> compare a b))
 
 (* ----------------------------- dispatch ------------------------------- *)
+
+let stats_result state =
+  Jsonx.Obj
+    [
+      ("ok", Jsonx.Bool true);
+      ("uptime_s", Jsonx.Num (Unix.gettimeofday () -. state.started));
+      ("requests", Jsonx.int state.requests);
+      ("cache", cache_json state.cache);
+      ("by_verb", by_verb_jsonx state);
+      ( "recent",
+        Jsonx.List (List.map summary_jsonx (Recorder.recent state.recorder)) );
+      ("recorded", Jsonx.int (Recorder.recorded state.recorder));
+      ("span_dropped", Jsonx.int (Obs.Span.dropped ()));
+      ("obs_enabled", Jsonx.Bool (Obs.enabled ()));
+    ]
+
+let trace_request state ~emit ~id ~rid params =
+  let target =
+    match Jsonx.mem_str "request_id" params with
+    | Some s -> s
+    | None -> failf "missing %S param" "request_id"
+  in
+  match Recorder.find state.recorder target with
+  | None -> failf "unknown request id %S" target
+  | Some s ->
+      emit
+        (result_line ~rid id
+           (Jsonx.Obj
+              [
+                ("ok", Jsonx.Bool true);
+                ("request_id", Jsonx.Str s.Recorder.rid);
+                ("verb", Jsonx.Str s.Recorder.verb);
+                ("request_ok", Jsonx.Bool s.Recorder.ok);
+                ("seconds", Jsonx.Num s.Recorder.seconds);
+                ("events", Jsonx.int (List.length s.Recorder.events));
+                ( "trace",
+                  Jsonx.List
+                    (List.map trace_event_jsonx s.Recorder.events) );
+              ]))
+
+let dispatch state ~emit ~id ~rid meth params =
+  match meth with
+  | Some "ping" ->
+      emit (result_line ~rid id (Jsonx.Obj [ ("ok", Jsonx.Bool true) ]));
+      `Continue
+  | Some "stats" ->
+      emit (result_line ~rid id (stats_result state));
+      `Continue
+  | Some "metrics" ->
+      emit
+        (result_line ~rid id
+           (Jsonx.Obj
+              [
+                ("ok", Jsonx.Bool true);
+                ("prometheus", Jsonx.Str (Obs.Export.prometheus ()));
+              ]));
+      `Continue
+  | Some "trace" ->
+      trace_request state ~emit ~id ~rid params;
+      `Continue
+  | Some "verify" ->
+      verify_request state ~emit ~id ~rid params;
+      `Continue
+  | Some "shutdown" ->
+      emit
+        (result_line ~rid id
+           (Jsonx.Obj
+              [ ("ok", Jsonx.Bool true); ("stopping", Jsonx.Bool true) ]));
+      `Stop
+  | Some m -> failf "unknown method %S" m
+  | None -> raise (Fail "missing \"method\"")
+
+(* Wrap one RPC with the observability envelope: request-scoped context
+   (so every span/log line below carries the id), RED metrics, the flight-
+   recorder entry (with mark-bounded span capture — pool-worker events
+   land between the two marks even though the context slot is domain-
+   local), and mark-based ring reclaim so the daemon's span rings never
+   saturate across requests. *)
+let handle_request state ~emit ~id ~rid ~verb meth params =
+  let t0 = Unix.gettimeofday () in
+  let mark0 = Obs.Span.mark () in
+  let counters0 = if Obs.enabled () then counter_entries () else [] in
+  Obs.Log.emit Obs.Log.Info "request.start"
+    [ ("req", Obs.Log.S rid); ("verb", Obs.Log.S verb) ];
+  let failed = ref None in
+  let ret =
+    Obs.Context.with_request rid (fun () ->
+        Obs.Span.with_ ~name:"server.request" ~attrs:[ ("verb", verb) ]
+          (fun () ->
+            try dispatch state ~emit ~id ~rid meth params with
+            | Fail msg ->
+                failed := Some msg;
+                emit (error_line ~rid id msg);
+                `Continue
+            | exn ->
+                let msg = Printexc.to_string exn in
+                failed := Some msg;
+                emit (error_line ~rid id msg);
+                `Continue))
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let mark1 = Obs.Span.mark () in
+  let ok = Option.is_none !failed in
+  let counters =
+    if Obs.enabled () then counter_delta counters0 (counter_entries ()) else []
+  in
+  bump_verb state verb ~ok;
+  Obs.Metrics.counter_add ~labels:[ ("verb", verb) ] "requests_total" 1;
+  if not ok then
+    Obs.Metrics.counter_add ~labels:[ ("verb", verb) ] "request_errors_total" 1;
+  Obs.Metrics.observe ~labels:[ ("verb", verb) ] ~buckets:latency_buckets
+    "request_seconds" seconds;
+  (match state.cache with
+  | Some c ->
+      let s : Cache.stats = Cache.stats c in
+      let total = s.hits + s.misses in
+      if total > 0 then
+        Obs.Metrics.gauge_set "cache_hit_ratio"
+          (float_of_int s.hits /. float_of_int total)
+  | None -> ());
+  let events =
+    if Obs.enabled () then Obs.Span.events ~since:mark0 ~until:mark1 ()
+    else []
+  in
+  Recorder.record state.recorder
+    { Recorder.rid; verb; seconds; ok; error = !failed; counters; events };
+  if Obs.enabled () then Obs.Span.reclaim ~before:mark1 ();
+  Obs.Log.emit
+    (if ok then Obs.Log.Info else Obs.Log.Warn)
+    "request.finish"
+    ([
+       ("req", Obs.Log.S rid);
+       ("verb", Obs.Log.S verb);
+       ("ok", Obs.Log.B ok);
+       ("seconds", Obs.Log.F seconds);
+       ("events", Obs.Log.I (List.length events));
+     ]
+    @
+    match !failed with
+    | None -> []
+    | Some e -> [ ("error", Obs.Log.S e) ]);
+  ret
 
 let handle_line state ~emit line =
   if String.trim line = "" then `Continue
@@ -307,62 +575,23 @@ let handle_line state ~emit line =
     | Error e ->
         emit (error_line Jsonx.Null ("bad request json: " ^ e));
         `Continue
-    | Ok req -> (
+    | Ok req ->
         let id = Option.value ~default:Jsonx.Null (Jsonx.member "id" req) in
         let params =
           Option.value ~default:(Jsonx.Obj []) (Jsonx.member "params" req)
         in
+        let meth = Jsonx.mem_str "method" req in
+        let verb = Option.value ~default:"unknown" meth in
+        let rid =
+          (* client-supplied (top-level "request_id") or generated *)
+          match Jsonx.mem_str "request_id" req with
+          | Some r when String.trim r <> "" -> r
+          | _ ->
+              state.next_rid <- state.next_rid + 1;
+              Printf.sprintf "req-%d" state.next_rid
+        in
         state.requests <- state.requests + 1;
-        match Jsonx.mem_str "method" req with
-        | Some "ping" ->
-            emit
-              (Jsonx.Obj
-                 [
-                   ("id", id);
-                   ("result", Jsonx.Obj [ ("ok", Jsonx.Bool true) ]);
-                 ]);
-            `Continue
-        | Some "stats" ->
-            emit
-              (Jsonx.Obj
-                 [
-                   ("id", id);
-                   ( "result",
-                     Jsonx.Obj
-                       [
-                         ("ok", Jsonx.Bool true);
-                         ( "uptime_s",
-                           Jsonx.Num (Unix.gettimeofday () -. state.started)
-                         );
-                         ("requests", Jsonx.int state.requests);
-                         ("cache", cache_json state.cache);
-                       ] );
-                 ]);
-            `Continue
-        | Some "verify" ->
-            (try verify_request state ~emit ~id params with
-            | Fail msg -> emit (error_line id msg)
-            | exn -> emit (error_line id (Printexc.to_string exn)));
-            `Continue
-        | Some "shutdown" ->
-            emit
-              (Jsonx.Obj
-                 [
-                   ("id", id);
-                   ( "result",
-                     Jsonx.Obj
-                       [
-                         ("ok", Jsonx.Bool true);
-                         ("stopping", Jsonx.Bool true);
-                       ] );
-                 ]);
-            `Stop
-        | Some m ->
-            emit (error_line id (Printf.sprintf "unknown method %S" m));
-            `Continue
-        | None ->
-            emit (error_line id "missing \"method\"");
-            `Continue)
+        handle_request state ~emit ~id ~rid ~verb meth params
 
 (* ------------------------------ transport ----------------------------- *)
 

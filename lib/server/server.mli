@@ -5,9 +5,18 @@
     the server streams zero or more [{"id":N,"event":...}] lines and
     terminates every request with exactly one [{"id":N,"result":{...}}]
     or [{"id":N,"error":"..."}] line. Methods: [ping], [stats],
+    [metrics] (Prometheus text exposition in [result.prometheus]),
+    [trace] (param [request_id] — one recorded request's span tree as
+    Chrome-trace JSON in [result.trace]),
     [verify] (params [qasm] (required), [assume]/[guarantee] spec lists,
     [count], [solver], [seed], [budget], [mode] — the {!Spec} grammar),
     and [shutdown].
+
+    Every request carries a request id — client-supplied via a top-level
+    ["request_id"] field, else server-generated ([req-N]) — echoed as
+    [request_id] on the terminal line, stamped on every span and log
+    line the request produces, and usable as the [trace] RPC's key. The
+    last N completed requests are kept in a {!Recorder} flight ring.
 
     All requests share one process-wide content-addressed {!Cache.t}, so
     a warm re-verification of a program the daemon has seen performs
@@ -16,6 +25,7 @@
 
 module Jsonx : module type of Jsonx
 module Spec : module type of Spec
+module Recorder : module type of Recorder
 
 type addr = Unix_path of string | Tcp of int  (** TCP binds loopback only *)
 
@@ -26,8 +36,13 @@ type state
     emitting pass variants, the chain is re-checked by the independent
     checker ({!Transpile.Certify}), and a ["certify"] event reports the
     verdict. A failed check aborts the request with an MQ021 error line.
-    Individual requests can also opt in with a ["certify": true] param. *)
-val make_state : ?cache:Cache.t -> ?certify:bool -> unit -> state
+    Individual requests can also opt in with a ["certify": true] param.
+    [recorder_capacity] (default 256) bounds the flight-recorder ring. *)
+val make_state :
+  ?cache:Cache.t -> ?certify:bool -> ?recorder_capacity:int -> unit -> state
+
+val recorder : state -> Recorder.t
+(** The state's flight recorder (tests and the [trace] RPC read it). *)
 
 (** [handle_line state ~emit line] processes one request line, calling
     [emit] once per response line; [`Stop] after a [shutdown] request.

@@ -396,6 +396,13 @@ let tracepoint_states ?pool ?rng ?(noise = Noise.ideal) ?(trajectories = 64)
     | Some `Rank -> "rank"
     | None -> "statevec"
   in
+  if Obs.Log.enabled Obs.Log.Debug then
+    Obs.Log.emit Obs.Log.Debug "engine.route"
+      [
+        ("engine", Obs.Log.S engine_name);
+        ("qubits", Obs.Log.I (Circuit.num_qubits c));
+        ("gates", Obs.Log.I (Circuit.gate_count c));
+      ];
   Obs.Span.with_ ~name:"engine.tracepoint_states"
     ~attrs:[ ("engine", engine_name) ]
   @@ fun () ->

@@ -459,6 +459,70 @@ let obs_transparent circ =
       let on = run_all () in
       off = on)
 
+(* ---- server-path observability transparency ---- *)
+
+(* wall time is the one legitimately nondeterministic field a request
+   emits; everything else must be bit-identical *)
+let rec strip_seconds = function
+  | Server.Jsonx.Obj fields ->
+      Server.Jsonx.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if k = "seconds" then None else Some (k, strip_seconds v))
+           fields)
+  | Server.Jsonx.List l -> Server.Jsonx.List (List.map strip_seconds l)
+  | v -> v
+
+(* [obs_transparent] through the daemon path: one full verify RPC
+   (parse, characterize, solve, verdict, cache deltas) driven through
+   [Server.handle_line] against a fresh state + cache, with obs off and
+   then on — every emitted protocol line except wall time must be
+   byte-identical. This is the PR 5 contract extended to the service
+   layer: request ids, spans, logs, RED metrics and the flight recorder
+   may observe a request but never perturb it. *)
+let server_obs_transparent circ =
+  let c = Gen.build circ in
+  let c =
+    if Circuit.tracepoints c = [] then Circuit.tracepoint 1 [ 0 ] c else c
+  in
+  let tp = fst (List.hd (Circuit.tracepoints c)) in
+  let req =
+    Server.Jsonx.to_string
+      (Server.Jsonx.Obj
+         [
+           ("id", Server.Jsonx.int 1);
+           ("request_id", Server.Jsonx.Str "oracle");
+           ("method", Server.Jsonx.Str "verify");
+           ( "params",
+             Server.Jsonx.Obj
+               [
+                 ("qasm", Server.Jsonx.Str (Qasm.to_string c));
+                 ("count", Server.Jsonx.int 3);
+                 ("seed", Server.Jsonx.int 7);
+                 ( "guarantee",
+                   Server.Jsonx.List
+                     [
+                       Server.Jsonx.Str (Printf.sprintf "purity-ge:%d,0.0" tp);
+                     ] );
+               ] );
+         ])
+  in
+  let drive () =
+    let state = Server.make_state ~cache:(Cache.create ()) () in
+    let out = ref [] in
+    ignore (Server.handle_line state ~emit:(fun v -> out := v :: !out) req);
+    List.rev_map (fun v -> Server.Jsonx.to_string (strip_seconds v)) !out
+  in
+  let was = Obs.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Obs.configure ~enabled:was)
+    (fun () ->
+      Obs.configure ~enabled:false;
+      let off = drive () in
+      Obs.configure ~enabled:true;
+      let on = drive () in
+      off = on)
+
 (* ---- statistical verdicts ---- *)
 
 (* Sequential and fixed shot budgets must agree on unambiguous

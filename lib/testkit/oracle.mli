@@ -171,6 +171,14 @@ val characterize_engines_agree : ?pool:Parallel.Pool.t -> Gen.circ -> bool
     [Obs] disabled and enabled. Restores the caller's [Obs] setting. *)
 val obs_transparent : Gen.circ -> bool
 
+(** [server_obs_transparent c] — the observability contract extended
+    through the daemon path: a full verify RPC driven through
+    [Server.handle_line] (fresh state and cache each time) emits
+    byte-identical protocol lines with [Obs] disabled and enabled, wall
+    time ([seconds] fields) excepted. Restores the caller's [Obs]
+    setting. *)
+val server_obs_transparent : Gen.circ -> bool
+
 (** [sequential_vs_fixed_verdict c] — [`Fixed] and [`Sequential] shot
     budgets of [Morphcore.Verify.check_counts] agree on both sides of an
     unambiguous dichotomy: the circuit's true output distribution (both

@@ -558,6 +558,216 @@ let test_server_verify_certify () =
     "only the opted-in request is certified" 1
     (List.length (certify_events out))
 
+(* request-id plumbing: a client-supplied top-level request_id is echoed
+   on result AND error lines; requests without one get a generated req-N *)
+let test_server_request_ids () =
+  let state = Server.make_state () in
+  let out, _ =
+    drive state
+      [
+        {|{"id":1,"request_id":"cli-abc","method":"ping"}|};
+        {|{"id":2,"method":"ping"}|};
+        {|{"id":3,"request_id":"cli-err","method":"no-such-method"}|};
+      ]
+  in
+  match out with
+  | [ a; b; e ] ->
+      Alcotest.(check (option string))
+        "client id echoed" (Some "cli-abc")
+        (Jsonx.mem_str "request_id" a);
+      (match Jsonx.mem_str "request_id" b with
+      | Some rid ->
+          Alcotest.(check bool)
+            "generated ids are req-N" true
+            (String.length rid > 4 && String.sub rid 0 4 = "req-")
+      | None -> Alcotest.fail "no request_id on the generated line");
+      Alcotest.(check (option string))
+        "error lines carry the id too" (Some "cli-err")
+        (Jsonx.mem_str "request_id" e);
+      Alcotest.(check bool)
+        "and are errors" true
+        (Jsonx.member "error" e <> None)
+  | _ -> Alcotest.failf "expected 3 lines, got %d" (List.length out)
+
+(* run [f] with obs enabled against fresh rings/registry, restoring the
+   caller's setting — the metrics/trace RPCs only have content under obs *)
+let with_obs_enabled f =
+  let was = Obs.enabled () in
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.configure ~enabled:true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.configure ~enabled:was;
+      Obs.Span.reset ();
+      Obs.Metrics.reset ())
+    f
+
+let test_server_metrics_rpc () =
+  with_obs_enabled (fun () ->
+      let state = Server.make_state ~cache:(Cache.create ()) () in
+      let out, _ =
+        drive state [ verify_req 1; {|{"id":2,"method":"metrics"}|} ]
+      in
+      let metrics_result =
+        List.filter_map (fun j -> Jsonx.member "result" j) out
+        |> List.filter_map (Jsonx.mem_str "prometheus")
+      in
+      match metrics_result with
+      | [ text ] ->
+          let has needle =
+            Alcotest.(check bool)
+              ("exposition has " ^ needle)
+              true
+              (let n = String.length needle in
+               let rec go i =
+                 i + n <= String.length text
+                 && (String.sub text i n = needle || go (i + 1))
+               in
+               go 0)
+          in
+          has "# TYPE morphqpv_requests_total counter\n";
+          has "morphqpv_requests_total{verb=\"verify\"} 1\n";
+          has "# TYPE morphqpv_request_seconds histogram\n";
+          has "morphqpv_request_seconds_count{verb=\"verify\"} 1\n";
+          has "morphqpv_request_seconds_bucket{verb=\"verify\",le=\"+Inf\"} 1\n";
+          has "# TYPE morphqpv_cache_hit_ratio gauge\n";
+          has "morphqpv_obs_span_dropped_total 0\n"
+      | l -> Alcotest.failf "expected 1 metrics result, got %d" (List.length l))
+
+let test_server_trace_rpc () =
+  with_obs_enabled (fun () ->
+      let state = Server.make_state ~cache:(Cache.create ()) () in
+      let tagged id rid meth params =
+        Jsonx.to_string
+          (Jsonx.Obj
+             ([
+                ("id", Jsonx.int id);
+                ("request_id", Jsonx.Str rid);
+                ("method", Jsonx.Str meth);
+              ]
+             @ params))
+      in
+      let verify =
+        match parse_exn (verify_req 1) with
+        | Jsonx.Obj kvs ->
+            Jsonx.to_string
+              (Jsonx.Obj (("request_id", Jsonx.Str "t-1") :: kvs))
+        | _ -> assert false
+      in
+      let trace =
+        tagged 2 "t-trace" "trace"
+          [ ("params", Jsonx.Obj [ ("request_id", Jsonx.Str "t-1") ]) ]
+      in
+      let unknown =
+        tagged 3 "t-miss" "trace"
+          [ ("params", Jsonx.Obj [ ("request_id", Jsonx.Str "nope") ]) ]
+      in
+      let out, _ = drive state [ verify; trace; unknown ] in
+      let by_id n =
+        match
+          List.filter
+            (fun j ->
+              Jsonx.mem_int "id" j = Some n
+              && (Jsonx.member "result" j <> None
+                 || Jsonx.member "error" j <> None))
+            out
+        with
+        | [ j ] -> j
+        | l ->
+            Alcotest.failf "expected 1 response for id %d, got %d" n
+              (List.length l)
+      in
+      match (by_id 2, by_id 3) with
+      | traced, missing ->
+          let r = member_exn "result" traced in
+          Alcotest.(check (option string))
+            "trace targets the verify request" (Some "t-1")
+            (Jsonx.mem_str "request_id" r);
+          Alcotest.(check (option string))
+            "records the verb" (Some "verify")
+            (Jsonx.mem_str "verb" r);
+          let events =
+            match Jsonx.mem_list "trace" r with
+            | Some l -> l
+            | None -> Alcotest.fail "no trace list"
+          in
+          Alcotest.(check bool) "has events" true (List.length events > 0);
+          let root = List.hd events in
+          Alcotest.(check (option string))
+            "chrome phase" (Some "B") (Jsonx.mem_str "ph" root);
+          Alcotest.(check (option string))
+            "request id in args" (Some "t-1")
+            (Option.bind (Jsonx.member "args" root) (Jsonx.mem_str "req"));
+          Alcotest.(check bool)
+            "unknown request id errors" true
+            (Jsonx.member "error" missing <> None))
+
+(* ----------------------- jsonx property tests --------------------------- *)
+
+let gen_jsonx : Jsonx.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* dyadic rationals: finite by construction, exactly representable, so
+     the writer's %.17g/%.0f output parses back to the identical float *)
+  let finite_float =
+    map2
+      (fun m e -> Float.ldexp (float_of_int m) e)
+      (int_range (-1_000_000) 1_000_000)
+      (int_range (-20) 20)
+  in
+  let any_string = string_size ~gen:char (int_range 0 12) in
+  let scalar =
+    oneof
+      [
+        return Jsonx.Null;
+        map (fun b -> Jsonx.Bool b) bool;
+        map Jsonx.int (int_range (-1_000_000_000) 1_000_000_000);
+        map (fun f -> Jsonx.Num f) finite_float;
+        map (fun s -> Jsonx.Str s) any_string;
+      ]
+  in
+  let rec value depth =
+    if depth <= 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          ( 1,
+            map
+              (fun l -> Jsonx.List l)
+              (list_size (int_range 0 4) (value (depth - 1))) );
+          ( 1,
+            map
+              (fun kvs -> Jsonx.Obj kvs)
+              (list_size (int_range 0 4) (pair any_string (value (depth - 1))))
+          );
+        ]
+  in
+  value 3
+
+let prop_jsonx_roundtrip =
+  QCheck.Test.make ~name:"jsonx: parse (to_string v) = v" ~count
+    (QCheck.make ~print:Jsonx.to_string gen_jsonx)
+    (fun v -> parse_exn (Jsonx.to_string v) = v)
+
+let test_jsonx_escaping () =
+  Alcotest.(check string)
+    "control chars and quotes escape" {|"a\"b\\c\nd\te\u0001\r"|}
+    (Jsonx.to_string (Jsonx.Str "a\"b\\c\nd\te\x01\r"));
+  Alcotest.(check bool)
+    "escape forms parse back to raw bytes" true
+    (parse_exn {|"A\n\"\\\/"|} = Jsonx.Str "A\n\"\\/");
+  Alcotest.(check bool)
+    "writer output is always one line" false
+    (String.contains (Jsonx.to_string (Jsonx.Str "multi\nline")) '\n')
+
+let prop_server_obs_transparent =
+  QCheck.Test.make
+    ~name:"server obs transparency (verify RPC, obs off = obs on)"
+    ~count:(max 5 (count / 10))
+    (Gen.program ())
+    Oracle.server_obs_transparent
+
 let test_server_shutdown () =
   let state = Server.make_state () in
   let out, k = drive state [ {|{"id":9,"method":"shutdown"}|} ] in
@@ -678,7 +888,13 @@ let () =
       ( "server",
         [
           Alcotest.test_case "jsonx roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "jsonx escaping" `Quick test_jsonx_escaping;
+          qtest prop_jsonx_roundtrip;
           Alcotest.test_case "ping + errors" `Quick test_server_ping_and_errors;
+          Alcotest.test_case "request ids" `Quick test_server_request_ids;
+          Alcotest.test_case "metrics rpc" `Quick test_server_metrics_rpc;
+          Alcotest.test_case "trace rpc" `Quick test_server_trace_rpc;
+          qtest prop_server_obs_transparent;
           Alcotest.test_case "verify warm" `Quick test_server_verify_warm;
           Alcotest.test_case "verify certified" `Quick
             test_server_verify_certify;

@@ -239,6 +239,155 @@ let test_trace_jsonl_golden () =
   Alcotest.(check string) "chrome trace_event JSONL" expect
     (Obs.Export.trace_jsonl ~since ())
 
+(* ---------------- scoped reads and mark-based reclaim ---------------- *)
+
+let names evs = List.map (fun (ev : Obs.Span.event) -> ev.Obs.Span.name) evs
+
+let test_span_until_and_reclaim () =
+  let m0 = Obs.Span.mark () in
+  Obs.Span.with_ ~name:"first" (fun () -> ());
+  let m1 = Obs.Span.mark () in
+  Obs.Span.with_ ~name:"second" (fun () -> ());
+  let m2 = Obs.Span.mark () in
+  Alcotest.(check (list string))
+    "since/until brackets exactly one request" [ "first"; "first" ]
+    (names (Obs.Span.events ~since:m0 ~until:m1 ()));
+  Alcotest.(check (list string))
+    "second window" [ "second"; "second" ]
+    (names (Obs.Span.events ~since:m1 ~until:m2 ()));
+  (* reclaim drops archived events, keeps the rest, preserves [dropped] *)
+  Obs.Span.reclaim ~before:m1 ();
+  Alcotest.(check (list string))
+    "first request reclaimed" [ "second"; "second" ]
+    (names (Obs.Span.events ()));
+  Alcotest.(check int) "dropped preserved across reclaim" 0
+    (Obs.Span.dropped ());
+  Obs.Span.reclaim ~before:(Obs.Span.mark ()) ();
+  Alcotest.(check (list string)) "full reclaim empties the rings" []
+    (names (Obs.Span.events ()));
+  (* the rings still record after a reclaim *)
+  Obs.Span.with_ ~name:"third" (fun () -> ());
+  Alcotest.(check (list string))
+    "recording continues" [ "third"; "third" ]
+    (names (Obs.Span.events ()))
+
+(* ---------------- request context ---------------- *)
+
+let test_context_scoping () =
+  Alcotest.(check (option string)) "unset outside" None (Obs.Context.current ());
+  Obs.Context.with_request "a" (fun () ->
+      Alcotest.(check (option string))
+        "set inside" (Some "a") (Obs.Context.current ());
+      Obs.Context.with_request "b" (fun () ->
+          Alcotest.(check (option string))
+            "nested shadows" (Some "b") (Obs.Context.current ()));
+      Alcotest.(check (option string))
+        "outer restored" (Some "a") (Obs.Context.current ()));
+  Alcotest.(check (option string)) "cleared after" None (Obs.Context.current ())
+
+let test_span_request_attr () =
+  let since = Obs.Span.mark () in
+  Obs.Context.with_request "req-9" (fun () ->
+      Obs.Span.with_ ~name:"work" ~attrs:[ ("k", "v") ] (fun () -> ()));
+  match Obs.Span.events ~since () with
+  | [ b; _e ] ->
+      Alcotest.(check (option string))
+        "span carries the request id" (Some "req-9")
+        (List.assoc_opt "req" b.Obs.Span.attrs);
+      Alcotest.(check (option string))
+        "caller attrs preserved" (Some "v")
+        (List.assoc_opt "k" b.Obs.Span.attrs)
+  | evs -> Alcotest.failf "expected one span (2 events), got %d" (List.length evs)
+
+(* ---------------- structured log ---------------- *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let check_contains line needle =
+  Alcotest.(check bool) ("line contains " ^ needle) true (contains line needle)
+
+let with_log f () =
+  Fun.protect ~finally:(fun () -> Obs.Log.configure `Off) f
+
+let test_log_jsonl () =
+  let lines = ref [] in
+  Obs.Log.configure ~level:Obs.Log.Info (`Fn (fun l -> lines := l :: !lines));
+  Obs.Log.emit Obs.Log.Debug "below.threshold" [];
+  Obs.Log.emit Obs.Log.Info "hello"
+    [
+      ("n", Obs.Log.I 3);
+      ("s", Obs.Log.S "a\"b\nc");
+      ("f", Obs.Log.F 1.5);
+      ("nan", Obs.Log.F Float.nan);
+      ("b", Obs.Log.B true);
+    ];
+  match !lines with
+  | [ line ] ->
+      check_contains line "\"level\":\"info\"";
+      check_contains line "\"event\":\"hello\"";
+      check_contains line "\"n\":3";
+      check_contains line "\"s\":\"a\\\"b\\nc\"";
+      check_contains line "\"f\":1.5";
+      check_contains line "\"nan\":null";
+      check_contains line "\"b\":true";
+      check_contains line "\"ts\":"
+  | l -> Alcotest.failf "expected exactly one line, got %d" (List.length l)
+
+let test_log_request_id () =
+  let lines = ref [] in
+  Obs.Log.configure ~level:Obs.Log.Debug (`Fn (fun l -> lines := l :: !lines));
+  Obs.Context.with_request "req-7" (fun () ->
+      Obs.Log.emit Obs.Log.Info "inside" []);
+  Obs.Log.emit Obs.Log.Info "outside" [];
+  match List.rev !lines with
+  | [ inside; outside ] ->
+      check_contains inside "\"req\":\"req-7\"";
+      Alcotest.(check bool) "no req outside a request" false
+        (contains outside "\"req\":")
+  | l -> Alcotest.failf "expected two lines, got %d" (List.length l)
+
+let test_log_disabled_is_noop () =
+  let hits = ref 0 in
+  Obs.Log.configure ~level:Obs.Log.Info (`Fn (fun _ -> incr hits));
+  Obs.Log.configure `Off;
+  Alcotest.(check bool) "no level enabled when off" false
+    (Obs.Log.enabled Obs.Log.Error);
+  Obs.Log.emit Obs.Log.Error "ghost" [];
+  Alcotest.(check int) "sink never called" 0 !hits
+
+(* ---------------- prometheus exposition ---------------- *)
+
+let test_prometheus_exposition () =
+  Obs.Metrics.counter_add ~labels:[ ("verb", "verify") ] "requests_total" 3;
+  Obs.Metrics.observe ~buckets:[| 1.; 2. |] "lat" 0.5;
+  Obs.Metrics.observe ~buckets:[| 1.; 2. |] "lat" 1.5;
+  Obs.Metrics.observe ~buckets:[| 1.; 2. |] "lat" 9.0;
+  Obs.Metrics.gauge_set "ratio" 0.25;
+  let text = Obs.Export.prometheus () in
+  List.iter (check_contains text)
+    [
+      "# TYPE morphqpv_requests_total counter\n";
+      "morphqpv_requests_total{verb=\"verify\"} 3\n";
+      "# TYPE morphqpv_lat histogram\n";
+      (* buckets are cumulative in the exposition, per-bucket internally *)
+      "morphqpv_lat_bucket{le=\"1\"} 1\n";
+      "morphqpv_lat_bucket{le=\"2\"} 2\n";
+      "morphqpv_lat_bucket{le=\"+Inf\"} 3\n";
+      "morphqpv_lat_sum 11\n";
+      "morphqpv_lat_count 3\n";
+      "# TYPE morphqpv_ratio gauge\n";
+      "morphqpv_ratio 0.25\n";
+      (* ring saturation is synthesized at scrape time, not a registry
+         counter (it is domain-distribution-dependent) *)
+      "# TYPE morphqpv_obs_span_dropped_total counter\n";
+      "morphqpv_obs_span_dropped_total 0\n";
+    ]
+
 (* ---------------- disabled path ---------------- *)
 
 let test_disabled_is_noop () =
@@ -303,6 +452,23 @@ let () =
             (with_obs test_span_summary);
           Alcotest.test_case "ring bound and dropped counter" `Slow
             (with_obs test_span_ring_bound);
+          Alcotest.test_case "mark-scoped reads and reclaim" `Quick
+            (with_obs test_span_until_and_reclaim);
+          Alcotest.test_case "request id stamped as span attr" `Quick
+            (with_obs test_span_request_attr);
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "with_request scoping" `Quick test_context_scoping;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "JSONL shape and level filtering" `Quick
+            (with_log test_log_jsonl);
+          Alcotest.test_case "request id injection" `Quick
+            (with_log test_log_request_id);
+          Alcotest.test_case "off sink never fires" `Quick
+            (with_log test_log_disabled_is_noop);
         ] );
       ( "metrics",
         [
@@ -319,6 +485,8 @@ let () =
         [
           Alcotest.test_case "trace_event JSONL golden" `Quick
             (with_obs test_trace_jsonl_golden);
+          Alcotest.test_case "prometheus exposition" `Quick
+            (with_obs test_prometheus_exposition);
         ] );
       ( "disabled",
         [
